@@ -1,0 +1,77 @@
+// Ablation: per-MPDU delivery latency under aggregation policies (§9).
+//
+// The paper evaluates aggregation by throughput (Fig. 10); its §9 discussion
+// raises real-time traffic, where *delay* is the budget. Running a CBR flow
+// through the full Block ACK machinery (mac/latency_sim.*) exposes the other
+// half of the §5 trade-off: long A-MPDUs under mobility lose their tails,
+// and retransmissions head-of-line block the window — so the mobility-aware
+// aggregation limit buys tail latency, not just throughput.
+#include "mac/atheros_ra.hpp"
+#include "mac/latency_sim.hpp"
+
+#include "bench_common.hpp"
+
+namespace mobiwlan {
+namespace {
+
+using bench::kMasterSeed;
+
+LatencySimResult run(MobilityClass cls, bool adaptive, double fixed_limit,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s = make_scenario(cls, rng);
+  AtherosRa ra;
+  LatencySimConfig cfg;
+  cfg.duration_s = 10.0;
+  cfg.offered_pps = 3600.0;  // ~43 Mbps CBR: enough pressure to fill frames
+  cfg.aggregation.adaptive = adaptive;
+  cfg.aggregation.fixed_limit_s = fixed_limit;
+  Rng sim_rng(seed + 606);
+  return simulate_latency(s, ra, cfg, sim_rng);
+}
+
+}  // namespace
+}  // namespace mobiwlan
+
+int main() {
+  using namespace mobiwlan;
+  bench::banner("Ablation — MPDU delivery latency vs aggregation policy",
+                "under device mobility long frames trade tail latency for "
+                "nothing; the adaptive limit should match the best static "
+                "choice per mode");
+
+  TablePrinter t("latency per mode and aggregation policy (ms), 43 Mbps CBR");
+  t.set_header({"mode", "policy", "p50", "p95", "p99", "dropped"});
+  for (MobilityClass cls : {MobilityClass::kStatic, MobilityClass::kMacro}) {
+    struct Policy {
+      const char* name;
+      bool adaptive;
+      double fixed;
+    };
+    for (const Policy& p : {Policy{"2 ms", false, 2e-3}, Policy{"8 ms", false, 8e-3},
+                            Policy{"adaptive", true, 4e-3}}) {
+      SampleSet p50;
+      SampleSet p95;
+      SampleSet p99;
+      int dropped = 0;
+      for (int link = 0; link < 6; ++link) {
+        const auto r = run(cls, p.adaptive, p.fixed, kMasterSeed + 9000 + link);
+        p50.add(r.latencies_s.median() * 1e3);
+        p95.add(r.latencies_s.quantile(0.95) * 1e3);
+        p99.add(r.latencies_s.quantile(0.99) * 1e3);
+        dropped += r.dropped;
+      }
+      t.add_row({std::string(to_string(cls)), p.name, TablePrinter::num(p50.mean(), 2),
+                 TablePrinter::num(p95.mean(), 2), TablePrinter::num(p99.mean(), 2),
+                 std::to_string(dropped)});
+    }
+  }
+  t.print();
+
+  std::printf("\nReading guide: for static clients all policies are "
+              "equivalent at this load; for macro clients the 8 ms limit "
+              "inflates the tail (lost frame tails head-of-line block the "
+              "Block ACK window) while the adaptive policy tracks the 2 ms "
+              "figure.\n");
+  return 0;
+}

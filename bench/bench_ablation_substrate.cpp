@@ -1,0 +1,92 @@
+// Ablation: which channel mechanisms carry the classification signal.
+//
+// DESIGN.md argues the substitution preserves the paper's mechanisms because
+// each classifier stage keys on a specific physical effect. This ablation
+// disables those effects one at a time and re-runs the Table-1 evaluation:
+//   * no ToF noise          — macro detection should get EASIER (cleaner
+//                             trends), showing the median filter earns its
+//                             keep only under realistic jitter;
+//   * coarse ToF clock      — a 44 MHz timestamp clock doubles quantization,
+//                             degrading macro detection;
+//   * no environmental movers-as-paths (weak blockage only) — environmental
+//                             should collapse into static;
+//   * frozen people         — environmental becomes literally static.
+#include "sim/evaluation.hpp"
+
+#include "bench_common.hpp"
+
+namespace mobiwlan {
+namespace {
+
+ConfusionMatrix run(const char* /*label*/, const ChannelConfig& channel,
+                    std::uint64_t seed) {
+  EvaluationOptions opt;
+  opt.trials = 10;
+  opt.duration_s = 35.0;
+  opt.scenario.channel = channel;
+  Rng rng(seed);
+  return evaluate_all(rng, opt);
+}
+
+}  // namespace
+}  // namespace mobiwlan
+
+int main() {
+  using namespace mobiwlan;
+  bench::banner("Ablation — channel mechanisms vs classifier stages",
+                "each substrate mechanism maps to one classifier signal; "
+                "removing it should move exactly the class that depends on it");
+
+  struct Variant {
+    const char* name;
+    ChannelConfig config;
+  };
+  std::vector<Variant> variants;
+
+  variants.push_back({"full substrate", ChannelConfig{}});
+
+  {
+    ChannelConfig c;
+    c.tof_noise_ns = 0.0;
+    variants.push_back({"no ToF jitter", c});
+  }
+  {
+    ChannelConfig c;
+    c.tof_clock_hz = 44e6;  // the raw Atheros timestamp clock, no interpolation
+    variants.push_back({"44 MHz ToF clock", c});
+  }
+  {
+    ChannelConfig c;
+    c.person_reflection_loss_lo_db = 40.0;  // movers contribute ~nothing
+    c.person_reflection_loss_hi_db = 46.0;
+    c.blockage_depth_weak_db = 0.0;
+    c.blockage_depth_strong_db = 0.0;
+    variants.push_back({"people invisible to RF", c});
+  }
+  {
+    ChannelConfig c;
+    c.mover_amplitude_weak_m = 0.0;  // people present but frozen
+    c.mover_amplitude_strong_m = 0.0;
+    c.blockage_depth_weak_db = 0.0;
+    c.blockage_depth_strong_db = 0.0;
+    variants.push_back({"people frozen", c});
+  }
+
+  TablePrinter t("per-class accuracy under substrate ablations");
+  t.set_header({"variant", "static", "environmental", "micro", "macro"});
+  for (const auto& v : variants) {
+    const ConfusionMatrix m = run(v.name, v.config, bench::kMasterSeed + 5);
+    t.add_row({v.name, TablePrinter::pct(m.accuracy(MobilityClass::kStatic)),
+               TablePrinter::pct(m.accuracy(MobilityClass::kEnvironmental)),
+               TablePrinter::pct(m.accuracy(MobilityClass::kMicro)),
+               TablePrinter::pct(m.accuracy(MobilityClass::kMacro))});
+  }
+  t.print();
+
+  std::printf("\nReading guide: removing ToF jitter should raise macro "
+              "accuracy; the coarse 44 MHz clock should lower it; making "
+              "people RF-invisible or frozen should collapse the "
+              "environmental class toward static while leaving the "
+              "device-mobility classes intact.\n");
+  return 0;
+}

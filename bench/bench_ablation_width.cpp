@@ -1,0 +1,107 @@
+// Ablation: channel-width and MIMO-mode adaptation (§9's null result).
+//
+// The paper's discussion suggests two more knobs mobility-awareness could
+// drive — drop from 40 MHz to a more robust 20 MHz channel, or prefer
+// spatial diversity over multiplexing, when the client moves away — but
+// reports that "our preliminary experiments did not show any significant
+// gains for these two cases." This ablation reproduces that *negative*
+// result: on moving-away links we compare the oracle throughput of the
+// standard configuration against oracle width / MIMO-mode adaptation.
+//
+//   * 20 MHz: data rate scales by 52/108 data subcarriers, noise bandwidth
+//     halves (+3 dB SNR).
+//   * Diversity (STBC/MRC single stream): ~3 dB SNR gain over the
+//     power-split dual-stream configuration, at half the peak rate.
+#include "phy/error_model.hpp"
+
+#include "bench_common.hpp"
+
+namespace mobiwlan {
+namespace {
+
+using bench::kMasterSeed;
+
+double best_tput_40mhz(double snr_db) {
+  const int best = best_mcs(snr_db, 1500, 2);
+  return expected_throughput_mbps(mcs(best), snr_db, 1500);
+}
+
+double best_tput_20mhz(double snr_db) {
+  // Half the bandwidth: +3 dB SNR (half the noise power), 52/108 of the rate.
+  const double scale = 52.0 / 108.0;
+  double best = 0.0;
+  for (const auto& e : mcs_table()) {
+    McsEntry narrow = e;
+    narrow.rate_mbps *= scale;
+    best = std::max(best, expected_throughput_mbps(narrow, snr_db + 3.0, 1500));
+  }
+  return best;
+}
+
+double best_tput_diversity(double snr_db) {
+  // Single stream with transmit/receive diversity gain (~3 dB) instead of
+  // splitting power across two streams.
+  double best = 0.0;
+  for (const auto& e : mcs_table()) {
+    if (e.streams != 1) continue;
+    best = std::max(best, expected_throughput_mbps(e, snr_db + 3.0, 1500));
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace mobiwlan
+
+int main() {
+  using namespace mobiwlan;
+  bench::banner("Ablation — channel width & MIMO mode adaptation (§9 null result)",
+                "the paper's preliminary experiments found no significant "
+                "gains from either knob; the oracle gains here should be "
+                "near zero except at the very edge of coverage");
+
+  SampleSet width_gain;
+  SampleSet diversity_gain;
+  SampleSet width_gain_edge;
+  SampleSet diversity_gain_edge;
+
+  Rng master(kMasterSeed + 42);
+  const int links = 12;
+  for (int link = 0; link < links; ++link) {
+    // A moving-away client: SNR decays through the run.
+    Scenario s = make_radial_scenario(false, 10.0, master);
+    for (double t = 0.0; t < 25.0; t += 1.0) {
+      const double snr =
+          effective_snr_db(s.channel->csi_true(t), s.channel->snr_db(t));
+      const double base = best_tput_40mhz(snr);
+      if (base < 1.0) continue;  // link effectively dead either way
+      const double w = best_tput_20mhz(snr) / base - 1.0;
+      const double d = best_tput_diversity(snr) / base - 1.0;
+      width_gain.add(w);
+      diversity_gain.add(d);
+      if (snr < 10.0) {
+        width_gain_edge.add(w);
+        diversity_gain_edge.add(d);
+      }
+    }
+  }
+
+  TablePrinter t("oracle gain from switching, moving-away links");
+  t.set_header({"knob", "median gain (all samples)", "p90", "median at SNR<10 dB"});
+  t.add_row({"40 MHz -> 20 MHz", TablePrinter::pct(width_gain.median()),
+             TablePrinter::pct(width_gain.quantile(0.9)),
+             width_gain_edge.empty() ? "n/a"
+                                     : TablePrinter::pct(width_gain_edge.median())});
+  t.add_row({"multiplexing -> diversity", TablePrinter::pct(diversity_gain.median()),
+             TablePrinter::pct(diversity_gain.quantile(0.9)),
+             diversity_gain_edge.empty()
+                 ? "n/a"
+                 : TablePrinter::pct(diversity_gain_edge.median())});
+  t.print();
+
+  std::printf("\nReading guide: the narrower channel never wins — the MCS "
+              "ladder already provides its robustness at full width — and "
+              "diversity only pays below ~10 dB, where absolute rates are "
+              "tiny. Averaged over a walk both medians are zero-to-negative, "
+              "matching the paper's \"no significant gains\" finding.\n");
+  return 0;
+}

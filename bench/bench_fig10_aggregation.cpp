@@ -1,0 +1,90 @@
+// Figure 10: frame aggregation (§5).
+//  (a) mean throughput vs maximum aggregation time (2/4/8 ms) per mobility
+//      mode — the optimum shrinks with mobility intensity;
+//  (b) CDF of throughput for the adaptive mobility-aware limit vs statically
+//      configured 4 ms (the stock default) and 8 ms (paper: +15% median over
+//      the 4 ms default).
+#include "mac/atheros_ra.hpp"
+#include "mac/link_sim.hpp"
+
+#include "bench_common.hpp"
+
+namespace mobiwlan {
+namespace {
+
+using bench::kMasterSeed;
+
+double run_link(MobilityClass cls, bool adaptive, double fixed_limit,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s = make_scenario(cls, rng);
+  AtherosRa ra;  // stock RA for all: isolate the aggregation policy
+  LinkSimConfig cfg;
+  cfg.duration_s = 10.0;
+  cfg.aggregation.adaptive = adaptive;
+  cfg.aggregation.fixed_limit_s = fixed_limit;
+  Rng frame_rng(seed + 31337);
+  return simulate_link(s, ra, cfg, frame_rng).goodput_mbps;
+}
+
+}  // namespace
+}  // namespace mobiwlan
+
+int main() {
+  using namespace mobiwlan;
+
+  bench::banner("Figure 10(a) — throughput vs max aggregation time per mode",
+                "static/environmental peak at 8 ms; micro/macro peak at 2 ms "
+                "(long frames outlive the channel estimate under motion)");
+  {
+    TablePrinter t("mean throughput (Mbps) vs aggregation time");
+    t.set_header({"mode", "2 ms", "4 ms", "8 ms", "best"});
+    for (MobilityClass cls : bench::kClasses) {
+      double means[3];
+      const double limits[3] = {2e-3, 4e-3, 8e-3};
+      for (int li = 0; li < 3; ++li) {
+        SampleSet tput;
+        for (int link = 0; link < 8; ++link)
+          tput.add(run_link(cls, false, limits[li],
+                            kMasterSeed + 900 + link));
+        means[li] = tput.mean();
+      }
+      const int best = static_cast<int>(std::max_element(means, means + 3) - means);
+      const char* labels[3] = {"2 ms", "4 ms", "8 ms"};
+      t.add_row({std::string(to_string(cls)), TablePrinter::num(means[0], 1),
+                 TablePrinter::num(means[1], 1), TablePrinter::num(means[2], 1),
+                 labels[best]});
+    }
+    t.print();
+  }
+
+  bench::banner("Figure 10(b) — adaptive vs statically configured aggregation",
+                "adaptive beats the stock 4 ms default (~15% median) and the "
+                "8 ms configuration on mixed-mobility links");
+  {
+    SampleSet adaptive;
+    SampleSet fixed4;
+    SampleSet fixed8;
+    const MobilityClass mix[] = {MobilityClass::kStatic, MobilityClass::kMicro,
+                                 MobilityClass::kMacro, MobilityClass::kMacro,
+                                 MobilityClass::kEnvironmental};
+    const int links = 15;
+    for (int link = 0; link < links; ++link) {
+      const MobilityClass cls = mix[link % 5];
+      const std::uint64_t seed = kMasterSeed + 1200 + link;
+      adaptive.add(run_link(cls, true, 4e-3, seed));
+      fixed4.add(run_link(cls, false, 4e-3, seed));
+      fixed8.add(run_link(cls, false, 8e-3, seed));
+    }
+    std::fputs(render_cdf_table("throughput (Mbps)", {{"aggregation 8 ms", &fixed8},
+                                                      {"aggregation 4 ms", &fixed4},
+                                                      {"adaptive", &adaptive}})
+                   .c_str(),
+               stdout);
+    std::printf("\nmedian gain of adaptive over the 4 ms default: %+.1f%% "
+                "(paper: ~+15%%); over 8 ms: %+.1f%%\n",
+                100.0 * (adaptive.median() / fixed4.median() - 1.0),
+                100.0 * (adaptive.median() / fixed8.median() - 1.0));
+  }
+  return 0;
+}

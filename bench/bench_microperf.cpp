@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: the costs that
+// determine whether the classifier and the emulators can run at line rate on
+// an AP-class CPU.
+#include <benchmark/benchmark.h>
+
+#include "chan/scenario.hpp"
+#include "core/csi_similarity.hpp"
+#include "core/mobility_classifier.hpp"
+#include "phy/beamforming.hpp"
+#include "phy/error_model.hpp"
+
+namespace mobiwlan {
+namespace {
+
+CsiMatrix random_csi(Rng& rng, std::size_t tx = 3, std::size_t rx = 2) {
+  CsiMatrix m(tx, rx, kDefaultSubcarriers);
+  for (auto& v : m.raw()) v = rng.complex_gaussian();
+  return m;
+}
+
+void BM_CsiSimilarity(benchmark::State& state) {
+  Rng rng(1);
+  const CsiMatrix a = random_csi(rng);
+  const CsiMatrix b = random_csi(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(csi_similarity(a, b));
+}
+BENCHMARK(BM_CsiSimilarity);
+
+void BM_ChannelSynthesis(benchmark::State& state) {
+  Rng rng(2);
+  Scenario s = make_scenario(MobilityClass::kMacro, rng);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.channel->csi_true(t));
+    t += 0.001;
+  }
+}
+BENCHMARK(BM_ChannelSynthesis);
+
+void BM_ChannelSnr(benchmark::State& state) {
+  Rng rng(3);
+  Scenario s = make_scenario(MobilityClass::kMacro, rng);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.channel->snr_db(t));
+    t += 0.001;
+  }
+}
+BENCHMARK(BM_ChannelSnr);
+
+void BM_EffectiveSnr(benchmark::State& state) {
+  Rng rng(4);
+  const CsiMatrix h = random_csi(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(effective_snr_db(h, 20.0));
+}
+BENCHMARK(BM_EffectiveSnr);
+
+void BM_SuBeamformingGain(benchmark::State& state) {
+  Rng rng(5);
+  const CsiMatrix now = random_csi(rng);
+  const CsiMatrix stale = random_csi(rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(su_beamforming_gain_db(now, stale));
+}
+BENCHMARK(BM_SuBeamformingGain);
+
+void BM_MuMimoZeroForcing(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<CsiMatrix> now;
+  std::vector<CsiMatrix> stale;
+  for (int k = 0; k < 3; ++k) {
+    now.push_back(random_csi(rng, 3, 1));
+    stale.push_back(random_csi(rng, 3, 1));
+  }
+  const std::vector<double> snr(3, 20.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mu_mimo_zero_forcing(now, stale, snr));
+}
+BENCHMARK(BM_MuMimoZeroForcing);
+
+void BM_ClassifierCsiStep(benchmark::State& state) {
+  Rng rng(7);
+  MobilityClassifier clf;
+  double t = 0.0;
+  std::vector<CsiMatrix> samples;
+  for (int i = 0; i < 64; ++i) samples.push_back(random_csi(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    clf.on_csi(t, samples[i % samples.size()]);
+    t += 0.5;
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifierCsiStep);
+
+void BM_ClassifierTofStep(benchmark::State& state) {
+  Rng rng(8);
+  MobilityClassifier::Config cfg;
+  MobilityClassifier clf(cfg);
+  // Force device mobility so ToF processing is active.
+  for (double t = 0.0; t < 4.0; t += 0.5) clf.on_csi(t, random_csi(rng));
+  double t = 4.0;
+  for (auto _ : state) {
+    clf.on_tof(t, 100.0 + rng.gaussian());
+    t += 0.02;
+  }
+}
+BENCHMARK(BM_ClassifierTofStep);
+
+void BM_PerFromSnr(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(per_from_snr(mcs(12), 22.0, 1500));
+}
+BENCHMARK(BM_PerFromSnr);
+
+void BM_BestMcs(benchmark::State& state) {
+  double snr = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(best_mcs(snr, 1500, 2));
+    snr = snr > 35.0 ? 5.0 : snr + 0.1;
+  }
+}
+BENCHMARK(BM_BestMcs);
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,87 @@
+// rate_control_demo — replay one walking channel through all five rate
+// adaptation schemes (the §4.3 comparison) and print what each one did.
+//
+// Every scheme faces the *identical* channel realization: the scenario is
+// rebuilt from the same seed, which is this library's equivalent of the
+// paper's trace-based emulation.
+//
+// Usage: rate_control_demo [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "mac/atheros_ra.hpp"
+#include "mac/esnr_ra.hpp"
+#include "mac/link_sim.hpp"
+#include "mac/sensor_hint_ra.hpp"
+#include "mac/softrate_ra.hpp"
+
+using namespace mobiwlan;
+
+namespace {
+
+struct SchemeRun {
+  const char* label;
+  double goodput = 0.0;
+  double per = 0.0;
+  int rate_changes = 0;
+};
+
+SchemeRun run(const char* label, std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario scenario = make_scenario(MobilityClass::kMacro, rng);
+
+  LinkSimConfig config;
+  config.duration_s = 15.0;
+  config.tcp_stall_s = 0.025;
+
+  std::unique_ptr<RateAdapter> ra;
+  const std::string name = label;
+  if (name == "atheros-ra") {
+    ra = std::make_unique<AtherosRa>();
+  } else if (name == "motion-aware") {
+    ra = std::make_unique<AtherosRa>(make_mobility_aware_atheros_ra());
+  } else if (name == "rapidsample") {
+    ra = std::make_unique<SensorHintRa>();
+    config.run_classifier = false;
+    config.provide_sensor_hint = true;
+  } else if (name == "softrate") {
+    ra = std::make_unique<SoftRateRa>();
+    config.run_classifier = false;
+    config.provide_phy_feedback = true;
+  } else {
+    ra = std::make_unique<EsnrRa>();
+    config.run_classifier = false;
+    config.provide_phy_feedback = true;
+  }
+
+  Rng frame_rng(seed + 99);
+  const LinkSimResult r = simulate_link(scenario, *ra, config, frame_rng);
+  return {label, r.goodput_mbps, r.mean_per,
+          static_cast<int>(r.mcs_series.size())};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::printf("One 15 s walking channel (seed %llu), TCP download, replayed "
+              "through five rate-adaptation schemes:\n\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("%-14s  %10s  %8s  %s\n", "scheme", "goodput", "PER",
+              "rate changes");
+
+  for (const char* label : {"atheros-ra", "motion-aware", "rapidsample",
+                            "softrate", "esnr"}) {
+    const SchemeRun r = run(label, seed);
+    std::printf("%-14s  %7.1f Mb  %7.1f%%  %d\n", r.label, r.goodput,
+                100.0 * r.per, r.rate_changes);
+  }
+
+  std::printf("\nExpected shape (paper §4.3): ESNR on top (it reads the\n"
+              "channel directly), motion-aware Atheros close behind at ~90%%\n"
+              "of ESNR with zero client cooperation, then SoftRate, then\n"
+              "RapidSample, with the stock Atheros RA last.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// roaming_demo — a client walks an office corridor covered by six APs while
+// three roaming schemes manage (or fail to manage) its association:
+//   * the stock sticky client (roams only when the signal is nearly gone),
+//   * the sensor-hint client (periodic scans whenever the accelerometer
+//     reports motion),
+//   * the paper's controller-based motion-aware roaming (steers the client
+//     only when it is classified as walking away from its serving AP).
+//
+// Usage: roaming_demo [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/roaming.hpp"
+
+using namespace mobiwlan;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  std::printf("6 APs along a corridor, 35 m apart; one client walking for 90 s\n\n");
+
+  for (auto scheme : {RoamingScheme::kDefault, RoamingScheme::kSensorHint,
+                      RoamingScheme::kMotionAware}) {
+    // Identical walk for every scheme: rebuild the world from the same seed.
+    Rng rng(seed);
+    auto trajectory = WlanDeployment::corridor_walk(rng);
+    WlanDeployment wlan(WlanDeployment::corridor_layout(), trajectory,
+                        ChannelConfig{}, rng);
+
+    RoamingConfig config;
+    config.duration_s = 90.0;
+    Rng sim_rng(seed + 1);
+    const RoamingResult result = simulate_roaming(wlan, scheme, config, sim_rng);
+
+    std::printf("=== %s ===\n", to_string(scheme).data());
+    std::printf("  mean throughput: %6.1f Mbps | handoffs: %d | time in "
+                "outage: %.1f s\n",
+                result.mean_throughput_mbps, result.handoffs, result.outage_s);
+    std::printf("  association timeline: ");
+    for (const auto& [t, ap] : result.associations)
+      std::printf("[%5.1fs -> AP%zu] ", t, ap);
+    std::printf("\n\n");
+  }
+
+  std::printf("Expected shape: the motion-aware controller hands the client\n"
+              "over as soon as it walks away from its AP toward a better one,\n"
+              "instead of waiting for the signal to collapse (default) or\n"
+              "scanning on a timer (sensor-hint).\n");
+  return 0;
+}

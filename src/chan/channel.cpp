@@ -1,0 +1,265 @@
+#include "chan/channel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/units.hpp"
+
+namespace mobiwlan {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+Vec2 WirelessChannel::Scatterer::position(double t) const {
+  if (motion_amplitude_m == 0.0) return home;
+  const double s = motion_amplitude_m *
+                   std::sin(2.0 * kPi * motion_freq_hz * t + motion_phase);
+  return home + motion_dir * s;
+}
+
+double WirelessChannel::Scatterer::blockage_db(double t) const {
+  if (blockage_depth_db == 0.0) return 0.0;
+  // A body crosses the direct path for a fraction of each pacing cycle:
+  // model the crossing as a raised-power sinusoid pulse (narrow, smooth).
+  const double phase = std::sin(2.0 * kPi * motion_freq_hz * t + motion_phase);
+  const double pulse = std::max(0.0, phase);
+  return blockage_depth_db * pulse * pulse * pulse * pulse;
+}
+
+WirelessChannel::WirelessChannel(const ChannelConfig& config, Vec2 ap_pos,
+                                 std::shared_ptr<const Trajectory> trajectory,
+                                 Rng rng)
+    : config_(config), ap_pos_(ap_pos), trajectory_(std::move(trajectory)),
+      rng_(rng) {
+  // Place scatterers around the midpoint of the initial AP-client segment —
+  // walls, furniture and bystanders that contribute single-bounce paths.
+  const Vec2 client0 = trajectory_->position(0.0);
+  const Vec2 mid = (ap_pos_ + client0) * 0.5;
+
+  int n_movers = 0;
+  double mover_amp = 0.0;
+  double blockage_depth = 0.0;
+  switch (config_.activity) {
+    case EnvironmentalActivity::kNone: break;
+    case EnvironmentalActivity::kWeak:
+      n_movers = config_.n_movers_weak;
+      mover_amp = config_.mover_amplitude_weak_m;
+      blockage_depth = config_.blockage_depth_weak_db;
+      break;
+    case EnvironmentalActivity::kStrong:
+      n_movers = config_.n_movers_strong;
+      mover_amp = config_.mover_amplitude_strong_m;
+      blockage_depth = config_.blockage_depth_strong_db;
+      break;
+  }
+
+  // Structural reflectors: walls, cabinets — strong, and they never move.
+  // Radii are stratified (alternating near/far rings) so every realization
+  // has both short and long excess-delay paths; without the far ring, an
+  // unlucky draw yields a frequency-flat channel no real office exhibits.
+  const double mid_radius =
+      (config_.scatterer_radius_min_m + config_.scatterer_radius_max_m) / 2.0;
+  for (std::size_t p = 0; p < config_.n_paths; ++p) {
+    Scatterer s;
+    const double angle = rng_.phase();
+    const double r = (p % 2 == 0)
+                         ? rng_.uniform(config_.scatterer_radius_min_m, mid_radius)
+                         : rng_.uniform(mid_radius, config_.scatterer_radius_max_m);
+    s.home = mid + unit_from_angle(angle) * r;
+    s.reflection_loss_db =
+        rng_.uniform(config_.reflection_loss_lo_db, config_.reflection_loss_hi_db);
+    s.reflection_phase = rng_.phase();
+    scatterers_.push_back(s);
+  }
+  // People: weaker additional paths whose reflection points pace around.
+  for (int p = 0; p < n_movers; ++p) {
+    Scatterer s;
+    const double angle = rng_.phase();
+    const double r = rng_.uniform(config_.scatterer_radius_min_m, config_.scatterer_radius_max_m);
+    s.home = mid + unit_from_angle(angle) * r;
+    s.reflection_loss_db = rng_.uniform(config_.person_reflection_loss_lo_db,
+                                        config_.person_reflection_loss_hi_db);
+    s.reflection_phase = rng_.phase();
+    s.motion_dir = unit_from_angle(rng_.phase());
+    s.motion_amplitude_m = mover_amp * rng_.uniform(0.5, 1.0);
+    s.motion_freq_hz = rng_.uniform(0.06, 0.15);
+    s.motion_phase = rng_.phase();
+    s.blockage_depth_db = blockage_depth * rng_.uniform(0.4, 1.0);
+    scatterers_.push_back(s);
+  }
+
+  // Spatial shadowing field (see ChannelConfig).
+  for (int w = 0; w < config_.shadow_waves; ++w) {
+    const double k_mag = 2.0 * kPi / config_.shadow_correlation_m;
+    shadow_waves_.push_back(
+        {unit_from_angle(rng_.phase()) * k_mag, rng_.phase()});
+  }
+}
+
+double WirelessChannel::shadow_db_at(double t) const {
+  if (shadow_waves_.empty() || config_.shadow_sigma_db == 0.0) return 0.0;
+  const Vec2 pos = trajectory_->position(t);
+  double sum = 0.0;
+  for (const auto& w : shadow_waves_)
+    sum += std::sin(w.k.dot(pos) + w.phase);
+  // Each sinusoid has variance 1/2; normalize the sum to unit variance.
+  return config_.shadow_sigma_db * sum /
+         std::sqrt(static_cast<double>(shadow_waves_.size()) / 2.0);
+}
+
+double WirelessChannel::path_amplitude(double length_m, double extra_loss_db) const {
+  const double length = std::max(length_m, 1.0);
+  const double loss_db = config_.ref_loss_db +
+                         10.0 * config_.path_loss_exponent * std::log10(length) +
+                         extra_loss_db;
+  return std::sqrt(dbm_to_mw(config_.tx_power_dbm - loss_db));
+}
+
+std::vector<WirelessChannel::PathGeometry>
+WirelessChannel::path_geometries(double t) const {
+  std::vector<PathGeometry> paths;
+  paths.reserve(scatterers_.size() + 1);
+
+  const Vec2 client = trajectory_->position(t);
+  // Body shadowing gates every path equally (the body blocks the handset,
+  // not a particular reflection).
+  const double shadow = shadow_db_at(t);
+  // People walking near the link periodically cross the direct path.
+  double blockage = 0.0;
+  for (const auto& s : scatterers_) blockage += s.blockage_db(t);
+
+  // Line-of-sight path.
+  {
+    PathGeometry los;
+    los.length_m = distance(ap_pos_, client);
+    const double obstruction =
+        config_.los_obstruction_db_per_m * std::max(0.0, los.length_m - 5.0);
+    los.amplitude = path_amplitude(los.length_m, shadow + obstruction + blockage);
+    los.phase0 = 0.0;
+    const Vec2 d = client - ap_pos_;
+    los.aod_rad = std::atan2(d.y, d.x);
+    los.aoa_rad = std::atan2(-d.y, -d.x);
+    paths.push_back(los);
+  }
+
+  // Single-bounce paths via scatterers.
+  for (const auto& s : scatterers_) {
+    const Vec2 sp = s.position(t);
+    PathGeometry p;
+    p.length_m = distance(ap_pos_, sp) + distance(sp, client);
+    p.amplitude = path_amplitude(p.length_m, s.reflection_loss_db + shadow);
+    p.phase0 = s.reflection_phase;
+    const Vec2 out = sp - ap_pos_;
+    const Vec2 in = sp - client;
+    p.aod_rad = std::atan2(out.y, out.x);
+    p.aoa_rad = std::atan2(in.y, in.x);
+    paths.push_back(p);
+  }
+  return paths;
+}
+
+CsiMatrix WirelessChannel::synthesize(const std::vector<PathGeometry>& paths) const {
+  CsiMatrix csi(config_.n_tx, config_.n_rx, config_.n_subcarriers);
+  const double lambda = wavelength(config_.carrier_hz);
+  const double half = static_cast<double>(config_.n_subcarriers - 1) / 2.0;
+
+  for (const auto& p : paths) {
+    const double tau = p.length_m / kSpeedOfLight;
+    // Phase at the band centre, including the carrier term: this is what
+    // makes centimetre-scale motion rotate the phase by radians.
+    const double centre_phase = -2.0 * kPi * config_.carrier_hz * tau + p.phase0;
+    // Per-subcarrier increment across the band.
+    const cplx step = std::polar(1.0, -2.0 * kPi * config_.subcarrier_spacing_hz * tau);
+    const cplx start = std::polar(p.amplitude,
+                                  centre_phase +
+                                      2.0 * kPi * config_.subcarrier_spacing_hz * tau * half);
+
+    for (std::size_t tx = 0; tx < config_.n_tx; ++tx) {
+      // Uniform linear array at λ/2 spacing at both ends.
+      const double tx_phase = -kPi * static_cast<double>(tx) * std::cos(p.aod_rad);
+      for (std::size_t rx = 0; rx < config_.n_rx; ++rx) {
+        const double rx_phase = -kPi * static_cast<double>(rx) * std::cos(p.aoa_rad);
+        cplx acc = start * std::polar(1.0, tx_phase + rx_phase);
+        for (std::size_t sc = 0; sc < config_.n_subcarriers; ++sc) {
+          csi.at(tx, rx, sc) += acc;
+          acc *= step;
+        }
+      }
+    }
+    (void)lambda;
+  }
+  return csi;
+}
+
+double WirelessChannel::total_power_mw(const std::vector<PathGeometry>& paths) {
+  double sum = 0.0;
+  for (const auto& p : paths) sum += p.amplitude * p.amplitude;
+  return sum;
+}
+
+double WirelessChannel::noise_floor_dbm() const {
+  return kThermalNoiseDbmPerHz + 10.0 * std::log10(config_.bandwidth_hz) +
+         config_.noise_figure_db;
+}
+
+CsiMatrix WirelessChannel::csi_true(double t) const {
+  return synthesize(path_geometries(t));
+}
+
+CsiMatrix WirelessChannel::csi_at(double t) {
+  const auto paths = path_geometries(t);
+  CsiMatrix csi = synthesize(paths);
+  // Measurement noise: the ACK is received at the link SNR, but the CSI
+  // estimator saturates around csi_snr_cap_db even at high signal levels.
+  const double snr = std::min(snr_db(t) + config_.csi_processing_gain_db,
+                              config_.csi_snr_cap_db);
+  const double mean_pow = csi.mean_power();
+  const double noise_var = mean_pow / db_to_linear(snr);
+  for (auto& v : csi.raw()) v += rng_.complex_gaussian(noise_var);
+  return csi;
+}
+
+double WirelessChannel::snr_db(double t) const {
+  const auto paths = path_geometries(t);
+  return mw_to_dbm(total_power_mw(paths)) - noise_floor_dbm();
+}
+
+double WirelessChannel::rssi_dbm(double t) {
+  const auto paths = path_geometries(t);
+  const double raw = mw_to_dbm(total_power_mw(paths)) +
+                     rng_.gaussian(0.0, config_.rssi_noise_db);
+  const double q = config_.rssi_quantum_db;
+  return std::round(raw / q) * q;
+}
+
+double WirelessChannel::tof_cycles(double t) {
+  const double d = true_distance(t);
+  const double rt_ns = 2.0 * d / kSpeedOfLight * 1e9;
+  const double measured_ns =
+      rt_ns + config_.tof_bias_ns + rng_.gaussian(0.0, config_.tof_noise_ns);
+  return std::round(measured_ns * 1e-9 * config_.tof_clock_hz);
+}
+
+double WirelessChannel::true_distance(double t) const {
+  return distance(ap_pos_, trajectory_->position(t));
+}
+
+double WirelessChannel::radial_velocity(double t) const {
+  const double dt = 1e-2;
+  const double t0 = t > dt ? t - dt : 0.0;
+  return (true_distance(t0 + 2 * dt) - true_distance(t0)) / (2 * dt);
+}
+
+ChannelSample WirelessChannel::sample(double t) {
+  ChannelSample s;
+  s.t = t;
+  s.csi = csi_at(t);
+  s.rssi_dbm = rssi_dbm(t);
+  s.snr_db = snr_db(t);
+  s.tof_cycles = tof_cycles(t);
+  s.true_distance_m = true_distance(t);
+  return s;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,125 @@
+#include "chan/csi_trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mobiwlan {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x43534954;  // "CSIT"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+void CsiTrace::add(TraceEntry entry) { entries_.push_back(std::move(entry)); }
+
+double CsiTrace::duration() const {
+  if (entries_.empty()) return 0.0;
+  return entries_.back().t - entries_.front().t;
+}
+
+std::size_t CsiTrace::index_at(double t) const {
+  if (entries_.empty()) throw std::out_of_range("empty trace");
+  // First entry with time > t, then step back.
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), t,
+                             [](double v, const TraceEntry& e) { return v < e.t; });
+  if (it == entries_.begin()) return 0;
+  return static_cast<std::size_t>(it - entries_.begin()) - 1;
+}
+
+const TraceEntry& CsiTrace::at_time(double t) const { return entries_[index_at(t)]; }
+
+CsiTrace CsiTrace::record(WirelessChannel& channel, double duration_s,
+                          double period_s) {
+  CsiTrace trace;
+  for (double t = 0.0; t <= duration_s; t += period_s) {
+    const ChannelSample s = channel.sample(t);
+    trace.add(TraceEntry{s.t, s.csi, s.snr_db, s.rssi_dbm, s.tof_cycles,
+                         s.true_distance_m});
+  }
+  return trace;
+}
+
+bool CsiTrace::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  auto write_u32 = [f](std::uint32_t v) { std::fwrite(&v, sizeof(v), 1, f); };
+  auto write_f64 = [f](double v) { std::fwrite(&v, sizeof(v), 1, f); };
+
+  write_u32(kMagic);
+  write_u32(kVersion);
+  write_u32(static_cast<std::uint32_t>(entries_.size()));
+  if (!entries_.empty()) {
+    const CsiMatrix& c = entries_.front().csi;
+    write_u32(static_cast<std::uint32_t>(c.n_tx()));
+    write_u32(static_cast<std::uint32_t>(c.n_rx()));
+    write_u32(static_cast<std::uint32_t>(c.n_subcarriers()));
+  } else {
+    write_u32(0);
+    write_u32(0);
+    write_u32(0);
+  }
+  for (const auto& e : entries_) {
+    write_f64(e.t);
+    write_f64(e.snr_db);
+    write_f64(e.rssi_dbm);
+    write_f64(e.tof_cycles);
+    write_f64(e.true_distance_m);
+    for (const auto& v : e.csi.raw()) {
+      write_f64(v.real());
+      write_f64(v.imag());
+    }
+  }
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+CsiTrace CsiTrace::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("cannot open trace file: " + path);
+  auto read_u32 = [f]() {
+    std::uint32_t v = 0;
+    if (std::fread(&v, sizeof(v), 1, f) != 1) throw std::runtime_error("truncated trace");
+    return v;
+  };
+  auto read_f64 = [f]() {
+    double v = 0;
+    if (std::fread(&v, sizeof(v), 1, f) != 1) throw std::runtime_error("truncated trace");
+    return v;
+  };
+
+  try {
+    if (read_u32() != kMagic) throw std::runtime_error("bad trace magic");
+    if (read_u32() != kVersion) throw std::runtime_error("bad trace version");
+    const std::uint32_t count = read_u32();
+    const std::uint32_t n_tx = read_u32();
+    const std::uint32_t n_rx = read_u32();
+    const std::uint32_t n_sc = read_u32();
+
+    CsiTrace trace;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      TraceEntry e;
+      e.t = read_f64();
+      e.snr_db = read_f64();
+      e.rssi_dbm = read_f64();
+      e.tof_cycles = read_f64();
+      e.true_distance_m = read_f64();
+      e.csi = CsiMatrix(n_tx, n_rx, n_sc);
+      for (auto& v : e.csi.raw()) {
+        const double re = read_f64();
+        const double im = read_f64();
+        v = {re, im};
+      }
+      trace.add(std::move(e));
+    }
+    std::fclose(f);
+    return trace;
+  } catch (...) {
+    std::fclose(f);
+    throw;
+  }
+}
+
+}  // namespace mobiwlan

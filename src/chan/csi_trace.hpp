@@ -1,0 +1,62 @@
+// csi_trace.hpp — recording and replaying CSI traces.
+//
+// The paper's rate-adaptation comparison (§4.3) and the MU-MIMO study (§6.2)
+// are trace-based emulations: CSI is recorded once, then every scheme is
+// replayed over the identical channel conditions. CsiTrace is that recording;
+// it also persists to disk so examples can exchange traces with the
+// mobility_monitor tool.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chan/channel.hpp"
+#include "phy/csi.hpp"
+
+namespace mobiwlan {
+
+/// One timestamped CSI observation along with the scalar PHY readings taken
+/// from the same packet exchange.
+struct TraceEntry {
+  double t = 0.0;
+  CsiMatrix csi;
+  double snr_db = 0.0;
+  double rssi_dbm = 0.0;
+  double tof_cycles = 0.0;
+  double true_distance_m = 0.0;
+};
+
+/// A time-ordered sequence of CSI observations from one link.
+class CsiTrace {
+ public:
+  CsiTrace() = default;
+
+  void add(TraceEntry entry);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const TraceEntry& operator[](std::size_t i) const { return entries_[i]; }
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  double duration() const;
+
+  /// Latest entry with t <= query time (clamped to the first entry).
+  const TraceEntry& at_time(double t) const;
+
+  /// Index of the latest entry with t <= query time (0 if before start).
+  std::size_t index_at(double t) const;
+
+  /// Record `duration_s` seconds from a channel at the given sampling period.
+  static CsiTrace record(WirelessChannel& channel, double duration_s,
+                         double period_s);
+
+  /// Binary persistence (fixed little-endian layout with a magic header).
+  bool save(const std::string& path) const;
+  static CsiTrace load(const std::string& path);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace mobiwlan

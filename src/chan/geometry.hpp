@@ -1,0 +1,39 @@
+// geometry.hpp — 2-D points and vectors for the indoor floor plan.
+//
+// The testbed substitute works on a 2-D floor plan (APs and clients at
+// comparable heights); indoor multipath geometry is dominated by horizontal
+// structure, and the paper's observables (per-path delays, Doppler, ToF)
+// depend only on distances, which 2-D captures.
+#pragma once
+
+#include <cmath>
+
+namespace mobiwlan {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+
+  double norm() const { return std::hypot(x, y); }
+  double dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  /// Unit vector in the same direction; zero vector maps to zero.
+  Vec2 normalized() const {
+    const double n = norm();
+    if (n == 0.0) return {0.0, 0.0};
+    return {x / n, y / n};
+  }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Unit vector at the given angle (radians, CCW from +x).
+inline Vec2 unit_from_angle(double radians) {
+  return {std::cos(radians), std::sin(radians)};
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,134 @@
+#include "chan/scenario.hpp"
+
+namespace mobiwlan {
+
+MobilityMode Scenario::truth_mode(double t) const {
+  switch (truth) {
+    case MobilityClass::kStatic: return MobilityMode::kStatic;
+    case MobilityClass::kEnvironmental: return MobilityMode::kEnvironmental;
+    case MobilityClass::kMicro: return MobilityMode::kMicro;
+    case MobilityClass::kMacro:
+      return channel->radial_velocity(t) >= 0.0 ? MobilityMode::kMacroAway
+                                                : MobilityMode::kMacroToward;
+  }
+  return MobilityMode::kStatic;
+}
+
+namespace {
+
+Vec2 random_client_pos(Rng& rng, const ScenarioOptions& opt) {
+  const double d = rng.uniform(opt.min_distance_m, opt.max_distance_m);
+  return unit_from_angle(rng.phase()) * d;
+}
+
+Scenario finish(std::shared_ptr<const Trajectory> traj, MobilityClass truth,
+                ChannelConfig config, Rng& rng) {
+  Scenario s;
+  s.trajectory = traj;
+  s.channel = std::make_unique<WirelessChannel>(config, Vec2{0.0, 0.0}, traj,
+                                                rng.split());
+  s.truth = truth;
+  return s;
+}
+
+}  // namespace
+
+namespace {
+Scenario make_scenario_once(MobilityClass cls, Rng& rng, const ScenarioOptions& opt);
+Scenario make_environmental_once(EnvironmentalActivity activity, Rng& rng,
+                                 const ScenarioOptions& opt);
+
+/// Redraw until the link clears the minimum SNR (covered location).
+template <typename Builder>
+Scenario draw_covered(Rng& rng, const ScenarioOptions& opt, Builder build) {
+  Scenario s = build(rng);
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    if (s.channel->snr_db(0.0) >= opt.min_link_snr_db) break;
+    s = build(rng);
+  }
+  return s;
+}
+}  // namespace
+
+Scenario make_scenario(MobilityClass cls, Rng& rng, const ScenarioOptions& opt) {
+  return draw_covered(rng, opt, [&](Rng& r) { return make_scenario_once(cls, r, opt); });
+}
+
+Scenario make_environmental_scenario(EnvironmentalActivity activity, Rng& rng,
+                                     const ScenarioOptions& opt) {
+  return draw_covered(
+      rng, opt, [&](Rng& r) { return make_environmental_once(activity, r, opt); });
+}
+
+namespace {
+
+Scenario make_scenario_once(MobilityClass cls, Rng& rng, const ScenarioOptions& opt) {
+  const Vec2 client = random_client_pos(rng, opt);
+  ChannelConfig config = opt.channel;
+  std::shared_ptr<const Trajectory> traj;
+  switch (cls) {
+    case MobilityClass::kStatic:
+      config.activity = EnvironmentalActivity::kNone;
+      traj = std::make_shared<StaticTrajectory>(client);
+      break;
+    case MobilityClass::kEnvironmental:
+      return make_environmental_once(EnvironmentalActivity::kStrong, rng, opt);
+    case MobilityClass::kMicro:
+      config.activity = EnvironmentalActivity::kNone;
+      traj = std::make_shared<MicroTrajectory>(client, rng, opt.micro_extent_m);
+      break;
+    case MobilityClass::kMacro: {
+      config.activity = EnvironmentalActivity::kNone;
+      WalkTrajectory::Config wc;
+      wc.speed_mps = opt.walk_speed_mps;
+      // Natural office walks run along corridors, i.e. largely radially with
+      // respect to the AP covering the corridor (see trajectory.hpp).
+      wc.constrain_radial = true;
+      wc.radial_focus = {0.0, 0.0};
+      traj = std::make_shared<WalkTrajectory>(client, rng, wc);
+      break;
+    }
+  }
+  return finish(traj, cls, config, rng);
+}
+
+Scenario make_environmental_once(EnvironmentalActivity activity, Rng& rng,
+                                 const ScenarioOptions& opt) {
+  ChannelConfig config = opt.channel;
+  config.activity = activity;
+  auto traj = std::make_shared<StaticTrajectory>(random_client_pos(rng, opt));
+  return finish(traj, MobilityClass::kEnvironmental, config, rng);
+}
+
+}  // namespace
+
+Scenario make_radial_scenario(bool toward, double start_distance_m, Rng& rng,
+                              const ScenarioOptions& opt) {
+  ChannelConfig config = opt.channel;
+  config.activity = EnvironmentalActivity::kNone;
+  const Vec2 start = unit_from_angle(rng.phase()) * start_distance_m;
+  const Vec2 dir = toward ? (Vec2{0.0, 0.0} - start) : start;
+  auto traj = std::make_shared<LinearTrajectory>(start, dir, opt.walk_speed_mps);
+  return finish(traj, MobilityClass::kMacro, config, rng);
+}
+
+Scenario make_bounce_scenario(double r_min, double r_max, Rng& rng,
+                              const ScenarioOptions& opt) {
+  ChannelConfig config = opt.channel;
+  config.activity = EnvironmentalActivity::kNone;
+  const Vec2 start = unit_from_angle(rng.phase()) * ((r_min + r_max) / 2.0);
+  auto traj = std::make_shared<RadialBounceTrajectory>(Vec2{0.0, 0.0}, start, r_min,
+                                                       r_max, opt.walk_speed_mps);
+  return finish(traj, MobilityClass::kMacro, config, rng);
+}
+
+Scenario make_circular_scenario(double radius_m, Rng& rng,
+                                const ScenarioOptions& opt) {
+  ChannelConfig config = opt.channel;
+  config.activity = EnvironmentalActivity::kNone;
+  auto traj = std::make_shared<CircularTrajectory>(Vec2{0.0, 0.0}, radius_m,
+                                                   opt.walk_speed_mps, rng.phase());
+  return finish(traj, MobilityClass::kMacro, config, rng);
+}
+
+}  // namespace mobiwlan

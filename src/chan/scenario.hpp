@@ -1,0 +1,64 @@
+// scenario.hpp — randomized experiment scenarios standing in for the paper's
+// measurement locations.
+//
+// The paper evaluated at >100 locations across two office buildings. Each
+// call to a make_* function here draws a fresh AP-client geometry, scatterer
+// field and motion realization from the given RNG — one "location". Bench
+// binaries loop over seeds to play the role of location diversity.
+#pragma once
+
+#include <memory>
+
+#include "chan/channel.hpp"
+#include "chan/trajectory.hpp"
+#include "core/mobility_mode.hpp"
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+
+/// One experimental setup: an AP-client link with a motion pattern.
+struct Scenario {
+  std::shared_ptr<const Trajectory> trajectory;
+  std::unique_ptr<WirelessChannel> channel;
+  MobilityClass truth = MobilityClass::kStatic;
+
+  /// Ground-truth fine mode at time t: for macro motion, consults the radial
+  /// velocity (the paper's "moving away" vs "moving towards").
+  MobilityMode truth_mode(double t) const;
+};
+
+struct ScenarioOptions {
+  ChannelConfig channel;          ///< base radio parameters
+  double min_distance_m = 8.0;    ///< AP-client distance draw range
+  double max_distance_m = 35.0;
+  double micro_extent_m = 0.5;    ///< confinement of micro-mobility gestures
+  double walk_speed_mps = 1.2;
+  /// Reject draws whose initial link SNR is below this: measurement
+  /// locations in the paper's testbed are covered (associated) spots, not
+  /// dead corners. Redraws geometry up to 32 times.
+  double min_link_snr_db = 12.0;
+};
+
+/// A scenario of the given ground-truth class at a random location.
+/// Environmental scenarios default to strong (cafeteria) activity.
+Scenario make_scenario(MobilityClass cls, Rng& rng, const ScenarioOptions& opt = {});
+
+/// Static client with the given level of environmental motion.
+Scenario make_environmental_scenario(EnvironmentalActivity activity, Rng& rng,
+                                     const ScenarioOptions& opt = {});
+
+/// Client walking radially: directly toward (or away from) the AP, starting
+/// at `start_distance_m`. Used by the heading-resolved experiments.
+Scenario make_radial_scenario(bool toward, double start_distance_m, Rng& rng,
+                              const ScenarioOptions& opt = {});
+
+/// Client bouncing between r_min and r_max from the AP (Fig. 4's periodic
+/// toward/away walk).
+Scenario make_bounce_scenario(double r_min, double r_max, Rng& rng,
+                              const ScenarioOptions& opt = {});
+
+/// Client orbiting the AP at constant radius — the §9 limitation case.
+Scenario make_circular_scenario(double radius_m, Rng& rng,
+                                const ScenarioOptions& opt = {});
+
+}  // namespace mobiwlan

@@ -1,0 +1,165 @@
+#include "chan/trajectory.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mobiwlan {
+
+double Trajectory::speed(double t) const {
+  const double dt = 1e-3;
+  const double t0 = t > dt ? t - dt : 0.0;
+  const Vec2 a = position(t0);
+  const Vec2 b = position(t0 + 2 * dt);
+  return (b - a).norm() / (2 * dt);
+}
+
+MicroTrajectory::MicroTrajectory(Vec2 anchor, Rng& rng, double extent)
+    : anchor_(anchor) {
+  // Three sinusoids per axis with amplitudes summing to `extent`: slow sway
+  // plus faster hand jitter. Peak speeds land in the 0.3-1.5 m/s range of
+  // natural gestures.
+  auto make_components = [&rng, extent](std::vector<Component>& out) {
+    const double shares[3] = {0.55, 0.30, 0.15};
+    const double freq_lo[3] = {0.15, 0.5, 1.0};
+    const double freq_hi[3] = {0.5, 1.2, 2.2};
+    for (int i = 0; i < 3; ++i) {
+      out.push_back({extent * shares[i] * rng.uniform(0.6, 1.0),
+                     rng.uniform(freq_lo[i], freq_hi[i]), rng.phase()});
+    }
+  };
+  make_components(x_components_);
+  make_components(y_components_);
+}
+
+Vec2 MicroTrajectory::position(double t) const {
+  auto axis = [t](const std::vector<Component>& comps) {
+    double v = 0.0;
+    for (const auto& c : comps)
+      v += c.amplitude * std::sin(2.0 * std::numbers::pi * c.freq_hz * t + c.phase);
+    return v;
+  };
+  return {anchor_.x + axis(x_components_), anchor_.y + axis(y_components_)};
+}
+
+WalkTrajectory::WalkTrajectory(Vec2 start, Rng& rng, Config config, double duration_s)
+    : swing_dir_(unit_from_angle(rng.phase())),
+      swing_amplitude_(config.swing_amplitude_m),
+      swing_freq_hz_(config.swing_freq_hz * rng.uniform(0.85, 1.15)),
+      swing_phase_(rng.phase()) {
+  double t = 0.0;
+  Vec2 pos = start;
+  double heading = rng.phase();
+  while (t < duration_s) {
+    const double leg = rng.uniform(config.min_leg_s, config.max_leg_s);
+    if (config.constrain_radial) {
+      // Corridor walking: head along the ray through the focus, either
+      // outbound or inbound, within the cone.
+      const Vec2 radial = (pos - config.radial_focus).normalized();
+      double base = std::atan2(radial.y, radial.x);
+      const bool outbound = rng.chance(0.5);
+      if (!outbound) base += std::numbers::pi;
+      // Don't walk inbound through the focus: cap inbound legs later via
+      // bounds check below (distance clamps are handled by leg length).
+      heading = base + rng.uniform(-config.radial_cone_rad, config.radial_cone_rad);
+      if (!outbound) {
+        // Keep at least 2 m away from the focus: shorten heading legs is
+        // overkill; simply flip to outbound when too close.
+        if ((pos - config.radial_focus).norm() < config.speed_mps * leg + 2.0)
+          heading = base + std::numbers::pi;
+      }
+    }
+    Vec2 dir = unit_from_angle(heading);
+    // Billiard reflection: split the leg at every boundary crossing so the
+    // walk never leaves the floor rectangle.
+    double remaining = leg;
+    while (remaining > 1e-9) {
+      const Vec2 vel = dir * config.speed_mps;
+      double dt = remaining;
+      // Time to the first boundary hit along each axis.
+      auto axis_hit = [](double p0, double v, double lo, double hi) {
+        if (v > 1e-12) return (hi - p0) / v;
+        if (v < -1e-12) return (lo - p0) / v;
+        return 1e18;
+      };
+      const double tx = axis_hit(pos.x, vel.x, config.bounds_min.x, config.bounds_max.x);
+      const double ty = axis_hit(pos.y, vel.y, config.bounds_min.y, config.bounds_max.y);
+      const double hit = std::min(tx, ty);
+      const bool bounced = hit < dt;
+      if (bounced) dt = std::max(hit, 1e-6);
+      legs_.push_back({t, t + dt, pos, vel});
+      pos = pos + vel * dt;
+      t += dt;
+      remaining -= dt;
+      if (bounced) {
+        if (tx <= ty) dir.x = -dir.x;
+        if (ty <= tx) dir.y = -dir.y;
+      }
+    }
+    heading = std::atan2(dir.y, dir.x) + rng.uniform(-config.max_turn_rad, config.max_turn_rad);
+  }
+}
+
+Vec2 WalkTrajectory::position(double t) const {
+  if (legs_.empty()) return {};
+  const Vec2 swing =
+      swing_dir_ *
+      (swing_amplitude_ *
+       std::sin(2.0 * std::numbers::pi * swing_freq_hz_ * t + swing_phase_));
+  if (t <= legs_.front().t_start) return legs_.front().origin + swing;
+  for (const auto& leg : legs_) {
+    if (t < leg.t_end) return leg.origin + leg.velocity * (t - leg.t_start) + swing;
+  }
+  const auto& last = legs_.back();
+  return last.origin + last.velocity * (last.t_end - last.t_start) + swing;
+}
+
+LinearTrajectory::LinearTrajectory(Vec2 start, Vec2 direction, double speed_mps)
+    : start_(start), velocity_(direction.normalized() * speed_mps) {}
+
+Vec2 LinearTrajectory::position(double t) const { return start_ + velocity_ * t; }
+
+RadialBounceTrajectory::RadialBounceTrajectory(Vec2 focus, Vec2 start, double r_min,
+                                               double r_max, double speed_mps)
+    : focus_(focus),
+      dir_((start - focus).normalized()),
+      r_min_(r_min),
+      r_max_(r_max),
+      speed_(speed_mps),
+      r0_((start - focus).norm()) {
+  if (r0_ < r_min_) r0_ = r_min_;
+  if (r0_ > r_max_) r0_ = r_max_;
+}
+
+double RadialBounceTrajectory::radius(double t) const {
+  // Triangle wave between r_min and r_max starting at r0 moving outward.
+  const double span = r_max_ - r_min_;
+  if (span <= 0.0) return r_min_;
+  const double period = 2.0 * span / speed_;
+  double phase = std::fmod((r0_ - r_min_) / speed_ + t, period);
+  if (phase < 0) phase += period;
+  const double up = speed_ * phase;
+  return up <= span ? r_min_ + up : r_max_ - (up - span);
+}
+
+bool RadialBounceTrajectory::moving_toward(double t) const {
+  const double dt = 1e-3;
+  return radius(t + dt) < radius(t);
+}
+
+Vec2 RadialBounceTrajectory::position(double t) const {
+  return focus_ + dir_ * radius(t);
+}
+
+CircularTrajectory::CircularTrajectory(Vec2 center, double radius, double speed_mps,
+                                       double start_angle_rad)
+    : center_(center),
+      radius_(radius),
+      angular_speed_(radius > 0 ? speed_mps / radius : 0.0),
+      start_angle_(start_angle_rad) {}
+
+Vec2 CircularTrajectory::position(double t) const {
+  const double a = start_angle_ + angular_speed_ * t;
+  return {center_.x + radius_ * std::cos(a), center_.y + radius_ * std::sin(a)};
+}
+
+}  // namespace mobiwlan

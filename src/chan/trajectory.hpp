@@ -1,0 +1,181 @@
+// trajectory.hpp — client motion models for the four mobility classes (§2.1).
+//
+// The paper's data collection: (1) static phone in a quiet lab, (2) static
+// phone in a busy cafeteria (environmental — modelled by moving scatterers in
+// the channel, the client trajectory is still static), (3) the phone moved
+// with natural gestures within ~1 m (micro), and (4) natural walking with the
+// phone (macro). We add controlled variants the evaluation sections need:
+// straight-line walks (toward/away experiments) and a circular orbit around
+// the AP (the §9 limitation case).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chan/geometry.hpp"
+#include "core/mobility_mode.hpp"
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+
+/// A client's position over time. Implementations are deterministic functions
+/// of time (given their construction-time randomness), so any component may
+/// query any time point in any order.
+class Trajectory {
+ public:
+  virtual ~Trajectory() = default;
+
+  /// Client position at time t (seconds, t >= 0).
+  virtual Vec2 position(double t) const = 0;
+
+  /// Ground-truth mobility class of this motion pattern.
+  virtual MobilityClass mobility_class() const = 0;
+
+  /// Instantaneous speed (m/s) via symmetric finite difference.
+  double speed(double t) const;
+};
+
+/// Stationary client.
+class StaticTrajectory final : public Trajectory {
+ public:
+  explicit StaticTrajectory(Vec2 pos) : pos_(pos) {}
+  Vec2 position(double /*t*/) const override { return pos_; }
+  MobilityClass mobility_class() const override { return MobilityClass::kStatic; }
+
+ private:
+  Vec2 pos_;
+};
+
+/// Gesture-like confined motion: a sum of low-frequency sinusoids per axis,
+/// bounded so the device stays within ~`extent` metres of its anchor.
+/// Reproduces the "moved it around within a meter of its location, using
+/// natural gestures" collection methodology.
+class MicroTrajectory final : public Trajectory {
+ public:
+  /// `extent` bounds the total sinusoid amplitude per axis (metres).
+  MicroTrajectory(Vec2 anchor, Rng& rng, double extent = 0.5);
+
+  Vec2 position(double t) const override;
+  MobilityClass mobility_class() const override { return MobilityClass::kMicro; }
+
+ private:
+  struct Component {
+    double amplitude;
+    double freq_hz;
+    double phase;
+  };
+  Vec2 anchor_;
+  std::vector<Component> x_components_;
+  std::vector<Component> y_components_;
+};
+
+/// Natural walking: straight legs at walking speed joined by random turns.
+/// Leg durations of several seconds reproduce the paper's observation that
+/// "during macro-mobility a user typically walks a reasonable distance
+/// between two physical turns" (§2.4).
+class WalkTrajectory final : public Trajectory {
+ public:
+  struct Config {
+    double speed_mps = 1.2;       ///< typical indoor walking speed
+    double min_leg_s = 10.0;      ///< minimum straight-leg duration (a corridor run)
+    double max_leg_s = 22.0;      ///< maximum straight-leg duration
+    /// Floor extent: legs reflect off this rectangle (a building floor or a
+    /// corridor, depending on aspect ratio).
+    Vec2 bounds_min{-40.0, -40.0};
+    Vec2 bounds_max{40.0, 40.0};
+    double max_turn_rad = 2.5;    ///< max heading change at a turn
+    /// Corridor constraint: when set, each leg's heading is drawn within
+    /// `radial_cone_rad` of the ray through `radial_focus` (toward or away,
+    /// chosen at random). Office corridors run past the APs that cover them,
+    /// so natural walks are mostly radial with respect to the serving AP —
+    /// the regime the paper's ToF trend detector targets (§2.4). Purely
+    /// tangential motion is the documented §9 limitation.
+    bool constrain_radial = false;
+    Vec2 radial_focus{0.0, 0.0};
+    double radial_cone_rad = 0.6;
+    /// Hand swing: the handset carried by a walking user oscillates at step
+    /// frequency with centimetre amplitude, so its instantaneous speed well
+    /// exceeds trunk speed — this is what decorrelates the channel within
+    /// milliseconds during macro-mobility.
+    double swing_amplitude_m = 0.12;
+    double swing_freq_hz = 2.0;
+  };
+
+  WalkTrajectory(Vec2 start, Rng& rng) : WalkTrajectory(start, rng, Config{}) {}
+  WalkTrajectory(Vec2 start, Rng& rng, Config config, double duration_s = 600.0);
+
+  Vec2 position(double t) const override;
+  MobilityClass mobility_class() const override { return MobilityClass::kMacro; }
+
+ private:
+  struct Leg {
+    double t_start;
+    double t_end;
+    Vec2 origin;
+    Vec2 velocity;
+  };
+  std::vector<Leg> legs_;
+  Vec2 swing_dir_;
+  double swing_amplitude_;
+  double swing_freq_hz_;
+  double swing_phase_;
+};
+
+/// Constant-velocity straight line from `start` along `direction`; used for
+/// controlled moving-toward / moving-away experiments (Figs. 4, 7, 8).
+class LinearTrajectory final : public Trajectory {
+ public:
+  LinearTrajectory(Vec2 start, Vec2 direction, double speed_mps);
+
+  Vec2 position(double t) const override;
+  MobilityClass mobility_class() const override { return MobilityClass::kMacro; }
+
+ private:
+  Vec2 start_;
+  Vec2 velocity_;
+};
+
+/// Walk along the ray through `focus`, bouncing between distances
+/// [r_min, r_max] from it — the Fig. 4 "walks towards and away from the AP
+/// periodically" scenario.
+class RadialBounceTrajectory final : public Trajectory {
+ public:
+  RadialBounceTrajectory(Vec2 focus, Vec2 start, double r_min, double r_max,
+                         double speed_mps);
+
+  Vec2 position(double t) const override;
+  MobilityClass mobility_class() const override { return MobilityClass::kMacro; }
+
+  /// Current distance from the focus at time t.
+  double radius(double t) const;
+  /// True if the client is moving toward the focus at time t.
+  bool moving_toward(double t) const;
+
+ private:
+  Vec2 focus_;
+  Vec2 dir_;       // unit vector from focus through start
+  double r_min_;
+  double r_max_;
+  double speed_;
+  double r0_;      // starting radius
+};
+
+/// Constant-radius orbit around `center` — the documented failure case (§9):
+/// distance to the AP never changes, so ToF shows no trend and the system
+/// classifies the client as micro-mobile despite walking speed.
+class CircularTrajectory final : public Trajectory {
+ public:
+  CircularTrajectory(Vec2 center, double radius, double speed_mps,
+                     double start_angle_rad = 0.0);
+
+  Vec2 position(double t) const override;
+  MobilityClass mobility_class() const override { return MobilityClass::kMacro; }
+
+ private:
+  Vec2 center_;
+  double radius_;
+  double angular_speed_;
+  double start_angle_;
+};
+
+}  // namespace mobiwlan

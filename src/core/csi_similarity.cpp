@@ -1,0 +1,52 @@
+#include "core/csi_similarity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mobiwlan {
+
+double pearson_correlation(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("pearson_correlation: size mismatch or empty");
+  const double n = static_cast<double>(a.size());
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 1e-30 || var_b <= 1e-30) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double csi_similarity(const CsiMatrix& a, const CsiMatrix& b, std::size_t tx,
+                      std::size_t rx) {
+  const auto ma = a.magnitudes(tx, rx);
+  const auto mb = b.magnitudes(tx, rx);
+  return pearson_correlation(ma, mb);
+}
+
+double csi_similarity(const CsiMatrix& a, const CsiMatrix& b) {
+  if (a.n_tx() != b.n_tx() || a.n_rx() != b.n_rx() ||
+      a.n_subcarriers() != b.n_subcarriers())
+    throw std::invalid_argument("csi_similarity: dimension mismatch");
+  double sum = 0.0;
+  for (std::size_t tx = 0; tx < a.n_tx(); ++tx)
+    for (std::size_t rx = 0; rx < a.n_rx(); ++rx)
+      sum += csi_similarity(a, b, tx, rx);
+  return sum / static_cast<double>(a.n_tx() * a.n_rx());
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,28 @@
+// csi_similarity.hpp — Equation (1) of the paper.
+//
+// The similarity between two CSI samples is the Pearson correlation of their
+// per-subcarrier channel gain magnitudes. Static channels score ~1; device
+// mobility decorrelates all multipath components and drives it toward 0;
+// environmental mobility sits in between because only a few components move.
+#pragma once
+
+#include <span>
+
+#include "phy/csi.hpp"
+
+namespace mobiwlan {
+
+/// Pearson correlation coefficient of two equal-length gain vectors.
+/// Returns 0 when either vector is (numerically) constant.
+double pearson_correlation(std::span<const double> a, std::span<const double> b);
+
+/// Eq. (1) for one transmit-receive antenna pair: correlation of channel gain
+/// magnitudes across the 52 subcarriers.
+double csi_similarity(const CsiMatrix& a, const CsiMatrix& b, std::size_t tx,
+                      std::size_t rx);
+
+/// Similarity averaged over all antenna pairs — the value S(csi_t, csi_{t+τ})
+/// the classifier thresholds. Requires matching dimensions.
+double csi_similarity(const CsiMatrix& a, const CsiMatrix& b);
+
+}  // namespace mobiwlan

@@ -1,0 +1,80 @@
+// mobility_mode.hpp — the paper's client-mobility taxonomy (§1, §2).
+//
+// Four broad categories: a stationary client in a quiet environment (Static),
+// a stationary client with moving objects nearby (Environmental), a device
+// moved within a small area (Micro), and a device carried from one location
+// to another (Macro). For macro-mobility the ToF trend further reveals the
+// client's relative heading: toward or away from the AP (§2.4).
+#pragma once
+
+#include <string_view>
+
+namespace mobiwlan {
+
+/// Coarse mobility class — the ground-truth label a scenario carries and the
+/// granularity of the paper's Table 1 confusion matrix.
+enum class MobilityClass {
+  kStatic,
+  kEnvironmental,
+  kMicro,
+  kMacro,
+};
+
+/// Full classifier output: macro-mobility is refined by relative heading.
+/// kMacroOrbit exists only when the optional AoA augmentation (§9 future
+/// work, phy/aoa.hpp) is enabled: a client walking at constant distance
+/// around the AP, which ToF alone cannot distinguish from micro-mobility.
+enum class MobilityMode {
+  kStatic,
+  kEnvironmental,
+  kMicro,
+  kMacroToward,  ///< walking, distance to the serving AP decreasing
+  kMacroAway,    ///< walking, distance to the serving AP increasing
+  kMacroOrbit,   ///< walking at constant distance (AoA-augmented only)
+};
+
+constexpr MobilityClass to_class(MobilityMode m) {
+  switch (m) {
+    case MobilityMode::kStatic: return MobilityClass::kStatic;
+    case MobilityMode::kEnvironmental: return MobilityClass::kEnvironmental;
+    case MobilityMode::kMicro: return MobilityClass::kMicro;
+    case MobilityMode::kMacroToward:
+    case MobilityMode::kMacroAway:
+    case MobilityMode::kMacroOrbit: return MobilityClass::kMacro;
+  }
+  return MobilityClass::kStatic;
+}
+
+constexpr bool is_device_mobility(MobilityMode m) {
+  return m == MobilityMode::kMicro || m == MobilityMode::kMacroToward ||
+         m == MobilityMode::kMacroAway || m == MobilityMode::kMacroOrbit;
+}
+
+constexpr bool is_macro(MobilityMode m) {
+  return m == MobilityMode::kMacroToward || m == MobilityMode::kMacroAway ||
+         m == MobilityMode::kMacroOrbit;
+}
+
+constexpr std::string_view to_string(MobilityClass c) {
+  switch (c) {
+    case MobilityClass::kStatic: return "static";
+    case MobilityClass::kEnvironmental: return "environmental";
+    case MobilityClass::kMicro: return "micro";
+    case MobilityClass::kMacro: return "macro";
+  }
+  return "?";
+}
+
+constexpr std::string_view to_string(MobilityMode m) {
+  switch (m) {
+    case MobilityMode::kStatic: return "static";
+    case MobilityMode::kEnvironmental: return "environmental";
+    case MobilityMode::kMicro: return "micro";
+    case MobilityMode::kMacroToward: return "macro-toward";
+    case MobilityMode::kMacroAway: return "macro-away";
+    case MobilityMode::kMacroOrbit: return "macro-orbit";
+  }
+  return "?";
+}
+
+}  // namespace mobiwlan

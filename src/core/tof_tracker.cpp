@@ -1,0 +1,39 @@
+#include "core/tof_tracker.hpp"
+
+namespace mobiwlan {
+
+TofTracker::TofTracker(Config config)
+    : config_(config), window_(config.trend_window, config.slack_cycles) {}
+
+void TofTracker::add(double t, double tof_cycles) {
+  if (!epoch_open_) {
+    epoch_start_ = t;
+    epoch_open_ = true;
+  }
+  // Close out any full aggregation periods that elapsed before this reading.
+  while (t - epoch_start_ >= config_.aggregation_period_s) {
+    if (auto median = aggregator_.flush()) {
+      window_.add(*median);
+      last_median_ = *median;
+      ++median_count_;
+    }
+    epoch_start_ += config_.aggregation_period_s;
+  }
+  aggregator_.add(tof_cycles);
+}
+
+TofTrend TofTracker::trend() const {
+  if (window_.increasing(config_.min_change_cycles)) return TofTrend::kIncreasing;
+  if (window_.decreasing(config_.min_change_cycles)) return TofTrend::kDecreasing;
+  return TofTrend::kNone;
+}
+
+void TofTracker::reset() {
+  aggregator_ = MedianAggregator{};
+  window_.reset();
+  epoch_open_ = false;
+  last_median_.reset();
+  median_count_ = 0;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,65 @@
+// tof_tracker.hpp — the ToF half of the classifier (§2.4).
+//
+// Raw ToF readings are sampled every 20 ms and are individually too noisy to
+// act on; the tracker aggregates each second with a median filter and keeps a
+// sliding window of per-second medians. Macro-mobility is declared only when
+// *all* values in the window follow an increasing or decreasing trend; the
+// trend's sign gives the client's relative heading (increasing = moving away).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "util/filters.hpp"
+
+namespace mobiwlan {
+
+/// Heading relative to the AP, derived from the ToF trend.
+enum class TofTrend { kNone, kIncreasing, kDecreasing };
+
+class TofTracker {
+ public:
+  struct Config {
+    double aggregation_period_s = 1.0;  ///< median filter cadence
+    std::size_t trend_window = 4;       ///< per-second medians in the window (4 s)
+    /// Per-pair countertrend tolerance (clock cycles): absorbs quantization
+    /// plateaus without breaking a genuine trend.
+    double slack_cycles = 0.45;
+    /// Minimum net window change to call a trend (clock cycles); rejects
+    /// micro-mobility noise that happens to drift monotonically.
+    double min_change_cycles = 1.2;
+  };
+
+  TofTracker() : TofTracker(Config{}) {}
+  explicit TofTracker(Config config);
+
+  /// Feed one raw ToF reading (round-trip clock cycles) taken at time t.
+  /// Timestamps must be non-decreasing.
+  void add(double t, double tof_cycles);
+
+  /// Current trend over the window (kNone until the window fills).
+  TofTrend trend() const;
+
+  /// Latest per-second median, if any has been produced.
+  std::optional<double> last_median() const { return last_median_; }
+
+  /// Number of per-second medians produced so far.
+  std::size_t median_count() const { return median_count_; }
+
+  /// Clears all accumulated state (used when the classifier stops ToF
+  /// measurement on leaving device mobility — Fig. 5).
+  void reset();
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  MedianAggregator aggregator_;
+  TrendWindow window_;
+  double epoch_start_ = 0.0;
+  bool epoch_open_ = false;
+  std::optional<double> last_median_;
+  std::size_t median_count_ = 0;
+};
+
+}  // namespace mobiwlan

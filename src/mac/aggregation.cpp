@@ -1,0 +1,27 @@
+#include "mac/aggregation.hpp"
+
+#include "core/policy.hpp"
+
+namespace mobiwlan {
+
+double aggregation_limit_s(const AggregationPolicy& policy,
+                           std::optional<MobilityMode> mode) {
+  if (policy.adaptive && mode) return mobility_params(*mode).aggregation_limit_s;
+  return policy.fixed_limit_s;
+}
+
+double AmpduPlan::mpdu_age_fraction(int i) const {
+  if (n_mpdus <= 0) return 0.0;
+  return (static_cast<double>(i) + 0.5) / static_cast<double>(n_mpdus);
+}
+
+AmpduPlan plan_ampdu(const McsEntry& mcs_entry, double limit_s,
+                     int mpdu_payload_bytes, const AirtimeConfig& airtime) {
+  AmpduPlan plan;
+  plan.n_mpdus = mpdus_within_time(mcs_entry, limit_s, mpdu_payload_bytes, airtime);
+  plan.frame_airtime_s =
+      ampdu_airtime_s(mcs_entry, plan.n_mpdus, mpdu_payload_bytes, airtime);
+  return plan;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,45 @@
+// aggregation.hpp — A-MPDU frame aggregation policy (§5).
+//
+// 802.11n amortizes PHY and contention overheads by packing MPDUs into one
+// frame, but the receiver equalizes using the channel estimate from the
+// frame preamble only: the longer the frame, the staler the estimate for its
+// tail MPDUs. The optimal maximum aggregation *time* therefore shrinks as
+// mobility intensity grows (Fig. 10a). The adaptive policy picks the Table-2
+// limit for the classified mobility mode; the stock driver uses a fixed 4 ms.
+#pragma once
+
+#include <optional>
+
+#include "core/mobility_mode.hpp"
+#include "phy/airtime.hpp"
+#include "phy/mcs.hpp"
+
+namespace mobiwlan {
+
+/// How the transmitter chooses its maximum aggregation time.
+struct AggregationPolicy {
+  bool adaptive = false;        ///< true: Table-2 limit per mobility mode
+  double fixed_limit_s = 4e-3;  ///< stock statically-configured limit
+};
+
+/// The aggregation time limit this policy yields for a (possibly unknown)
+/// mobility classification.
+double aggregation_limit_s(const AggregationPolicy& policy,
+                           std::optional<MobilityMode> mode);
+
+/// A composed A-MPDU: how many MPDUs to send and when each sits on air
+/// relative to the preamble-based channel estimate.
+struct AmpduPlan {
+  int n_mpdus = 1;
+  double frame_airtime_s = 0.0;  ///< preamble + all MPDUs
+  /// Midpoint transmission offset of MPDU i from the channel estimate,
+  /// as a fraction of frame_airtime_s — the "age" driving equalizer
+  /// mismatch for that subframe.
+  double mpdu_age_fraction(int i) const;
+};
+
+/// Plan an A-MPDU at the given MCS under an aggregation-time limit.
+AmpduPlan plan_ampdu(const McsEntry& mcs_entry, double limit_s,
+                     int mpdu_payload_bytes, const AirtimeConfig& airtime = {});
+
+}  // namespace mobiwlan

@@ -1,0 +1,88 @@
+#include "mac/blockack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobiwlan {
+
+BlockAckWindow::BlockAckWindow(Config config) : config_(config) {
+  if (config_.window_size < 1) config_.window_size = 1;
+  if (config_.retry_limit < 1) config_.retry_limit = 1;
+}
+
+void BlockAckWindow::enqueue(double t) {
+  TrackedMpdu m;
+  m.seq = next_seq_++;
+  m.enqueue_t = t;
+  queue_.push_back(m);
+}
+
+std::uint32_t BlockAckWindow::window_start() const {
+  std::uint32_t start = next_seq_;
+  for (const auto& m : retransmit_) start = std::min(start, m.seq);
+  for (const auto& m : in_flight_) start = std::min(start, m.seq);
+  if (!queue_.empty()) start = std::min(start, queue_.front().seq);
+  return start;
+}
+
+bool BlockAckWindow::window_stalled() const {
+  // The window is stalled when the oldest unacked sequence pins it and no
+  // new sequence fits: everything sendable is already awaiting (re)tx.
+  return retransmit_.size() >= static_cast<std::size_t>(config_.window_size);
+}
+
+std::vector<TrackedMpdu> BlockAckWindow::next_frame(double t, int max_mpdus) {
+  if (!in_flight_.empty())
+    throw std::logic_error("next_frame called with a frame still unacked");
+
+  std::vector<TrackedMpdu> frame;
+  const std::uint32_t start = window_start();
+
+  auto fits_window = [&](const TrackedMpdu& m) {
+    return m.seq < start + static_cast<std::uint32_t>(config_.window_size);
+  };
+
+  // Retransmissions first: they pin the window start, so draining them is
+  // both the standard behaviour and the only way to advance the window.
+  while (!retransmit_.empty() && static_cast<int>(frame.size()) < max_mpdus) {
+    TrackedMpdu m = retransmit_.front();
+    retransmit_.pop_front();
+    ++m.retries;
+    frame.push_back(m);
+  }
+  while (!queue_.empty() && static_cast<int>(frame.size()) < max_mpdus &&
+         fits_window(queue_.front())) {
+    TrackedMpdu m = queue_.front();
+    queue_.pop_front();
+    m.first_tx_t = t;
+    m.retries = 1;
+    frame.push_back(m);
+  }
+  in_flight_ = frame;
+  return frame;
+}
+
+BlockAckWindow::FrameOutcome BlockAckWindow::on_block_ack(
+    const std::vector<TrackedMpdu>& frame, const std::vector<bool>& delivered) {
+  if (frame.size() != delivered.size())
+    throw std::invalid_argument("frame/delivered size mismatch");
+
+  FrameOutcome outcome;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    const TrackedMpdu& m = frame[i];
+    if (delivered[i]) {
+      outcome.delivered.push_back(m);
+    } else if (m.retries >= config_.retry_limit) {
+      outcome.dropped.push_back(m);
+    } else {
+      retransmit_.push_back(m);
+    }
+  }
+  // Keep retransmissions in sequence order so the window start is honest.
+  std::sort(retransmit_.begin(), retransmit_.end(),
+            [](const TrackedMpdu& a, const TrackedMpdu& b) { return a.seq < b.seq; });
+  in_flight_.clear();
+  return outcome;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,76 @@
+// blockack.hpp — 802.11n Block ACK window and retransmission bookkeeping.
+//
+// A-MPDU aggregation rides on the Block ACK agreement: the transmitter may
+// have at most `window` MPDUs outstanding (sequence-number window), the
+// receiver acknowledges them with a bitmap, and unacknowledged MPDUs are
+// retransmitted in later frames until a retry limit evicts them. The
+// throughput benches abstract this away (a failed MPDU simply isn't
+// goodput); the latency simulation (mac/latency_sim.*) needs the real
+// machinery, because head-of-line blocking inside the window is where
+// aggregation hurts delay under mobility.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace mobiwlan {
+
+/// One MPDU tracked by the transmitter.
+struct TrackedMpdu {
+  std::uint32_t seq = 0;     ///< sequence number (monotonic, not wrapped)
+  double enqueue_t = 0.0;    ///< when the payload entered the MAC queue
+  double first_tx_t = -1.0;  ///< first time on air (-1 = never sent)
+  int retries = 0;           ///< transmissions so far
+};
+
+/// Transmitter-side Block ACK state machine.
+class BlockAckWindow {
+ public:
+  struct Config {
+    int window_size = 64;  ///< max outstanding MPDUs (Block ACK bitmap width)
+    int retry_limit = 7;   ///< transmissions before the MPDU is dropped
+  };
+
+  BlockAckWindow() : BlockAckWindow(Config{}) {}
+  explicit BlockAckWindow(Config config);
+
+  /// Queue a new payload MPDU (arrived from the upper layer at time t).
+  void enqueue(double t);
+  std::size_t queued() const { return queue_.size(); }
+  std::size_t in_flight() const { return in_flight_.size(); }
+
+  /// MPDUs eligible for the next A-MPDU: pending retransmissions first, then
+  /// fresh MPDUs, limited by both `max_mpdus` and the free window space.
+  /// Marks them in flight (stamps first_tx_t, bumps retries).
+  std::vector<TrackedMpdu> next_frame(double t, int max_mpdus);
+
+  /// Outcome of one transmitted frame: `delivered[i]` says whether the i-th
+  /// MPDU of the frame (as returned by next_frame) was acknowledged.
+  /// Returns the MPDUs completed by this Block ACK: delivered ones carry
+  /// their timing for latency accounting; MPDUs that exhausted the retry
+  /// limit are dropped (reported with first_tx_t >= 0 and
+  /// retries >= retry_limit so the caller can count losses).
+  struct FrameOutcome {
+    std::vector<TrackedMpdu> delivered;
+    std::vector<TrackedMpdu> dropped;
+  };
+  FrameOutcome on_block_ack(const std::vector<TrackedMpdu>& frame,
+                            const std::vector<bool>& delivered);
+
+  /// Lowest unacknowledged sequence number (window start).
+  std::uint32_t window_start() const;
+  /// True if the window blocks new transmissions entirely.
+  bool window_stalled() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::uint32_t next_seq_ = 0;
+  std::deque<TrackedMpdu> queue_;       // not yet transmitted
+  std::deque<TrackedMpdu> retransmit_;  // failed, awaiting retransmission
+  std::vector<TrackedMpdu> in_flight_;  // sent in the frame being acked
+};
+
+}  // namespace mobiwlan

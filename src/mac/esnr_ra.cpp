@@ -1,0 +1,20 @@
+#include "mac/esnr_ra.hpp"
+
+namespace mobiwlan {
+
+int EsnrRa::select_mcs(const TxContext& ctx) {
+  if (ctx.feedback_esnr_db) {
+    last_mcs_ = best_mcs(*ctx.feedback_esnr_db - config_.margin_db,
+                         ctx.mpdu_payload_bytes, config_.max_streams,
+                         config_.error_model);
+  }
+  return last_mcs_;
+}
+
+void EsnrRa::on_result(const FrameResult& result, const TxContext& /*ctx*/) {
+  // On a total loss there is no CSI feedback for this frame; fall back one
+  // MCS so the next frame (which refreshes the ESNR) is more likely heard.
+  if (!result.block_ack_received && last_mcs_ > 0) --last_mcs_;
+}
+
+}  // namespace mobiwlan

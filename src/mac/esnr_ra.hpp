@@ -1,0 +1,36 @@
+// esnr_ra.hpp — ESNR baseline (Halperin et al., SIGCOMM'10).
+//
+// The client computes an effective SNR from the CSI of each received packet
+// and reports it; the effective SNR indexes directly into the rate table, so
+// a single observation pins the optimal bit-rate (which is why the paper
+// treats ESNR as the performance ceiling among client-feedback schemes).
+// The scheme needs per-client calibration on real hardware; our reproduction
+// models that as a fixed backoff margin.
+#pragma once
+
+#include "mac/rate_adaptation.hpp"
+#include "phy/error_model.hpp"
+
+namespace mobiwlan {
+
+class EsnrRa final : public RateAdapter {
+ public:
+  struct Config {
+    int max_streams = 2;
+    double margin_db = 1.0;  ///< calibration backoff below the reported ESNR
+    ErrorModelConfig error_model;
+  };
+
+  EsnrRa() : EsnrRa(Config{}) {}
+  explicit EsnrRa(Config config) : config_(config) {}
+
+  int select_mcs(const TxContext& ctx) override;
+  void on_result(const FrameResult& result, const TxContext& ctx) override;
+  std::string_view name() const override { return "esnr"; }
+
+ private:
+  Config config_;
+  int last_mcs_ = 0;
+};
+
+}  // namespace mobiwlan

@@ -1,0 +1,113 @@
+#include "mac/latency_sim.hpp"
+
+#include "phy/mcs.hpp"
+
+namespace mobiwlan {
+
+LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
+                                  const LatencySimConfig& config, Rng& rng) {
+  WirelessChannel& channel = *scenario.channel;
+  MobilityClassifier classifier(config.classifier);
+  BlockAckWindow window(config.blockack);
+
+  LatencySimResult result;
+  double t = 0.0;
+  double next_arrival_t = 0.0;
+  const double inter_arrival = 1.0 / config.offered_pps;
+  double next_csi_t = 0.0;
+  double next_tof_t = 0.0;
+  long delivered_bytes = 0;
+
+  while (t < config.duration_s) {
+    // CBR arrivals up to now.
+    while (next_arrival_t <= t) {
+      window.enqueue(next_arrival_t);
+      next_arrival_t += inter_arrival;
+    }
+
+    if (config.run_classifier) {
+      while (next_csi_t <= t) {
+        classifier.on_csi(next_csi_t, channel.csi_at(next_csi_t));
+        next_csi_t += config.classifier.csi_period_s;
+      }
+      while (next_tof_t <= t) {
+        classifier.on_tof(next_tof_t, channel.tof_cycles(next_tof_t));
+        next_tof_t += config.classifier.tof_period_s;
+      }
+    }
+
+    TxContext ctx;
+    ctx.t = t;
+    ctx.mpdu_payload_bytes = config.mpdu_payload_bytes;
+    if (config.run_classifier && classifier.similarity())
+      ctx.mobility = classifier.mode();
+
+    if (window.queued() == 0 && window.in_flight() == 0 &&
+        !window.window_stalled()) {
+      // Idle: jump to the next packet arrival.
+      t = std::max(t, next_arrival_t);
+      continue;
+    }
+
+    const int mcs_index = ra.select_mcs(ctx);
+    const McsEntry& entry = mcs(mcs_index);
+    const double limit = aggregation_limit_s(config.aggregation, ctx.mobility);
+    const int max_mpdus =
+        mpdus_within_time(entry, limit, config.mpdu_payload_bytes, config.airtime);
+
+    const auto frame = window.next_frame(t, max_mpdus);
+    if (frame.empty()) {
+      // Window stalled with nothing retransmittable this instant; let time
+      // advance by one slot of airtime.
+      t += 1e-3;
+      continue;
+    }
+
+    const int n = static_cast<int>(frame.size());
+    const double frame_airtime =
+        ampdu_airtime_s(entry, n, config.mpdu_payload_bytes, config.airtime);
+    const CsiMatrix h_start = channel.csi_true(t);
+    const double eff_snr = effective_snr_db(h_start, channel.snr_db(t));
+    const CsiMatrix h_end = channel.csi_true(t + frame_airtime);
+    const double decorr_end = 1.0 - complex_correlation(h_start, h_end);
+
+    std::vector<bool> delivered(frame.size());
+    int n_failed = 0;
+    AmpduPlan plan;
+    plan.n_mpdus = n;
+    plan.frame_airtime_s = frame_airtime;
+    for (int i = 0; i < n; ++i) {
+      const double decorr = decorr_end * plan.mpdu_age_fraction(i);
+      const double p = per_with_aging(entry, eff_snr, config.mpdu_payload_bytes,
+                                      decorr, config.error_model);
+      delivered[static_cast<std::size_t>(i)] = !rng.chance(p);
+      if (!delivered[static_cast<std::size_t>(i)]) ++n_failed;
+    }
+
+    const double ack_t = t + exchange_airtime_s(entry, n, config.mpdu_payload_bytes,
+                                                config.airtime);
+    const auto outcome = window.on_block_ack(frame, delivered);
+    for (const TrackedMpdu& m : outcome.delivered) {
+      result.latencies_s.add(ack_t - m.enqueue_t);
+      ++result.delivered;
+      delivered_bytes += config.mpdu_payload_bytes;
+    }
+    result.dropped += static_cast<int>(outcome.dropped.size());
+
+    FrameResult fr;
+    fr.t = t;
+    fr.mcs = mcs_index;
+    fr.n_mpdus = n;
+    fr.n_failed = n_failed;
+    fr.block_ack_received = n_failed < n;
+    ra.on_result(fr, ctx);
+
+    t = ack_t;
+  }
+
+  result.goodput_mbps =
+      8.0 * static_cast<double>(delivered_bytes) / config.duration_s / 1e6;
+  return result;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,48 @@
+// latency_sim.hpp — per-MPDU delivery latency under aggregation policies.
+//
+// The throughput simulator (mac/link_sim.*) treats a lost MPDU as lost
+// goodput; real MACs retransmit it under the Block ACK agreement, so losses
+// cost *delay*, not data. That matters for the paper's §9 real-time-traffic
+// discussion and for aggregation policy: a long A-MPDU under mobility loses
+// its tail, and those MPDUs head-of-line block the window until they get
+// through. This simulator runs a constant-bit-rate flow through the full
+// Block ACK machinery and reports the delivery-latency distribution.
+#pragma once
+
+#include "chan/scenario.hpp"
+#include "core/mobility_classifier.hpp"
+#include "mac/aggregation.hpp"
+#include "mac/blockack.hpp"
+#include "mac/rate_adaptation.hpp"
+#include "phy/error_model.hpp"
+#include "util/stats.hpp"
+
+namespace mobiwlan {
+
+struct LatencySimConfig {
+  double duration_s = 15.0;
+  int mpdu_payload_bytes = 1500;
+  /// Offered load (packets/s). Keep below the link's capacity so latency
+  /// reflects MAC behaviour rather than queue buildup.
+  double offered_pps = 2000.0;
+
+  AggregationPolicy aggregation;
+  BlockAckWindow::Config blockack;
+  ErrorModelConfig error_model;
+  AirtimeConfig airtime;
+  MobilityClassifier::Config classifier;
+  bool run_classifier = true;
+};
+
+struct LatencySimResult {
+  SampleSet latencies_s;   ///< enqueue -> acknowledged, per delivered MPDU
+  int delivered = 0;
+  int dropped = 0;         ///< retry limit exceeded
+  double goodput_mbps = 0.0;
+};
+
+/// Run a CBR downlink through the Block ACK machinery.
+LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
+                                  const LatencySimConfig& config, Rng& rng);
+
+}  // namespace mobiwlan

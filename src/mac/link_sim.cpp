@@ -1,0 +1,173 @@
+#include "mac/link_sim.hpp"
+
+#include <algorithm>
+
+#include "core/csi_similarity.hpp"
+#include "core/policy.hpp"
+
+namespace mobiwlan {
+
+LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
+                            const LinkSimConfig& config, Rng& rng) {
+  WirelessChannel& channel = *scenario.channel;
+  MobilityClassifier classifier(config.classifier);
+
+  LinkSimResult result;
+  double t = 0.0;
+  double next_classifier_csi_t = 0.0;
+  double next_tof_t = 0.0;
+  long delivered_bytes = 0;
+
+  // Client PHY feedback (SoftRate / ESNR) carries the previous frame's view.
+  std::optional<double> feedback_esnr;
+  std::optional<double> feedback_ber;
+
+  // Poisson interference bursts (see LinkSimConfig).
+  double burst_start = config.interference_burst_rate_hz > 0.0
+                           ? rng.exponential(1.0 / config.interference_burst_rate_hz)
+                           : 2.0 * config.duration_s;
+  double burst_end = burst_start;
+
+  int last_mcs = -1;
+  std::optional<MobilityMode> last_mode;
+  int consecutive_full_losses = 0;
+
+  // §9 uplink hint advertisement (see LinkSimConfig::mobility_hint_latency_s).
+  std::optional<MobilityMode> advertised_mode;
+  double next_hint_t = 0.0;
+
+  while (t < config.duration_s) {
+    // --- classifier inputs arrive on their own cadence -----------------
+    if (config.run_classifier) {
+      while (next_classifier_csi_t <= t) {
+        classifier.on_csi(next_classifier_csi_t,
+                          channel.csi_at(next_classifier_csi_t));
+        next_classifier_csi_t += config.classifier.csi_period_s;
+      }
+      while (next_tof_t <= t) {
+        classifier.on_tof(next_tof_t, channel.tof_cycles(next_tof_t));
+        next_tof_t += config.classifier.tof_period_s;
+      }
+    }
+
+    // --- build the transmit context ------------------------------------
+    TxContext ctx;
+    ctx.t = t;
+    ctx.mpdu_payload_bytes = config.mpdu_payload_bytes;
+    if (config.run_classifier && classifier.similarity()) {
+      if (config.mobility_hint_latency_s <= 0.0) {
+        ctx.mobility = classifier.mode();
+      } else {
+        if (t >= next_hint_t) {
+          advertised_mode = classifier.mode();
+          next_hint_t = t + config.mobility_hint_latency_s;
+        }
+        ctx.mobility = advertised_mode;
+      }
+    }
+    if (config.provide_sensor_hint)
+      ctx.sensor_in_motion = scenario.truth == MobilityClass::kMicro ||
+                             scenario.truth == MobilityClass::kMacro;
+    if (config.provide_phy_feedback) {
+      ctx.feedback_esnr_db = feedback_esnr;
+      ctx.feedback_ber = feedback_ber;
+    }
+
+    // --- compose and transmit one A-MPDU --------------------------------
+    const int mcs_index = ra.select_mcs(ctx);
+    const McsEntry& entry = mcs(mcs_index);
+    const double limit = aggregation_limit_s(config.aggregation, ctx.mobility);
+    AmpduPlan plan =
+        plan_ampdu(entry, limit, config.mpdu_payload_bytes, config.airtime);
+    if (ra.probing() && plan.n_mpdus > 4) {
+      // Short probe frame: bound the cost of probing a rate that fails.
+      plan = plan_ampdu(entry, limit / plan.n_mpdus * 4, config.mpdu_payload_bytes,
+                        config.airtime);
+    }
+
+    const CsiMatrix h_start = channel.csi_true(t);
+    const double snr0 = channel.snr_db(t);
+    const double eff_snr = effective_snr_db(h_start, snr0);
+    // Channel aging across the frame: correlation between the channel at the
+    // preamble (where it is estimated) and at the end of the frame.
+    const CsiMatrix h_end = channel.csi_true(t + plan.frame_airtime_s);
+    const double decorr_end = 1.0 - complex_correlation(h_start, h_end);
+
+    // Advance the interference process past stale bursts.
+    while (burst_end < t && config.interference_burst_rate_hz > 0.0) {
+      burst_start = burst_end + rng.exponential(1.0 / config.interference_burst_rate_hz);
+      burst_end = burst_start + rng.uniform(config.interference_burst_min_s,
+                                            config.interference_burst_max_s);
+    }
+    const bool jammed =
+        t < burst_end && t + plan.frame_airtime_s > burst_start;
+
+    int n_failed = 0;
+    double frame_ber_sum = 0.0;
+    if (jammed) {
+      n_failed = plan.n_mpdus;
+      frame_ber_sum = 0.5 * plan.n_mpdus;
+    } else {
+      for (int i = 0; i < plan.n_mpdus; ++i) {
+        const double decorr = decorr_end * plan.mpdu_age_fraction(i);
+        const double p = per_with_aging(entry, eff_snr, config.mpdu_payload_bytes,
+                                        decorr, config.error_model);
+        if (rng.chance(p)) ++n_failed;
+        // SoftPHY sees the whole frame: accumulate the per-MPDU BER the
+        // receiver would measure, aged tail included.
+        frame_ber_sum += coded_ber(
+            entry.modulation, entry.code_rate,
+            per_stream_snr_db(entry, aged_snr_db(eff_snr, decorr),
+                              config.error_model));
+      }
+    }
+
+    FrameResult frame;
+    frame.t = t;
+    frame.mcs = mcs_index;
+    frame.n_mpdus = plan.n_mpdus;
+    frame.n_failed = n_failed;
+    frame.block_ack_received = n_failed < plan.n_mpdus;
+    ra.on_result(frame, ctx);
+
+    delivered_bytes +=
+        static_cast<long>(plan.n_mpdus - n_failed) * config.mpdu_payload_bytes;
+    result.mpdus_sent += plan.n_mpdus;
+    result.mpdus_lost += n_failed;
+    ++result.frames;
+
+    if (mcs_index != last_mcs) {
+      result.mcs_series.emplace_back(t, mcs_index);
+      last_mcs = mcs_index;
+    }
+    if (ctx.mobility && ctx.mobility != last_mode) {
+      result.mode_series.emplace_back(t, *ctx.mobility);
+      last_mode = ctx.mobility;
+    }
+
+    // --- client PHY feedback for the next frame -------------------------
+    if (config.provide_phy_feedback && frame.block_ack_received) {
+      feedback_esnr = eff_snr;
+      feedback_ber = frame_ber_sum / plan.n_mpdus;
+    }
+
+    t += exchange_airtime_s(entry, plan.n_mpdus, config.mpdu_payload_bytes,
+                            config.airtime);
+    if (!frame.block_ack_received) {
+      ++result.full_loss_events;
+      ++consecutive_full_losses;
+      if (consecutive_full_losses >= 2) t += config.tcp_stall_s;
+    } else {
+      consecutive_full_losses = 0;
+    }
+  }
+
+  result.goodput_mbps = 8.0 * static_cast<double>(delivered_bytes) /
+                        config.duration_s / 1e6;
+  result.mean_per = result.mpdus_sent > 0
+                        ? static_cast<double>(result.mpdus_lost) / result.mpdus_sent
+                        : 0.0;
+  return result;
+}
+
+}  // namespace mobiwlan

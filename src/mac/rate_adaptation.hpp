@@ -1,0 +1,74 @@
+// rate_adaptation.hpp — the rate-control framework (§4).
+//
+// A RateAdapter picks the MCS for each A-MPDU and learns from the Block ACK.
+// Five algorithms implement this interface:
+//   * AtherosRa           — the stock frame-based driver algorithm (§4.1)
+//   * mobility-aware AtherosRa — §4.2 (same engine, Table-2 parameters)
+//   * SensorHintRa        — RapidSample/SampleRate switching on a binary
+//                           motion hint (Balakrishnan et al., NSDI'11)
+//   * SoftRateRa          — per-frame BER feedback stepping (SIGCOMM'09)
+//   * EsnrRa              — CSI-derived effective-SNR rate picking (SIGCOMM'10)
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "core/mobility_mode.hpp"
+
+namespace mobiwlan {
+
+/// What the transmitter-side algorithm can see when choosing a rate.
+/// Which fields are populated depends on the scheme's deployment model:
+/// client-feedback schemes (SoftRate, ESNR) get PHY hints measured at the
+/// client on the *previous* frame; the sensor-hint scheme gets a binary
+/// motion flag; the paper's scheme gets the AP-side classifier output.
+struct TxContext {
+  double t = 0.0;
+
+  /// AP-side PHY-based mobility classification (the paper's system).
+  std::optional<MobilityMode> mobility;
+
+  /// Client-sensor binary hint: device in motion (RapidSample's input).
+  std::optional<bool> sensor_in_motion;
+
+  /// Effective SNR computed from the client's CSI of the previous frame
+  /// and fed back (ESNR's input).
+  std::optional<double> feedback_esnr_db;
+
+  /// Interference-free BER observed by the client's SoftPHY on the previous
+  /// frame at the rate it was sent (SoftRate's input).
+  std::optional<double> feedback_ber;
+
+  int mpdu_payload_bytes = 1500;
+};
+
+/// Outcome of one A-MPDU exchange as seen by the transmitter.
+struct FrameResult {
+  double t = 0.0;
+  int mcs = 0;
+  int n_mpdus = 0;
+  int n_failed = 0;
+  /// False when every MPDU was lost and no Block ACK came back — the event
+  /// that makes the stock Atheros RA drop a rate immediately.
+  bool block_ack_received = true;
+};
+
+class RateAdapter {
+ public:
+  virtual ~RateAdapter() = default;
+
+  /// MCS index for the next frame.
+  virtual int select_mcs(const TxContext& ctx) = 0;
+
+  /// Learn from the result of a transmitted frame.
+  virtual void on_result(const FrameResult& result, const TxContext& ctx) = 0;
+
+  /// True when the rate just returned by select_mcs is an upward probe or a
+  /// sampling frame. The transmitter bounds the cost of a failed probe by
+  /// sending a short A-MPDU (as production drivers do).
+  virtual bool probing() const { return false; }
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace mobiwlan

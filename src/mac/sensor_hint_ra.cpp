@@ -1,0 +1,79 @@
+#include "mac/sensor_hint_ra.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "phy/mcs.hpp"
+
+namespace mobiwlan {
+
+SensorHintRa::SensorHintRa(Config config)
+    : config_(config),
+      ladder_(atheros_rate_ladder(config.max_streams)),
+      per_(ladder_.size(), 0.0),
+      current_(ladder_.size() / 2) {}
+
+std::size_t SensorHintRa::pos_of(int mcs_index) const {
+  const auto it = std::find(ladder_.begin(), ladder_.end(), mcs_index);
+  if (it == ladder_.end()) throw std::invalid_argument("MCS not on the rate ladder");
+  return static_cast<std::size_t>(it - ladder_.begin());
+}
+
+double SensorHintRa::tput_estimate(std::size_t pos) const {
+  return mcs(ladder_[pos]).rate_mbps * (1.0 - per_[pos]);
+}
+
+int SensorHintRa::select_mcs(const TxContext& ctx) {
+  const bool mobile = ctx.sensor_in_motion.value_or(false);
+  if (mobile) {
+    // RapidSample: probe one rate up after a short loss-free window.
+    if (current_ + 1 < ladder_.size() &&
+        ctx.t - last_loss_t_ >= config_.rapid_probe_after_s &&
+        ctx.t - last_increase_t_ >= config_.rapid_probe_after_s) {
+      ++current_;
+      last_increase_t_ = ctx.t;
+    }
+    sampling_ = false;
+    return ladder_[current_];
+  }
+
+  // SampleRate: mostly send at the best-estimate rate; every Nth frame,
+  // sample an alternative whose lossless throughput could beat the champion.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ladder_.size(); ++i)
+    if (tput_estimate(i) > tput_estimate(best)) best = i;
+  current_ = best;
+
+  ++frame_counter_;
+  if (frame_counter_ % config_.sample_every_n_frames == 0) {
+    for (std::size_t i = ladder_.size(); i-- > 0;) {
+      if (i != best && mcs(ladder_[i]).rate_mbps > tput_estimate(best)) {
+        sampling_ = true;
+        sample_pos_ = i;
+        return ladder_[i];
+      }
+    }
+  }
+  sampling_ = false;
+  return ladder_[current_];
+}
+
+void SensorHintRa::on_result(const FrameResult& result, const TxContext& ctx) {
+  const std::size_t pos = pos_of(result.mcs);
+  const double inst_per =
+      result.n_mpdus > 0 ? static_cast<double>(result.n_failed) / result.n_mpdus : 1.0;
+  per_[pos] =
+      config_.sample_alpha * inst_per + (1.0 - config_.sample_alpha) * per_[pos];
+
+  const bool mobile = ctx.sensor_in_motion.value_or(false);
+  if (mobile) {
+    // RapidSample: any significant loss steps the rate down at once.
+    if (!result.block_ack_received || inst_per >= config_.rapid_fail_per) {
+      if (current_ > 0 && pos <= current_) current_ = pos > 0 ? pos - 1 : 0;
+      last_loss_t_ = result.t;
+    }
+  }
+  sampling_ = false;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,62 @@
+// sensor_hint_ra.hpp — the NSDI'11 sensor-hint baseline (§4.3's RapidSample).
+//
+// Balakrishnan et al. use the phone's accelerometer as a binary motion hint
+// and switch between two algorithms: SampleRate when static and RapidSample
+// when mobile. The hint cannot distinguish micro from macro mobility nor
+// heading — which is exactly the gap the paper's PHY-based classifier closes.
+//
+//   SampleRate  — pick the rate with the best average-throughput estimate;
+//                 periodically sample another rate that could do better.
+//   RapidSample — drop a rate immediately on loss; opportunistically probe a
+//                 higher rate after a short loss-free interval, since stale
+//                 history is useless while moving.
+#pragma once
+
+#include <vector>
+
+#include "mac/rate_adaptation.hpp"
+
+namespace mobiwlan {
+
+class SensorHintRa final : public RateAdapter {
+ public:
+  struct Config {
+    int max_streams = 2;
+    // SampleRate half.
+    double sample_alpha = 0.10;       ///< PER EWMA for throughput estimates
+    int sample_every_n_frames = 10;   ///< sampling cadence when static
+    // RapidSample half.
+    /// Instantaneous PER counted as a loss. RapidSample was designed for
+    /// legacy (non-aggregated) 802.11, where a single lost packet is a lost
+    /// frame; over A-MPDUs that translates to a low PER threshold — one of
+    /// the reasons it underperforms the mobility-aware RA on 802.11n (§8).
+    double rapid_fail_per = 0.10;
+    double rapid_probe_after_s = 0.05;   ///< loss-free time before probing up
+  };
+
+  SensorHintRa() : SensorHintRa(Config{}) {}
+  explicit SensorHintRa(Config config);
+
+  int select_mcs(const TxContext& ctx) override;
+  void on_result(const FrameResult& result, const TxContext& ctx) override;
+  bool probing() const override { return sampling_; }
+  std::string_view name() const override { return "rapidsample"; }
+
+ private:
+  std::size_t pos_of(int mcs_index) const;
+  double tput_estimate(std::size_t pos) const;
+
+  Config config_;
+  std::vector<int> ladder_;
+  std::vector<double> per_;
+  std::size_t current_;
+  // SampleRate state.
+  int frame_counter_ = 0;
+  bool sampling_ = false;
+  std::size_t sample_pos_ = 0;
+  // RapidSample state.
+  double last_loss_t_ = 0.0;
+  double last_increase_t_ = 0.0;
+};
+
+}  // namespace mobiwlan

@@ -1,0 +1,31 @@
+#include "mac/softrate_ra.hpp"
+
+#include "phy/mcs.hpp"
+
+namespace mobiwlan {
+
+SoftRateRa::SoftRateRa(Config config)
+    : config_(config),
+      ladder_(atheros_rate_ladder(config.max_streams)),
+      current_(ladder_.size() / 2) {}
+
+int SoftRateRa::select_mcs(const TxContext& ctx) {
+  if (ctx.feedback_ber) {
+    const double ber = *ctx.feedback_ber;
+    if (ber > config_.ber_high && current_ > 0) {
+      --current_;
+    } else if (ber < config_.ber_low && current_ + 1 < ladder_.size()) {
+      ++current_;
+    }
+  }
+  return ladder_[current_];
+}
+
+void SoftRateRa::on_result(const FrameResult& result, const TxContext& /*ctx*/) {
+  // The BER feedback in the next TxContext carries all channel information;
+  // the only transmitter-side reaction needed is to the total-loss case,
+  // where no feedback will arrive for this frame at all.
+  if (!result.block_ack_received && current_ > 0) --current_;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,41 @@
+// softrate_ra.hpp — SoftRate baseline (Vutukuru et al., SIGCOMM'09).
+//
+// The client's SoftPHY exposes per-bit confidences, from which SoftRate
+// estimates the interference-free BER of each received frame and feeds it
+// back. As the paper notes (§4.3), a single BER observation at one rate can
+// "typically only indicate whether the rate should be increased, decreased,
+// or unchanged" — so the algorithm steps along the ladder, one rate per
+// feedback, holding inside a BER hysteresis band.
+#pragma once
+
+#include <vector>
+
+#include "mac/rate_adaptation.hpp"
+
+namespace mobiwlan {
+
+class SoftRateRa final : public RateAdapter {
+ public:
+  struct Config {
+    int max_streams = 2;
+    /// BER below this at the current rate -> the next rate up would still be
+    /// comfortable; step up.
+    double ber_low = 1e-7;
+    /// BER above this -> the current rate is failing; step down.
+    double ber_high = 3e-5;
+  };
+
+  SoftRateRa() : SoftRateRa(Config{}) {}
+  explicit SoftRateRa(Config config);
+
+  int select_mcs(const TxContext& ctx) override;
+  void on_result(const FrameResult& result, const TxContext& ctx) override;
+  std::string_view name() const override { return "softrate"; }
+
+ private:
+  Config config_;
+  std::vector<int> ladder_;
+  std::size_t current_;
+};
+
+}  // namespace mobiwlan

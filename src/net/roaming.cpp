@@ -1,0 +1,179 @@
+#include "net/roaming.hpp"
+
+#include <algorithm>
+
+#include "core/tof_tracker.hpp"
+#include "phy/mcs.hpp"
+
+namespace mobiwlan {
+
+std::string_view to_string(RoamingScheme s) {
+  switch (s) {
+    case RoamingScheme::kDefault: return "default-roaming";
+    case RoamingScheme::kSensorHint: return "sensor-hint-roaming";
+    case RoamingScheme::kMotionAware: return "motion-aware-roaming";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Deliverable PHY throughput on a link right now: best MCS at the current
+/// SNR, discounted by MAC efficiency.
+double link_rate_mbps(WirelessChannel& channel, double t,
+                      const RoamingConfig& config) {
+  const double snr = channel.snr_db(t);
+  const int best = best_mcs(snr, config.mpdu_payload_bytes, 2, config.error_model);
+  return expected_throughput_mbps(mcs(best), snr, config.mpdu_payload_bytes,
+                                  config.error_model) *
+         config.mac_efficiency;
+}
+
+}  // namespace
+
+RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
+                               const RoamingConfig& config, Rng& rng) {
+  RoamingResult result;
+  (void)rng;
+
+  std::size_t assoc = wlan.strongest_ap(0.0);
+  result.associations.emplace_back(0.0, assoc);
+
+  // Motion-aware state: classifier on the serving AP, ToF trackers at every
+  // AP (neighbors measure via periodic NULL frames, §3.1).
+  MobilityClassifier classifier(config.classifier);
+  std::vector<TofTracker> heading(wlan.n_aps(), TofTracker(config.classifier.tof));
+
+  double delivered_mbit = 0.0;
+  double outage_until = 0.0;
+  double next_csi_t = 0.0;
+  double next_tof_t = 0.0;
+  double next_scan_t = config.scan_interval_s;
+  double steer_ok_t = 0.0;
+  double threshold_scan_ok_t = 0.0;
+
+  auto weak_signal = [&](double t, double rssi) {
+    if (rssi >= config.rssi_threshold_dbm || t < threshold_scan_ok_t) return false;
+    threshold_scan_ok_t = t + config.min_scan_gap_s;
+    return true;
+  };
+
+  auto begin_handoff = [&](double t, std::size_t target, double outage) {
+    assoc = target;
+    outage_until = t + outage;
+    ++result.handoffs;
+    result.outage_s += outage;
+    result.associations.emplace_back(t, target);
+    classifier = MobilityClassifier(config.classifier);
+  };
+
+  for (double t = 0.0; t < config.duration_s; t += config.step_s) {
+    if (scheme == RoamingScheme::kMotionAware) {
+      while (next_csi_t <= t) {
+        classifier.on_csi(next_csi_t, wlan.channel(assoc).csi_at(next_csi_t));
+        next_csi_t += config.classifier.csi_period_s;
+      }
+      while (next_tof_t <= t) {
+        for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+          const double tof = wlan.channel(ap).tof_cycles(next_tof_t);
+          if (ap == assoc)
+            classifier.on_tof(next_tof_t, tof);
+          else
+            heading[ap].add(next_tof_t, tof);
+        }
+        next_tof_t += config.classifier.tof_period_s;
+      }
+    }
+
+    if (t < outage_until) continue;  // scanning/associating: no goodput
+
+    delivered_mbit += link_rate_mbps(wlan.channel(assoc), t, config) * config.step_s;
+
+    const double current_rssi = wlan.channel(assoc).rssi_dbm(t);
+
+    switch (scheme) {
+      case RoamingScheme::kDefault:
+        // Stock client: roam only when the serving AP becomes weak.
+        if (weak_signal(t, current_rssi)) {
+          const std::size_t target = wlan.strongest_ap(t);
+          begin_handoff(t, target, config.handoff_outage_s);
+        }
+        break;
+
+      case RoamingScheme::kSensorHint: {
+        if (weak_signal(t, current_rssi)) {
+          begin_handoff(t, wlan.strongest_ap(t), config.handoff_outage_s);
+          break;
+        }
+        const bool moving =
+            wlan.client().mobility_class() == MobilityClass::kMicro ||
+            wlan.client().mobility_class() == MobilityClass::kMacro;
+        if (moving && t >= next_scan_t) {
+          next_scan_t = t + config.scan_interval_s;
+          // The periodic scan itself costs airtime whether or not it helps.
+          outage_until = t + config.scan_cost_s;
+          result.outage_s += config.scan_cost_s;
+          const std::size_t best = wlan.strongest_ap(t);
+          if (best != assoc && wlan.channel(best).rssi_dbm(t) >
+                                   current_rssi + config.better_margin_db) {
+            begin_handoff(t, best, config.handoff_outage_s);
+          }
+        }
+        break;
+      }
+
+      case RoamingScheme::kMotionAware: {
+        // The stock client behaviour still applies underneath (§3.1: "does
+        // not impose any changes in the client's association mechanism").
+        if (weak_signal(t, current_rssi)) {
+          begin_handoff(t, wlan.strongest_ap(t), config.handoff_outage_s);
+          break;
+        }
+        if (t < steer_ok_t) break;
+        if (!classifier.similarity() ||
+            classifier.mode() != MobilityMode::kMacroAway)
+          break;
+        // Candidate set: APs the client is heading toward (their ToF trend
+        // decreases) with similar-or-stronger signal.
+        std::size_t best_candidate = assoc;
+        double best_rssi = current_rssi - 1.0;  // "similar or higher"
+        for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+          if (ap == assoc) continue;
+          if (heading[ap].trend() != TofTrend::kDecreasing) continue;
+          const double rssi = wlan.channel(ap).rssi_dbm(t);
+          if (rssi >= best_rssi) {
+            best_rssi = rssi;
+            best_candidate = ap;
+          }
+        }
+        if (best_candidate != assoc) {
+          // Forced disassociation -> client rescans -> candidate APs answer.
+          begin_handoff(t, best_candidate, config.handoff_outage_s);
+          steer_ok_t = t + config.steer_cooldown_s;
+        }
+        break;
+      }
+    }
+  }
+
+  result.mean_throughput_mbps = delivered_mbit / config.duration_s;
+  return result;
+}
+
+std::pair<double, double> oracle_vs_stick(WlanDeployment& wlan,
+                                          const RoamingConfig& config) {
+  const std::size_t initial = wlan.strongest_ap(0.0);
+  double best_sum = 0.0;
+  double stick_sum = 0.0;
+  int steps = 0;
+  for (double t = 0.0; t < config.duration_s; t += config.step_s) {
+    const std::size_t best = wlan.strongest_ap(t);
+    best_sum += link_rate_mbps(wlan.channel(best), t, config);
+    stick_sum += link_rate_mbps(wlan.channel(initial), t, config);
+    ++steps;
+  }
+  if (steps == 0) return {0.0, 0.0};
+  return {best_sum / steps, stick_sum / steps};
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,66 @@
+#include "net/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mobiwlan {
+
+std::size_t RoundRobinScheduler::pick(const std::vector<ClientSlotInfo>& clients) {
+  if (clients.empty()) throw std::invalid_argument("no clients to schedule");
+  const std::size_t chosen = next_ % clients.size();
+  next_ = (next_ + 1) % clients.size();
+  return chosen;
+}
+
+void RoundRobinScheduler::on_served(std::size_t, double) {}
+
+std::size_t ProportionalFairScheduler::pick(
+    const std::vector<ClientSlotInfo>& clients) {
+  if (clients.empty()) throw std::invalid_argument("no clients to schedule");
+  while (averages_.size() < clients.size())
+    averages_.emplace_back(config_.alpha);
+  while (rate_smooth_.size() < clients.size())
+    rate_smooth_.emplace_back(config_.rate_alpha);
+
+  std::size_t best = 0;
+  double best_metric = -1.0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    rate_smooth_[i].add(clients[i].rate_mbps);
+    const double avg =
+        std::max(averages_[i].primed() ? averages_[i].value() : 0.0,
+                 config_.min_average_mbps);
+    const double smooth = std::max(rate_smooth_[i].value(), 1e-6);
+    const double m = metric(clients[i], avg, smooth);
+    if (m > best_metric) {
+      best_metric = m;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void ProportionalFairScheduler::on_served(std::size_t client, double rate_mbps) {
+  while (averages_.size() <= client) averages_.emplace_back(config_.alpha);
+  // Every client's average decays each slot; the served one credits its rate.
+  for (std::size_t i = 0; i < averages_.size(); ++i)
+    averages_[i].add(i == client ? rate_mbps : 0.0);
+}
+
+double ProportionalFairScheduler::metric(const ClientSlotInfo& info,
+                                         double average,
+                                         double /*rate_smooth*/) const {
+  return info.rate_mbps / average;
+}
+
+double MobilityAwareScheduler::metric(const ClientSlotInfo& info, double average,
+                                      double rate_smooth) const {
+  const bool mobile = info.mobility && is_device_mobility(*info.mobility);
+  const double base = info.rate_mbps / average;
+  if (!mobile) return base;
+  // Squared relative-rate boost: rate/rate_smooth > 1 on this client's own
+  // peaks. The boost is self-normalizing, so it cannot starve the others.
+  const double relative = info.rate_mbps / rate_smooth;
+  return base * relative;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,107 @@
+// scheduler.hpp — mobility-aware downlink scheduling (§9 future work).
+//
+// The paper's discussion lists "scheduling client traffic at an AP taking
+// movement into account" as another protocol that could exploit mobility
+// hints. The idea is classic opportunistic scheduling, gated by the
+// classifier: a *mobile* client's channel swings by many dB on second
+// timescales (body shadowing, fading), so serving it preferentially when
+// its instantaneous rate is above its own recent average converts channel
+// variation into throughput. A static client's channel barely moves, so
+// opportunism buys nothing there — the classifier tells the scheduler where
+// the variation is.
+//
+// Schedulers implement a per-slot decision over the AP's active clients:
+//   * RoundRobinScheduler      — the airtime-fair baseline;
+//   * ProportionalFairScheduler— classic PF (rate / smoothed throughput),
+//                                mobility-oblivious;
+//   * MobilityAwareScheduler   — PF, but the opportunism (the exponent on
+//                                the instantaneous-rate term) is applied
+//                                only to clients classified device-mobile.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/mobility_mode.hpp"
+#include "util/filters.hpp"
+
+namespace mobiwlan {
+
+/// Everything the scheduler may know about one client at slot time.
+struct ClientSlotInfo {
+  double rate_mbps = 0.0;  ///< deliverable rate right now
+  std::optional<MobilityMode> mobility;  ///< classifier output, if any
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Index of the client to serve this slot.
+  virtual std::size_t pick(const std::vector<ClientSlotInfo>& clients) = 0;
+
+  /// Inform the scheduler of the rate actually delivered to `client`
+  /// (0 for everyone not served).
+  virtual void on_served(std::size_t client, double rate_mbps) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::size_t pick(const std::vector<ClientSlotInfo>& clients) override;
+  void on_served(std::size_t client, double rate_mbps) override;
+  std::string_view name() const override { return "round-robin"; }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class ProportionalFairScheduler : public Scheduler {
+ public:
+  struct Config {
+    double alpha = 0.02;  ///< EWMA weight on the served-throughput average
+    /// Fairness floor so a client with a dead channel is not starved forever.
+    double min_average_mbps = 0.5;
+    /// EWMA weight for the offered-rate estimate (channel average).
+    double rate_alpha = 0.01;
+  };
+
+  ProportionalFairScheduler() : ProportionalFairScheduler(Config{}) {}
+  explicit ProportionalFairScheduler(Config config) : config_(config) {}
+
+  std::size_t pick(const std::vector<ClientSlotInfo>& clients) override;
+  void on_served(std::size_t client, double rate_mbps) override;
+  std::string_view name() const override { return "proportional-fair"; }
+
+ protected:
+  /// The PF metric for one client; overridden by the mobility-aware variant.
+  /// `average` is the served-throughput EWMA, `rate_smooth` the offered-rate
+  /// EWMA (the client's channel average).
+  virtual double metric(const ClientSlotInfo& info, double average,
+                        double rate_smooth) const;
+
+  Config config_;
+  std::vector<Ewma> averages_;      ///< served throughput
+  std::vector<Ewma> rate_smooth_;   ///< offered rate (channel average)
+};
+
+class MobilityAwareScheduler final : public ProportionalFairScheduler {
+ public:
+  using ProportionalFairScheduler::ProportionalFairScheduler;
+
+  std::string_view name() const override { return "mobility-aware"; }
+
+ protected:
+  /// Device-mobile clients get *boosted* opportunism — the instantaneous
+  /// rate relative to the client's own channel average enters squared, so
+  /// peaks win decisively and troughs lose decisively; static/environmental
+  /// clients keep the plain PF metric (their ratio is ~1 anyway, so the
+  /// boost would only amplify measurement noise).
+  double metric(const ClientSlotInfo& info, double average,
+                double rate_smooth) const override;
+};
+
+}  // namespace mobiwlan

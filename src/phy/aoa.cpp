@@ -1,0 +1,46 @@
+#include "phy/aoa.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mobiwlan {
+
+AoaEstimate estimate_aoa(const CsiMatrix& csi, int grid_points) {
+  AoaEstimate best;
+  if (csi.empty() || grid_points < 2) return best;
+
+  const std::size_t n_tx = csi.n_tx();
+  double best_power = -1.0;
+  double power_sum = 0.0;
+
+  for (int g = 0; g < grid_points; ++g) {
+    const double theta =
+        std::numbers::pi * static_cast<double>(g) / (grid_points - 1);
+    // Steering vector matching the channel synthesis convention:
+    // element m contributes a phase of -pi * m * cos(theta).
+    const double phase_step = -std::numbers::pi * std::cos(theta);
+
+    double power = 0.0;
+    for (std::size_t sc = 0; sc < csi.n_subcarriers(); ++sc) {
+      for (std::size_t rx = 0; rx < csi.n_rx(); ++rx) {
+        cplx acc{};
+        for (std::size_t tx = 0; tx < n_tx; ++tx) {
+          const cplx steer = std::polar(1.0, phase_step * static_cast<double>(tx));
+          acc += csi.at(tx, rx, sc) * std::conj(steer);
+        }
+        power += std::norm(acc);
+      }
+    }
+    power_sum += power;
+    if (power > best_power) {
+      best_power = power;
+      best.angle_rad = theta;
+    }
+  }
+
+  const double mean_power = power_sum / grid_points;
+  best.peak_ratio = mean_power > 0.0 ? best_power / mean_power : 1.0;
+  return best;
+}
+
+}  // namespace mobiwlan

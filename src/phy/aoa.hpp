@@ -1,0 +1,26 @@
+// aoa.hpp — Angle-of-Arrival estimation from CSI (§9 future work).
+//
+// The paper's classifier cannot detect a client walking a circle around the
+// AP (constant distance, no ToF trend) and proposes augmenting the system
+// with AoA. The AP's 3-antenna uniform linear array encodes the departure
+// angle of each path in the phase progression across its elements
+// (and by channel reciprocity the uplink arrival angle equals it): this
+// module recovers the dominant angle with a beamscan over the array
+// steering vectors, averaged across subcarriers and client chains.
+#pragma once
+
+#include "phy/csi.hpp"
+
+namespace mobiwlan {
+
+struct AoaEstimate {
+  double angle_rad = 0.0;  ///< dominant angle in [0, pi] (ULA cone ambiguity)
+  double peak_ratio = 1.0; ///< beamscan peak / mean — confidence proxy
+};
+
+/// Beamscan AoA: evaluates P(theta) = sum_{sc,rx} |a(theta)^H h_{sc,rx}|^2
+/// over a grid of `grid_points` angles, where a(theta) is the lambda/2 ULA
+/// steering vector across the AP's antennas. Returns the grid argmax.
+AoaEstimate estimate_aoa(const CsiMatrix& csi, int grid_points = 181);
+
+}  // namespace mobiwlan

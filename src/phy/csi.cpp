@@ -1,0 +1,52 @@
+#include "phy/csi.hpp"
+
+namespace mobiwlan {
+
+CsiMatrix::CsiMatrix(std::size_t n_tx, std::size_t n_rx, std::size_t n_subcarriers)
+    : n_tx_(n_tx), n_rx_(n_rx), n_sc_(n_subcarriers), data_(n_tx * n_rx * n_subcarriers) {}
+
+std::vector<double> CsiMatrix::magnitudes(std::size_t tx, std::size_t rx) const {
+  std::vector<double> out(n_sc_);
+  for (std::size_t sc = 0; sc < n_sc_; ++sc) out[sc] = std::abs(at(tx, rx, sc));
+  return out;
+}
+
+double CsiMatrix::mean_power() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& v : data_) sum += std::norm(v);
+  return sum / static_cast<double>(data_.size());
+}
+
+CMatrix CsiMatrix::subcarrier_matrix(std::size_t sc) const {
+  CMatrix h(n_rx_, n_tx_);
+  for (std::size_t tx = 0; tx < n_tx_; ++tx)
+    for (std::size_t rx = 0; rx < n_rx_; ++rx) h(rx, tx) = at(tx, rx, sc);
+  return h;
+}
+
+std::vector<cplx> CsiMatrix::subcarrier_gains(std::size_t sc) const {
+  std::vector<cplx> out;
+  out.reserve(n_tx_ * n_rx_);
+  for (std::size_t tx = 0; tx < n_tx_; ++tx)
+    for (std::size_t rx = 0; rx < n_rx_; ++rx) out.push_back(at(tx, rx, sc));
+  return out;
+}
+
+double complex_correlation(const CsiMatrix& a, const CsiMatrix& b) {
+  const auto& ra = a.raw();
+  const auto& rb = b.raw();
+  if (ra.size() != rb.size() || ra.empty()) return 0.0;
+  cplx dot{};
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    dot += std::conj(ra[i]) * rb[i];
+    na += std::norm(ra[i]);
+    nb += std::norm(rb[i]);
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return std::abs(dot) / std::sqrt(na * nb);
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,24 @@
+#include "phy/csi_feedback.hpp"
+
+#include <algorithm>
+
+namespace mobiwlan {
+
+std::size_t feedback_report_bytes(const CsiFeedbackConfig& config) {
+  const std::size_t bits = config.n_tx * config.n_rx * config.n_subcarriers *
+                           2 * static_cast<std::size_t>(config.bits_per_component);
+  return (bits + 7) / 8 + static_cast<std::size_t>(config.mac_header_bytes);
+}
+
+double feedback_exchange_airtime_s(const CsiFeedbackConfig& config) {
+  const double report_s = 8.0 * static_cast<double>(feedback_report_bytes(config)) /
+                          (config.feedback_rate_mbps * 1e6);
+  return config.sounding_overhead_s + report_s;
+}
+
+double feedback_overhead_fraction(double period_s, const CsiFeedbackConfig& config) {
+  if (period_s <= 0.0) return 1.0;
+  return std::min(1.0, feedback_exchange_airtime_s(config) / period_s);
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,36 @@
+// csi_feedback.hpp — cost model for explicit CSI feedback (§6).
+//
+// "The CSI feedback packet may consist of a real and imaginary value
+// (quantized into up to 8 bits) for each subcarrier and transmit-receive
+// antenna pair ... the feedback packet is typically transmitted at the lowest
+// bit-rate, consuming significant channel airtime." This module turns a
+// feedback period into the fraction of airtime lost to sounding + feedback,
+// which is what penalizes short periods for static clients in Fig. 11(a).
+#pragma once
+
+#include <cstddef>
+
+namespace mobiwlan {
+
+struct CsiFeedbackConfig {
+  std::size_t n_tx = 3;
+  std::size_t n_rx = 1;                 ///< chains reported by the client
+  std::size_t n_subcarriers = 52;
+  int bits_per_component = 8;           ///< §6: "quantized into up to 8 bits"
+  double feedback_rate_mbps = 6.5;      ///< lowest MCS
+  double sounding_overhead_s = 80e-6;   ///< NDP announcement + NDP + SIFS gaps
+  double mac_header_bytes = 40;
+};
+
+/// Bytes in one CSI feedback report.
+std::size_t feedback_report_bytes(const CsiFeedbackConfig& config = {});
+
+/// Airtime of one complete sounding + feedback exchange (seconds).
+double feedback_exchange_airtime_s(const CsiFeedbackConfig& config = {});
+
+/// Fraction of airtime consumed by feedback at the given period. Saturates
+/// at 1 when the exchange itself takes longer than the period.
+double feedback_overhead_fraction(double period_s,
+                                  const CsiFeedbackConfig& config = {});
+
+}  // namespace mobiwlan

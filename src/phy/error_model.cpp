@@ -1,0 +1,134 @@
+#include "phy/error_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace mobiwlan {
+
+namespace {
+
+/// Gaussian Q-function.
+double q_func(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+/// Effective coding gain (dB) of the 802.11 convolutional code at rate r.
+double coding_gain_db(double code_rate) {
+  if (code_rate <= 0.5) return 5.5;
+  if (code_rate <= 2.0 / 3.0) return 4.5;
+  if (code_rate <= 0.75) return 4.0;
+  return 3.25;  // 5/6
+}
+
+}  // namespace
+
+double raw_ber(Modulation modulation, double snr_db) {
+  const double snr = db_to_linear(snr_db);
+  switch (modulation) {
+    case Modulation::kBpsk:
+      return q_func(std::sqrt(2.0 * snr));
+    case Modulation::kQpsk:
+      // Gray-coded QPSK has the same per-bit error rate as BPSK at equal Es/N0
+      // per bit: Q(sqrt(Es/N0)) with Es split over two bits.
+      return q_func(std::sqrt(snr));
+    case Modulation::kQam16: {
+      const double arg = std::sqrt(snr / 5.0);  // 3/(M-1) = 1/5
+      return (3.0 / 4.0) * q_func(arg);
+    }
+    case Modulation::kQam64: {
+      const double arg = std::sqrt(snr / 21.0);  // 3/(M-1) = 1/21
+      return (7.0 / 12.0) * q_func(arg);
+    }
+  }
+  return 0.5;
+}
+
+double coded_ber(Modulation modulation, double code_rate, double snr_db) {
+  // Model the Viterbi-decoded BER as the uncoded BER at an SNR boosted by the
+  // coding gain, squared (with a small constant) to approximate the steeper
+  // coded waterfall: an uncoded 1e-3 maps to ~2e-6. Clamped so that coding
+  // never makes things worse than the uncoded channel.
+  const double boosted = snr_db + coding_gain_db(code_rate);
+  const double b = raw_ber(modulation, boosted);
+  return std::min(raw_ber(modulation, snr_db), 2.0 * b * b);
+}
+
+double per_stream_snr_db(const McsEntry& mcs_entry, double link_snr_db,
+                         const ErrorModelConfig& config) {
+  double snr = link_snr_db - config.implementation_loss_db;
+  if (mcs_entry.streams > 1) {
+    snr -= 10.0 * std::log10(static_cast<double>(mcs_entry.streams));
+    snr -= config.stream_penalty_db;
+  }
+  return snr;
+}
+
+double per_from_snr(const McsEntry& mcs_entry, double snr_db, int payload_bytes,
+                    const ErrorModelConfig& config) {
+  const double stream_snr = per_stream_snr_db(mcs_entry, snr_db, config);
+  const double ber = coded_ber(mcs_entry.modulation, mcs_entry.code_rate, stream_snr);
+  const double bits = 8.0 * payload_bytes;
+  // 1 - (1-ber)^bits, computed in log space for numerical stability.
+  const double log_ok = bits * std::log1p(-std::min(ber, 1.0 - 1e-12));
+  return std::clamp(1.0 - std::exp(log_ok), 0.0, 1.0);
+}
+
+double effective_snr_db(const CsiMatrix& csi, double wideband_snr_db) {
+  if (csi.empty()) return wideband_snr_db;
+  // Per-subcarrier channel power relative to the wideband mean, mapped through
+  // Shannon capacity per subcarrier and inverted.
+  const double mean_pow = csi.mean_power();
+  if (mean_pow <= 0.0) return wideband_snr_db;
+  const double wideband_lin = db_to_linear(wideband_snr_db);
+  double cap_sum = 0.0;
+  const std::size_t n_sc = csi.n_subcarriers();
+  const std::size_t n_pairs = csi.n_tx() * csi.n_rx();
+  for (std::size_t sc = 0; sc < n_sc; ++sc) {
+    double pow_sc = 0.0;
+    for (std::size_t tx = 0; tx < csi.n_tx(); ++tx)
+      for (std::size_t rx = 0; rx < csi.n_rx(); ++rx)
+        pow_sc += std::norm(csi.at(tx, rx, sc));
+    pow_sc /= static_cast<double>(n_pairs);
+    const double snr_sc = wideband_lin * pow_sc / mean_pow;
+    cap_sum += std::log2(1.0 + snr_sc);
+  }
+  const double mean_cap = cap_sum / static_cast<double>(n_sc);
+  const double eff_lin = std::pow(2.0, mean_cap) - 1.0;
+  return linear_to_db(eff_lin);
+}
+
+double aged_snr_db(double snr_db, double decorrelation) {
+  const double d = std::clamp(decorrelation, 0.0, 1.0 - 1e-9);
+  const double snr = db_to_linear(snr_db);
+  return linear_to_db((1.0 - d) / (1.0 / snr + d));
+}
+
+double per_with_aging(const McsEntry& mcs_entry, double snr_db, int payload_bytes,
+                      double decorrelation, const ErrorModelConfig& config) {
+  return per_from_snr(mcs_entry, aged_snr_db(snr_db, decorrelation),
+                      payload_bytes, config);
+}
+
+double expected_throughput_mbps(const McsEntry& mcs_entry, double link_snr_db,
+                                int payload_bytes, const ErrorModelConfig& config) {
+  const double per = per_from_snr(mcs_entry, link_snr_db, payload_bytes, config);
+  return mcs_entry.rate_mbps * (1.0 - per);
+}
+
+int best_mcs(double link_snr_db, int payload_bytes, int max_streams,
+             const ErrorModelConfig& config) {
+  int best = 0;
+  double best_tput = -1.0;
+  for (const auto& entry : mcs_table()) {
+    if (entry.streams > max_streams) continue;
+    const double tput =
+        expected_throughput_mbps(entry, link_snr_db, payload_bytes, config);
+    if (tput > best_tput) {
+      best_tput = tput;
+      best = entry.index;
+    }
+  }
+  return best;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,71 @@
+// error_model.hpp — SNR -> BER -> PER mapping for the 802.11n PHY.
+//
+// The MAC substrate needs, for every transmitted (sub)frame, the probability
+// that it fails at a given bit-rate and channel state. We use the textbook
+// AWGN bit-error-rate expressions per modulation, an effective coding gain
+// per convolutional code rate, and an effective-SNR reduction for
+// frequency-selective channels (the same idea as Halperin et al.'s ESNR,
+// which the paper compares against).
+#pragma once
+
+#include "phy/csi.hpp"
+#include "phy/mcs.hpp"
+
+namespace mobiwlan {
+
+struct ErrorModelConfig {
+  /// SNR penalty per extra spatial stream (power split + stream separation).
+  double stream_penalty_db = 3.0;
+  /// Implementation loss vs. theory (filters, CFO, quantization).
+  double implementation_loss_db = 1.5;
+};
+
+/// Uncoded AWGN bit error rate for a modulation at per-bit... per-symbol SNR
+/// (linear treatment internally; argument in dB).
+double raw_ber(Modulation modulation, double snr_db);
+
+/// Coded BER: models convolutional coding as an SNR gain before the raw
+/// BER mapping, with a steepening exponent to approximate the waterfall.
+double coded_ber(Modulation modulation, double code_rate, double snr_db);
+
+/// Packet error rate of `payload_bytes` at the given MCS and post-processing
+/// per-stream SNR.
+double per_from_snr(const McsEntry& mcs_entry, double snr_db, int payload_bytes,
+                    const ErrorModelConfig& config = {});
+
+/// Per-stream post-processing SNR for an MCS given the wideband link SNR:
+/// subtracts stream power split, stream separation penalty, and
+/// implementation loss.
+double per_stream_snr_db(const McsEntry& mcs_entry, double link_snr_db,
+                         const ErrorModelConfig& config = {});
+
+/// Effective SNR of a frequency-selective channel: maps per-subcarrier SNRs
+/// through Shannon capacity, averages, and inverts. Equal or lower than the
+/// wideband (mean-power) SNR; equality on a flat channel.
+double effective_snr_db(const CsiMatrix& csi, double wideband_snr_db);
+
+/// PER after the channel aged for `decorrelation` in [0,1] since the
+/// preamble estimate (0 = fresh, 1 = fully decorrelated). The receiver
+/// equalizes with the stale estimate, so a fraction `d` of the signal power
+/// turns into self-interference:
+///     SINR = (1 - d) / (1/snr + d)
+/// — an error floor that no SNR can overcome, which is exactly why long
+/// A-MPDUs fail under mobility (§5) regardless of link quality.
+double per_with_aging(const McsEntry& mcs_entry, double snr_db, int payload_bytes,
+                      double decorrelation, const ErrorModelConfig& config = {});
+
+/// The post-equalization SINR (dB) after the channel decorrelated by `d`
+/// since the estimate: SINR = (1-d) / (1/snr + d).
+double aged_snr_db(double snr_db, double decorrelation);
+
+/// The MCS maximizing expected MAC throughput rate*(1-PER) at this SNR —
+/// the oracle the paper's Fig. 8 uses ("optimal bit-rate").
+int best_mcs(double link_snr_db, int payload_bytes, int max_streams,
+             const ErrorModelConfig& config = {});
+
+/// Expected MAC-layer throughput rate*(1-PER) in Mbps for an MCS at a SNR.
+double expected_throughput_mbps(const McsEntry& mcs_entry, double link_snr_db,
+                                int payload_bytes,
+                                const ErrorModelConfig& config = {});
+
+}  // namespace mobiwlan

@@ -1,0 +1,52 @@
+#include "phy/mcs.hpp"
+
+#include <stdexcept>
+
+namespace mobiwlan {
+
+const std::vector<McsEntry>& mcs_table() {
+  static const std::vector<McsEntry> table = {
+      // index, streams, modulation, code rate, 40MHz LGI rate
+      {0, 1, Modulation::kBpsk, 0.5, 13.5},
+      {1, 1, Modulation::kQpsk, 0.5, 27.0},
+      {2, 1, Modulation::kQpsk, 0.75, 40.5},
+      {3, 1, Modulation::kQam16, 0.5, 54.0},
+      {4, 1, Modulation::kQam16, 0.75, 81.0},
+      {5, 1, Modulation::kQam64, 2.0 / 3.0, 108.0},
+      {6, 1, Modulation::kQam64, 0.75, 121.5},
+      {7, 1, Modulation::kQam64, 5.0 / 6.0, 135.0},
+      {8, 2, Modulation::kBpsk, 0.5, 27.0},
+      {9, 2, Modulation::kQpsk, 0.5, 54.0},
+      {10, 2, Modulation::kQpsk, 0.75, 81.0},
+      {11, 2, Modulation::kQam16, 0.5, 108.0},
+      {12, 2, Modulation::kQam16, 0.75, 162.0},
+      {13, 2, Modulation::kQam64, 2.0 / 3.0, 216.0},
+      {14, 2, Modulation::kQam64, 0.75, 243.0},
+      {15, 2, Modulation::kQam64, 5.0 / 6.0, 270.0},
+  };
+  return table;
+}
+
+const McsEntry& mcs(int index) {
+  const auto& table = mcs_table();
+  if (index < 0 || static_cast<std::size_t>(index) >= table.size())
+    throw std::out_of_range("MCS index out of range");
+  return table[static_cast<std::size_t>(index)];
+}
+
+std::size_t mcs_count() { return mcs_table().size(); }
+
+int max_mcs_for_streams(int streams) { return streams >= 2 ? 15 : 7; }
+
+const std::vector<int>& atheros_rate_ladder(int max_streams) {
+  // §4.1: "The Atheros RA skips the MCS 5-7 for single stream and MCS 8 for
+  // double stream to maintain PER monotonicity." Low dual-stream MCS whose
+  // rates duplicate single-stream entries (9 = MCS3's 54 Mbps, 10 = MCS4's
+  // 81 Mbps) are skipped for the same reason: the ladder must be strictly
+  // increasing in rate for the cross-rate PER update to be sound.
+  static const std::vector<int> single = {0, 1, 2, 3, 4, 5, 6, 7};
+  static const std::vector<int> dual = {0, 1, 2, 3, 4, 11, 12, 13, 14, 15};
+  return max_streams >= 2 ? dual : single;
+}
+
+}  // namespace mobiwlan

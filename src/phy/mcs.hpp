@@ -1,0 +1,64 @@
+// mcs.hpp — the 802.11n modulation-and-coding-scheme table.
+//
+// The testbed runs 802.11n at 40 MHz with up to two spatial streams (the
+// Galaxy S5 has two antennas), i.e. MCS 0-15. Data rates here are the long-GI
+// 40 MHz values; the error model attaches SNR behaviour to each entry.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace mobiwlan {
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+constexpr std::string_view to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16-QAM";
+    case Modulation::kQam64: return "64-QAM";
+  }
+  return "?";
+}
+
+/// Bits per modulation symbol.
+constexpr int bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  return 1;
+}
+
+struct McsEntry {
+  int index;             ///< MCS 0-15
+  int streams;           ///< spatial streams (1 or 2)
+  Modulation modulation;
+  double code_rate;      ///< 1/2, 2/3, 3/4, 5/6
+  double rate_mbps;      ///< PHY data rate, 40 MHz, long GI
+};
+
+/// The full MCS 0-15 table.
+const std::vector<McsEntry>& mcs_table();
+
+/// Entry by MCS index. Requires 0 <= index <= 15.
+const McsEntry& mcs(int index);
+
+/// Number of entries (16).
+std::size_t mcs_count();
+
+/// Highest MCS index usable with the given stream budget (7 for 1 stream,
+/// 15 for 2 streams).
+int max_mcs_for_streams(int streams);
+
+/// The Atheros RA rate ladder (§4.1): to preserve PER monotonicity across the
+/// probing order, the driver skips single-stream MCS 5-7 once two-stream
+/// rates are available, and skips MCS 8 (whose rate duplicates MCS 3).
+/// Returns indices in increasing-rate order.
+const std::vector<int>& atheros_rate_ladder(int max_streams);
+
+}  // namespace mobiwlan

@@ -1,0 +1,83 @@
+#include "phy/mimo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mobiwlan {
+
+std::vector<double> zf_stream_sinrs_db(const CMatrix& h, int n_streams,
+                                       double snr_db) {
+  const std::size_t n_rx = h.rows();
+  const std::size_t n_tx = h.cols();
+  if (n_streams < 1 ||
+      static_cast<std::size_t>(n_streams) > std::min(n_rx, n_tx))
+    throw std::invalid_argument("invalid stream count for channel size");
+
+  // Effective channel: the first n_streams transmit antennas, equal power
+  // split 1/n_streams. Normalize against the mean single-antenna gain so
+  // that snr_db remains the single-stream full-power reference.
+  CMatrix heff(n_rx, static_cast<std::size_t>(n_streams));
+  double mean_gain = 0.0;
+  for (std::size_t r = 0; r < n_rx; ++r)
+    for (std::size_t c = 0; c < n_tx; ++c) mean_gain += std::norm(h(r, c));
+  mean_gain /= static_cast<double>(n_rx * n_tx);
+  if (mean_gain <= 0.0) {
+    return std::vector<double>(static_cast<std::size_t>(n_streams), -300.0);
+  }
+  const double scale = 1.0 / std::sqrt(mean_gain);
+  for (std::size_t r = 0; r < n_rx; ++r)
+    for (std::size_t s = 0; s < static_cast<std::size_t>(n_streams); ++s)
+      heff(r, s) = h(r, s) * scale;
+
+  // ZF post-processing SNR of stream k: rho / (n_streams * [(H^H H)^-1]_kk).
+  const double rho = db_to_linear(snr_db);
+  std::vector<double> out;
+  try {
+    const CMatrix gram = heff.hermitian() * heff;
+    const CMatrix inv = gram.inverse();
+    for (int k = 0; k < n_streams; ++k) {
+      const double diag =
+          std::abs(inv(static_cast<std::size_t>(k), static_cast<std::size_t>(k)));
+      const double sinr = rho / (static_cast<double>(n_streams) *
+                                 std::max(diag, 1e-12));
+      out.push_back(linear_to_db(sinr));
+    }
+  } catch (const std::domain_error&) {
+    out.assign(static_cast<std::size_t>(n_streams), -300.0);  // rank deficient
+  }
+  return out;
+}
+
+std::vector<double> zf_effective_stream_sinrs_db(const CsiMatrix& csi,
+                                                 int n_streams, double snr_db) {
+  std::vector<double> cap_sums(static_cast<std::size_t>(n_streams), 0.0);
+  const std::size_t n_sc = csi.n_subcarriers();
+  for (std::size_t sc = 0; sc < n_sc; ++sc) {
+    const auto sinrs = zf_stream_sinrs_db(csi.subcarrier_matrix(sc), n_streams,
+                                          snr_db);
+    for (int k = 0; k < n_streams; ++k)
+      cap_sums[static_cast<std::size_t>(k)] +=
+          std::log2(1.0 + db_to_linear(sinrs[static_cast<std::size_t>(k)]));
+  }
+  std::vector<double> out;
+  for (int k = 0; k < n_streams; ++k) {
+    const double mean_cap = cap_sums[static_cast<std::size_t>(k)] /
+                            static_cast<double>(n_sc);
+    out.push_back(linear_to_db(std::pow(2.0, mean_cap) - 1.0));
+  }
+  return out;
+}
+
+double stream_separation_penalty_db(const CsiMatrix& csi, int n_streams,
+                                    double snr_db) {
+  const auto sinrs = zf_effective_stream_sinrs_db(csi, n_streams, snr_db);
+  double worst = sinrs.front();
+  for (double s : sinrs) worst = std::min(worst, s);
+  // Ideal per-stream SNR with only the power split applied.
+  const double ideal = snr_db - 10.0 * std::log10(static_cast<double>(n_streams));
+  return ideal - worst;
+}
+
+}  // namespace mobiwlan

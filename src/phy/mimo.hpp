@@ -1,0 +1,36 @@
+// mimo.hpp — per-stream post-receiver SINRs for spatial multiplexing.
+//
+// The error model charges dual-stream MCS a fixed penalty (power split +
+// stream separation) on top of the wideband SNR. This module computes the
+// *actual* per-stream SINRs of a linear zero-forcing receiver from the
+// channel matrices, per subcarrier — used to validate that approximation
+// (tests/phy/mimo_test.cpp) and available to downstream users who want
+// condition-number-aware rate selection.
+#pragma once
+
+#include <vector>
+
+#include "phy/csi.hpp"
+
+namespace mobiwlan {
+
+/// Per-stream post-ZF SINRs (dB) for an n-stream transmission through the
+/// channel of one subcarrier. The transmitter splits power equally across
+/// `n_streams` (mapped to the first antennas); the receiver zero-forces.
+/// `snr_db` is the single-stream, full-power wideband SNR reference.
+/// Requires n_streams <= min(n_tx, n_rx) of the subcarrier matrix.
+std::vector<double> zf_stream_sinrs_db(const CMatrix& h, int n_streams,
+                                       double snr_db);
+
+/// Frequency-averaged (capacity-mapped) per-stream effective SINRs across
+/// all subcarriers of a CSI matrix.
+std::vector<double> zf_effective_stream_sinrs_db(const CsiMatrix& csi,
+                                                 int n_streams, double snr_db);
+
+/// The dB gap between the ideal per-stream SNR (power split only) and the
+/// worst actual ZF stream — i.e. the channel's stream-separation penalty.
+/// This is the quantity the error model's `stream_penalty_db` approximates.
+double stream_separation_penalty_db(const CsiMatrix& csi, int n_streams,
+                                    double snr_db);
+
+}  // namespace mobiwlan

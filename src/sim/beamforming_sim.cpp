@@ -1,0 +1,263 @@
+#include "sim/beamforming_sim.hpp"
+
+#include <algorithm>
+
+#include "core/policy.hpp"
+#include "phy/beamforming.hpp"
+#include "phy/mcs.hpp"
+#include "util/stats.hpp"
+
+namespace mobiwlan {
+
+namespace {
+
+/// Tracks one client's feedback loop: classifier, period choice, stale CSI.
+class FeedbackLoop {
+ public:
+  FeedbackLoop(Scenario& scenario, const BeamformingSimConfig& config)
+      : scenario_(scenario), config_(config), classifier_(config.classifier) {}
+
+  /// Advance measurement processes to time t; refresh stale CSI when the
+  /// feedback period elapses. Returns true if a feedback exchange happened
+  /// in this call (its airtime is charged by the caller).
+  bool advance(double t) {
+    while (next_csi_t_ <= t) {
+      classifier_.on_csi(next_csi_t_, scenario_.channel->csi_at(next_csi_t_));
+      next_csi_t_ += config_.classifier.csi_period_s;
+    }
+    while (next_tof_t_ <= t) {
+      classifier_.on_tof(next_tof_t_, scenario_.channel->tof_cycles(next_tof_t_));
+      next_tof_t_ += config_.classifier.tof_period_s;
+    }
+    bool fed_back = false;
+    if (!have_feedback_ || t - last_feedback_t_ >= period(true)) {
+      feedback_csi_ = scenario_.channel->csi_at(t);
+      last_feedback_t_ = t;
+      have_feedback_ = true;
+      fed_back = true;
+    }
+    return fed_back;
+  }
+
+  /// Current feedback period (for overhead accounting).
+  double period(bool for_mu = false) const {
+    if (!config_.adaptive_period) return config_.fixed_period_s;
+    if (!classifier_similarity_ready())
+      return config_.fixed_period_s;
+    const ProtocolParams p = mobility_params(classifier_.mode());
+    return for_mu ? p.mumimo_update_period_s : p.bf_update_period_s;
+  }
+
+  const CsiMatrix& feedback_csi() const { return feedback_csi_; }
+  bool ready() const { return have_feedback_; }
+
+ private:
+  bool classifier_similarity_ready() const {
+    return classifier_.similarity().has_value();
+  }
+
+  Scenario& scenario_;
+  const BeamformingSimConfig& config_;
+  MobilityClassifier classifier_;
+  CsiMatrix feedback_csi_;
+  bool have_feedback_ = false;
+  double last_feedback_t_ = 0.0;
+  double next_csi_t_ = 0.0;
+  double next_tof_t_ = 0.0;
+};
+
+double rate_at_snr(double snr_db, const BeamformingSimConfig& config,
+                   int max_streams) {
+  const int best = best_mcs(snr_db, config.mpdu_payload_bytes, max_streams,
+                            config.error_model);
+  return expected_throughput_mbps(mcs(best), snr_db, config.mpdu_payload_bytes,
+                                  config.error_model) *
+         config.mac_efficiency;
+}
+
+}  // namespace
+
+SuBeamformingResult simulate_su_beamforming(Scenario& scenario,
+                                            const BeamformingSimConfig& config,
+                                            Rng& rng) {
+  (void)rng;
+  FeedbackLoop loop(scenario, config);
+  const double fb_airtime = feedback_exchange_airtime_s(config.feedback);
+
+  OnlineStats gain_stats;
+  double delivered_mbit = 0.0;
+  double feedback_time = 0.0;
+
+  for (double t = 0.0; t < config.duration_s; t += config.slot_s) {
+    if (loop.advance(t)) feedback_time += fb_airtime;
+    if (!loop.ready()) continue;
+
+    const CsiMatrix now = scenario.channel->csi_true(t);
+    const double gain_db = su_beamforming_gain_db(now, loop.feedback_csi());
+    gain_stats.add(gain_db);
+
+    const double snr = effective_snr_db(now, scenario.channel->snr_db(t)) + gain_db;
+    // Beamforming precodes a single stream across the AP antennas.
+    delivered_mbit += rate_at_snr(snr, config, 1) * config.slot_s;
+  }
+
+  SuBeamformingResult result;
+  result.overhead_fraction =
+      std::min(1.0, feedback_time / config.duration_s);
+  result.throughput_mbps =
+      delivered_mbit / config.duration_s * (1.0 - result.overhead_fraction);
+  result.mean_gain_db = gain_stats.mean();
+  return result;
+}
+
+namespace {
+
+/// Feedback loop over a recorded trace instead of a live channel.
+class TraceFeedbackLoop {
+ public:
+  TraceFeedbackLoop(const CsiTrace& trace, const BeamformingSimConfig& config)
+      : trace_(trace), config_(config), classifier_(config.classifier) {}
+
+  bool advance(double t) {
+    while (next_csi_t_ <= t) {
+      const TraceEntry& e = trace_.at_time(next_csi_t_);
+      classifier_.on_csi(next_csi_t_, e.csi);
+      next_csi_t_ += config_.classifier.csi_period_s;
+    }
+    while (next_tof_t_ <= t) {
+      classifier_.on_tof(next_tof_t_, trace_.at_time(next_tof_t_).tof_cycles);
+      next_tof_t_ += config_.classifier.tof_period_s;
+    }
+    bool fed_back = false;
+    if (!have_feedback_ || t - last_feedback_t_ >= period()) {
+      feedback_index_ = trace_.index_at(t);
+      last_feedback_t_ = t;
+      have_feedback_ = true;
+      fed_back = true;
+    }
+    return fed_back;
+  }
+
+  double period() const {
+    if (!config_.adaptive_period || !classifier_.similarity())
+      return config_.fixed_period_s;
+    return mobility_params(classifier_.mode()).mumimo_update_period_s;
+  }
+
+  const CsiMatrix& feedback_csi() const { return trace_[feedback_index_].csi; }
+  bool ready() const { return have_feedback_; }
+
+ private:
+  const CsiTrace& trace_;
+  const BeamformingSimConfig& config_;
+  MobilityClassifier classifier_;
+  std::size_t feedback_index_ = 0;
+  bool have_feedback_ = false;
+  double last_feedback_t_ = 0.0;
+  double next_csi_t_ = 0.0;
+  double next_tof_t_ = 0.0;
+};
+
+}  // namespace
+
+MuMimoSimResult simulate_mu_mimo_traces(const std::vector<const CsiTrace*>& clients,
+                                        const BeamformingSimConfig& config) {
+  const std::size_t k = clients.size();
+  std::vector<TraceFeedbackLoop> loops;
+  loops.reserve(k);
+  double duration = config.duration_s;
+  for (const CsiTrace* trace : clients) {
+    loops.emplace_back(*trace, config);
+    duration = std::min(duration, trace->duration());
+  }
+
+  const double fb_airtime = feedback_exchange_airtime_s(config.feedback);
+  std::vector<double> delivered_mbit(k, 0.0);
+  double feedback_time = 0.0;
+
+  for (double t = 0.0; t < duration; t += config.slot_s) {
+    bool all_ready = true;
+    for (auto& loop : loops) {
+      if (loop.advance(t)) feedback_time += fb_airtime;
+      all_ready = all_ready && loop.ready();
+    }
+    if (!all_ready) continue;
+
+    std::vector<CsiMatrix> current;
+    std::vector<CsiMatrix> stale;
+    std::vector<double> snr0;
+    current.reserve(k);
+    stale.reserve(k);
+    snr0.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const TraceEntry& e = clients[i]->at_time(t);
+      current.push_back(e.csi);
+      stale.push_back(loops[i].feedback_csi());
+      snr0.push_back(e.snr_db);
+    }
+
+    const MuMimoResult zf = mu_mimo_zero_forcing(current, stale, snr0);
+    for (std::size_t i = 0; i < k; ++i)
+      delivered_mbit[i] += rate_at_snr(zf.sinr_db[i], config, 1) * config.slot_s;
+  }
+
+  MuMimoSimResult result;
+  if (duration <= 0.0) return result;
+  const double overhead = std::min(1.0, feedback_time / duration);
+  result.per_client_mbps.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.per_client_mbps[i] = delivered_mbit[i] / duration * (1.0 - overhead);
+    result.total_mbps += result.per_client_mbps[i];
+  }
+  return result;
+}
+
+MuMimoSimResult simulate_mu_mimo(std::vector<Scenario*> clients,
+                                 const BeamformingSimConfig& config, Rng& rng) {
+  (void)rng;
+  const std::size_t k = clients.size();
+  std::vector<FeedbackLoop> loops;
+  loops.reserve(k);
+  for (Scenario* c : clients) loops.emplace_back(*c, config);
+
+  const double fb_airtime = feedback_exchange_airtime_s(config.feedback);
+  std::vector<double> delivered_mbit(k, 0.0);
+  double feedback_time = 0.0;
+
+  for (double t = 0.0; t < config.duration_s; t += config.slot_s) {
+    bool all_ready = true;
+    for (auto& loop : loops) {
+      if (loop.advance(t)) feedback_time += fb_airtime;
+      all_ready = all_ready && loop.ready();
+    }
+    if (!all_ready) continue;
+
+    std::vector<CsiMatrix> current;
+    std::vector<CsiMatrix> stale;
+    std::vector<double> snr0;
+    current.reserve(k);
+    stale.reserve(k);
+    snr0.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      current.push_back(clients[i]->channel->csi_true(t));
+      stale.push_back(loops[i].feedback_csi());
+      snr0.push_back(clients[i]->channel->snr_db(t));
+    }
+
+    const MuMimoResult zf = mu_mimo_zero_forcing(current, stale, snr0);
+    for (std::size_t i = 0; i < k; ++i)
+      delivered_mbit[i] += rate_at_snr(zf.sinr_db[i], config, 1) * config.slot_s;
+  }
+
+  MuMimoSimResult result;
+  const double overhead = std::min(1.0, feedback_time / config.duration_s);
+  result.per_client_mbps.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.per_client_mbps[i] =
+        delivered_mbit[i] / config.duration_s * (1.0 - overhead);
+    result.total_mbps += result.per_client_mbps[i];
+  }
+  return result;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,64 @@
+// beamforming_sim.hpp — §6: SU beamforming and MU-MIMO under CSI staleness.
+//
+// Both emulators replay a channel at a fine time step; at each step the AP
+// precodes with the CSI it last received from the client, which refreshes
+// only every feedback period. Each refresh also consumes airtime (sounding +
+// report at the lowest rate), so short periods tax static clients while long
+// periods starve mobile ones — the tension Fig. 11(a)/12(a) plots. The
+// adaptive scheme picks the Table-2 period for each client's classified
+// mobility mode.
+#pragma once
+
+#include <vector>
+
+#include "chan/csi_trace.hpp"
+#include "chan/scenario.hpp"
+#include "core/mobility_classifier.hpp"
+#include "phy/csi_feedback.hpp"
+#include "phy/error_model.hpp"
+
+namespace mobiwlan {
+
+struct BeamformingSimConfig {
+  double duration_s = 20.0;
+  double slot_s = 2e-3;
+  bool adaptive_period = false;   ///< Table-2 period per classified mode
+  double fixed_period_s = 20e-3;  ///< stock statically-configured period
+  int mpdu_payload_bytes = 1500;
+  double mac_efficiency = 0.70;
+  MobilityClassifier::Config classifier;
+  ErrorModelConfig error_model;
+  CsiFeedbackConfig feedback;
+};
+
+struct SuBeamformingResult {
+  double throughput_mbps = 0.0;
+  double mean_gain_db = 0.0;        ///< realized beamforming gain
+  double overhead_fraction = 0.0;   ///< airtime share spent on feedback
+};
+
+/// Single-user transmit beamforming on one link (Fig. 11).
+SuBeamformingResult simulate_su_beamforming(Scenario& scenario,
+                                            const BeamformingSimConfig& config,
+                                            Rng& rng);
+
+struct MuMimoSimResult {
+  std::vector<double> per_client_mbps;
+  double total_mbps = 0.0;
+};
+
+/// MU-MIMO downlink to `clients.size()` single-antenna clients (Fig. 12).
+/// Each scenario's channel must be configured with n_rx = 1, and the count
+/// must not exceed the AP antenna count.
+MuMimoSimResult simulate_mu_mimo(std::vector<Scenario*> clients,
+                                 const BeamformingSimConfig& config, Rng& rng);
+
+/// The paper's literal §6.2 methodology: CSI traces are recorded once (at
+/// the slot cadence) and then replayed through the zero-forcing emulator —
+/// "we fed the series of CSI values to a MU-MIMO emulator". The classifier
+/// is fed from the same traces (CSI similarity + ToF), so mobility estimation
+/// and precoding see exactly what the recording saw.
+MuMimoSimResult simulate_mu_mimo_traces(const std::vector<const CsiTrace*>& clients,
+                                        const BeamformingSimConfig& config);
+
+}  // namespace mobiwlan

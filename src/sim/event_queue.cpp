@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace mobiwlan {
+
+std::uint64_t EventQueue::schedule(double t, Handler handler) {
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{std::max(t, now_), next_seq_++, id, 0.0, std::move(handler)});
+  return id;
+}
+
+std::uint64_t EventQueue::schedule_every(double first, double period,
+                                         Handler handler) {
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{std::max(first, now_), next_seq_++, id, period,
+                    std::move(handler)});
+  return id;
+}
+
+void EventQueue::cancel(std::uint64_t id) { cancelled_.push_back(id); }
+
+void EventQueue::pop_and_fire() {
+  Event ev = queue_.top();
+  queue_.pop();
+  if (std::find(cancelled_.begin(), cancelled_.end(), ev.id) != cancelled_.end())
+    return;
+  now_ = ev.t;
+  ev.handler(ev.t);
+  if (ev.period > 0.0) {
+    ev.t += ev.period;
+    ev.seq = next_seq_++;
+    queue_.push(std::move(ev));
+  }
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().t <= t_end) pop_and_fire();
+  now_ = std::max(now_, t_end);
+}
+
+void EventQueue::run_all() {
+  while (!queue_.empty()) pop_and_fire();
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,64 @@
+// event_queue.hpp — a small discrete-event scheduler.
+//
+// Periodic measurement processes (CSI sampling, ToF NULL frames, CSI
+// feedback sounding) and one-shot events (handoff completion) share one
+// timeline. Events at equal timestamps fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mobiwlan {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void(double t)>;
+
+  /// Schedule `handler` at absolute time t (>= now). Returns an id usable
+  /// with cancel().
+  std::uint64_t schedule(double t, Handler handler);
+
+  /// Schedule `handler` every `period` starting at `first`, until cancelled
+  /// or the queue stops. Returns the id of the recurring series.
+  std::uint64_t schedule_every(double first, double period, Handler handler);
+
+  /// Cancel a pending (or recurring) event by id. Safe on unknown ids.
+  void cancel(std::uint64_t id);
+
+  /// Run all events with t <= t_end; now() advances to t_end.
+  void run_until(double t_end);
+
+  /// Run until the queue is empty (careful with recurring events).
+  void run_all();
+
+  double now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double t;
+    std::uint64_t seq;   // FIFO tie-break
+    std::uint64_t id;
+    double period;       // 0 for one-shot
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_fire();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mobiwlan

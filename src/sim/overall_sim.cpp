@@ -1,0 +1,173 @@
+#include "sim/overall_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/policy.hpp"
+#include "core/tof_tracker.hpp"
+#include "mac/aggregation.hpp"
+#include "mac/atheros_ra.hpp"
+#include "phy/beamforming.hpp"
+#include "phy/mcs.hpp"
+
+namespace mobiwlan {
+
+OverallSimResult simulate_overall(WlanDeployment& wlan,
+                                  const OverallSimConfig& config, Rng& rng) {
+  OverallSimResult result;
+
+  std::size_t assoc = wlan.strongest_ap(0.0);
+  result.associations.emplace_back(0.0, assoc);
+
+  auto make_ra = [&]() -> std::unique_ptr<AtherosRa> {
+    if (config.mobility_aware)
+      return std::make_unique<AtherosRa>(make_mobility_aware_atheros_ra());
+    return std::make_unique<AtherosRa>();
+  };
+  std::unique_ptr<AtherosRa> ra = make_ra();
+
+  MobilityClassifier classifier(config.classifier);
+  std::vector<TofTracker> heading(wlan.n_aps(), TofTracker(config.classifier.tof));
+
+  const double fb_airtime = feedback_exchange_airtime_s(config.feedback);
+  const ProtocolParams stock = default_params();
+
+  double t = 0.0;
+  double next_csi_t = 0.0;
+  double next_tof_t = 0.0;
+  double next_fb_t = 0.0;
+  double next_roam_check_t = 0.0;
+  double steer_ok_t = 0.0;
+  double threshold_scan_ok_t = 0.0;
+  CsiMatrix fb_csi;
+  bool have_fb = false;
+  long delivered_bytes = 0;
+
+  auto current_mode = [&]() -> std::optional<MobilityMode> {
+    if (!config.mobility_aware || !classifier.similarity()) return std::nullopt;
+    return classifier.mode();
+  };
+
+  auto begin_handoff = [&](std::size_t target) {
+    assoc = target;
+    t += config.handoff_outage_s;
+    result.outage_s += config.handoff_outage_s;
+    ++result.handoffs;
+    result.associations.emplace_back(t, target);
+    ra = make_ra();
+    classifier = MobilityClassifier(config.classifier);
+    have_fb = false;
+    next_fb_t = t;
+  };
+
+  while (t < config.duration_s) {
+    WirelessChannel& link = wlan.channel(assoc);
+
+    // --- measurement processes -----------------------------------------
+    if (config.mobility_aware) {
+      while (next_csi_t <= t) {
+        classifier.on_csi(next_csi_t, link.csi_at(next_csi_t));
+        next_csi_t += config.classifier.csi_period_s;
+      }
+      while (next_tof_t <= t) {
+        for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+          const double tof = wlan.channel(ap).tof_cycles(next_tof_t);
+          if (ap == assoc)
+            classifier.on_tof(next_tof_t, tof);
+          else
+            heading[ap].add(next_tof_t, tof);
+        }
+        next_tof_t += config.classifier.tof_period_s;
+      }
+    }
+
+    const std::optional<MobilityMode> mode = current_mode();
+    const ProtocolParams params = mode ? mobility_params(*mode) : stock;
+
+    // --- CSI feedback sounding (beamforming) ----------------------------
+    if (t >= next_fb_t) {
+      fb_csi = link.csi_at(t);
+      have_fb = true;
+      t += fb_airtime;  // sounding + report occupy the medium
+      next_fb_t = t + (config.mobility_aware ? params.bf_update_period_s
+                                             : stock.bf_update_period_s);
+    }
+
+    // --- roaming control loop -------------------------------------------
+    if (t >= next_roam_check_t) {
+      next_roam_check_t = t + config.roam_check_period_s;
+      const double current_rssi = link.rssi_dbm(t);
+      if (current_rssi < config.rssi_threshold_dbm && t >= threshold_scan_ok_t) {
+        threshold_scan_ok_t = t + config.min_scan_gap_s;
+        begin_handoff(wlan.strongest_ap(t));
+        continue;
+      }
+      if (config.mobility_aware && t >= steer_ok_t && mode &&
+          *mode == MobilityMode::kMacroAway) {
+        std::size_t best_candidate = assoc;
+        double best_rssi = current_rssi - 1.0;
+        for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+          if (ap == assoc) continue;
+          if (heading[ap].trend() != TofTrend::kDecreasing) continue;
+          const double rssi = wlan.channel(ap).rssi_dbm(t);
+          if (rssi >= best_rssi) {
+            best_rssi = rssi;
+            best_candidate = ap;
+          }
+        }
+        if (best_candidate != assoc) {
+          begin_handoff(best_candidate);
+          steer_ok_t = t + config.steer_cooldown_s;
+          continue;
+        }
+      }
+    }
+
+    // --- one A-MPDU exchange ---------------------------------------------
+    TxContext ctx;
+    ctx.t = t;
+    ctx.mpdu_payload_bytes = config.mpdu_payload_bytes;
+    ctx.mobility = mode;
+
+    const int mcs_index = ra->select_mcs(ctx);
+    const McsEntry& entry = mcs(mcs_index);
+    const double agg_limit = config.mobility_aware ? params.aggregation_limit_s
+                                                   : stock.aggregation_limit_s;
+    const AmpduPlan plan =
+        plan_ampdu(entry, agg_limit, config.mpdu_payload_bytes, config.airtime);
+
+    const CsiMatrix h_start = link.csi_true(t);
+    double snr = effective_snr_db(h_start, link.snr_db(t));
+    if (have_fb) snr += std::max(0.0, su_beamforming_gain_db(h_start, fb_csi));
+
+    const CsiMatrix h_end = link.csi_true(t + plan.frame_airtime_s);
+    const double decorr_end = 1.0 - complex_correlation(h_start, h_end);
+
+    int n_failed = 0;
+    for (int i = 0; i < plan.n_mpdus; ++i) {
+      const double decorr = decorr_end * plan.mpdu_age_fraction(i);
+      const double p = per_with_aging(entry, snr, config.mpdu_payload_bytes,
+                                      decorr, config.error_model);
+      if (rng.chance(p)) ++n_failed;
+    }
+
+    FrameResult frame;
+    frame.t = t;
+    frame.mcs = mcs_index;
+    frame.n_mpdus = plan.n_mpdus;
+    frame.n_failed = n_failed;
+    frame.block_ack_received = n_failed < plan.n_mpdus;
+    ra->on_result(frame, ctx);
+
+    delivered_bytes +=
+        static_cast<long>(plan.n_mpdus - n_failed) * config.mpdu_payload_bytes;
+    t += exchange_airtime_s(entry, plan.n_mpdus, config.mpdu_payload_bytes,
+                            config.airtime);
+  }
+
+  result.throughput_mbps =
+      8.0 * static_cast<double>(delivered_bytes) / config.duration_s / 1e6;
+  return result;
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,66 @@
+#include "util/filters.hpp"
+
+#include "util/stats.hpp"
+
+namespace mobiwlan {
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window == 0 ? 1 : window) {}
+
+void MovingAverage::add(double x) {
+  buffer_.push_back(x);
+  sum_ += x;
+  if (buffer_.size() > window_) {
+    sum_ -= buffer_.front();
+    buffer_.pop_front();
+  }
+}
+
+double MovingAverage::value() const {
+  if (buffer_.empty()) return 0.0;
+  return sum_ / static_cast<double>(buffer_.size());
+}
+
+void MovingAverage::reset() {
+  buffer_.clear();
+  sum_ = 0.0;
+}
+
+std::optional<double> MedianAggregator::flush() {
+  if (pending_.empty()) return std::nullopt;
+  const double m = median_of(pending_);
+  pending_.clear();
+  return m;
+}
+
+TrendWindow::TrendWindow(std::size_t window, double slack)
+    : window_(window < 2 ? 2 : window), slack_(slack) {}
+
+void TrendWindow::add(double x) {
+  values_.push_back(x);
+  if (values_.size() > window_) values_.pop_front();
+}
+
+bool TrendWindow::increasing(double min_change) const {
+  if (values_.size() < window_) return false;
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    if (values_[i] < values_[i - 1] - slack_) return false;
+  }
+  return net_change() > min_change;
+}
+
+bool TrendWindow::decreasing(double min_change) const {
+  if (values_.size() < window_) return false;
+  for (std::size_t i = 1; i < values_.size(); ++i) {
+    if (values_[i] > values_[i - 1] + slack_) return false;
+  }
+  return -net_change() > min_change;
+}
+
+double TrendWindow::net_change() const {
+  if (values_.size() < 2) return 0.0;
+  return values_.back() - values_.front();
+}
+
+void TrendWindow::reset() { values_.clear(); }
+
+}  // namespace mobiwlan

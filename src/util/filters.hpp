@@ -1,0 +1,115 @@
+// filters.hpp — windowed filters used by the mobility-classification pipeline.
+//
+// The paper's ToF pipeline (§2.4) samples ToF every 20 ms, aggregates each
+// second with a median filter, and then looks for a monotone trend across a
+// few seconds of medians. The CSI pipeline maintains a moving average of
+// similarity values. These small value-semantic classes implement exactly
+// those primitives.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace mobiwlan {
+
+/// Exponentially-weighted moving average: v <- alpha*x + (1-alpha)*v.
+///
+/// This is the Atheros PER low-pass filter from §4.1 (default alpha = 1/8);
+/// the mobility-aware RA re-parameterizes alpha per mobility mode.
+class Ewma {
+ public:
+  explicit Ewma(double alpha, double initial = 0.0)
+      : alpha_(alpha), value_(initial) {}
+
+  void add(double x) {
+    if (!primed_) {
+      value_ = x;
+      primed_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  double value() const { return value_; }
+  bool primed() const { return primed_; }
+  double alpha() const { return alpha_; }
+  void set_alpha(double alpha) { alpha_ = alpha; }
+  void reset(double initial = 0.0) {
+    value_ = initial;
+    primed_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_;
+  bool primed_ = false;
+};
+
+/// Fixed-capacity moving average over the last `window` samples.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  void add(double x);
+  /// Mean of the retained samples; 0 when empty.
+  double value() const;
+  std::size_t count() const { return buffer_.size(); }
+  bool full() const { return buffer_.size() == window_; }
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::deque<double> buffer_;
+  double sum_ = 0.0;
+};
+
+/// Collects samples and emits their median when asked, then clears.
+///
+/// Models the per-second median aggregation of raw 20 ms ToF readings.
+class MedianAggregator {
+ public:
+  void add(double x) { pending_.push_back(x); }
+  std::size_t pending_count() const { return pending_.size(); }
+
+  /// Median of the pending samples, or nullopt if none; clears the buffer.
+  std::optional<double> flush();
+
+ private:
+  std::vector<double> pending_;
+};
+
+/// Sliding window of the most recent `window` values with trend queries.
+///
+/// "Only if all the ToF values in the moving window suggest an increasing or
+/// decreasing trend, we declare that the client is under macro-mobility."
+class TrendWindow {
+ public:
+  /// `window` is the number of retained values; `slack` allows each
+  /// consecutive pair to move against the trend by at most this much
+  /// (absorbs quantization plateaus in clock-cycle ToF values).
+  explicit TrendWindow(std::size_t window, double slack = 0.0);
+
+  void add(double x);
+  bool full() const { return values_.size() == window_; }
+  std::size_t count() const { return values_.size(); }
+
+  /// True if the window is full and values are non-decreasing (within slack)
+  /// with a strictly positive overall rise greater than `min_change`.
+  bool increasing(double min_change = 0.0) const;
+  /// Mirror image of increasing().
+  bool decreasing(double min_change = 0.0) const;
+  /// Total change last - first (0 if fewer than 2 values).
+  double net_change() const;
+  void reset();
+
+  const std::deque<double>& values() const { return values_; }
+
+ private:
+  std::size_t window_;
+  double slack_;
+  std::deque<double> values_;
+};
+
+}  // namespace mobiwlan

@@ -1,0 +1,160 @@
+#include "util/matrix.hpp"
+
+#include <cmath>
+
+namespace mobiwlan {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+CMatrix::CMatrix(std::initializer_list<std::initializer_list<cplx>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) throw std::invalid_argument("ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+CMatrix CMatrix::column(const std::vector<cplx>& values) {
+  CMatrix m(values.size(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) m(i, 0) = values[i];
+  return m;
+}
+
+CMatrix CMatrix::operator+(const CMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("dimension mismatch in +");
+  CMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+CMatrix CMatrix::operator-(const CMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("dimension mismatch in -");
+  CMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+CMatrix CMatrix::operator*(const CMatrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("dimension mismatch in *");
+  CMatrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(i, k);
+      if (a == cplx{}) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+CMatrix CMatrix::operator*(cplx scalar) const {
+  CMatrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * scalar;
+  return out;
+}
+
+CMatrix CMatrix::hermitian() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+CMatrix CMatrix::inverse() const {
+  if (rows_ != cols_) throw std::domain_error("inverse of non-square matrix");
+  const std::size_t n = rows_;
+  CMatrix a(*this);
+  CMatrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: find the largest-magnitude entry in this column.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) throw std::domain_error("singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a(col, c), a(pivot, c));
+        std::swap(inv(col, c), inv(pivot, c));
+      }
+    }
+    const cplx d = a(col, col);
+    for (std::size_t c = 0; c < n; ++c) {
+      a(col, c) /= d;
+      inv(col, c) /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const cplx factor = a(r, col);
+      if (factor == cplx{}) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        a(r, c) -= factor * a(col, c);
+        inv(r, c) -= factor * inv(col, c);
+      }
+    }
+  }
+  return inv;
+}
+
+CMatrix CMatrix::pseudo_inverse() const {
+  // Full row rank assumed (n_streams <= n_antennas): H^+ = H^H (H H^H)^-1.
+  const CMatrix hh = hermitian();
+  const CMatrix gram = (*this) * hh;
+  return hh * gram.inverse();
+}
+
+double CMatrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (const auto& v : data_) sum += std::norm(v);
+  return std::sqrt(sum);
+}
+
+std::vector<cplx> CMatrix::col_vector(std::size_t c) const {
+  std::vector<cplx> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+std::vector<cplx> CMatrix::row_vector(std::size_t r) const {
+  std::vector<cplx> out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = (*this)(r, c);
+  return out;
+}
+
+CMatrix CMatrix::normalized(double target) const {
+  const double norm = frobenius_norm();
+  if (norm == 0.0) return *this;
+  return (*this) * cplx(target / norm, 0.0);
+}
+
+cplx inner_product(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("inner_product size mismatch");
+  cplx sum{};
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::conj(a[i]) * b[i];
+  return sum;
+}
+
+double vector_norm(const std::vector<cplx>& v) {
+  double sum = 0.0;
+  for (const auto& x : v) sum += std::norm(x);
+  return std::sqrt(sum);
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,79 @@
+// matrix.hpp — small dense complex matrices for MIMO precoding.
+//
+// The beamforming substrate (phy/beamforming.*) needs Hermitian transpose,
+// matrix products, and (pseudo-)inverses of matrices no larger than ~4x4.
+// A tiny value-semantic dense matrix with Gaussian elimination keeps the
+// dependency surface at zero while staying easy to verify in tests.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace mobiwlan {
+
+using cplx = std::complex<double>;
+
+/// Dense row-major complex matrix.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols);
+  /// Construct from nested initializer lists; all rows must be equal length.
+  CMatrix(std::initializer_list<std::initializer_list<cplx>> rows);
+
+  static CMatrix identity(std::size_t n);
+  /// Column vector from values.
+  static CMatrix column(const std::vector<cplx>& values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  CMatrix operator+(const CMatrix& other) const;
+  CMatrix operator-(const CMatrix& other) const;
+  CMatrix operator*(const CMatrix& other) const;
+  CMatrix operator*(cplx scalar) const;
+
+  /// Conjugate (Hermitian) transpose.
+  CMatrix hermitian() const;
+
+  /// Inverse via Gaussian elimination with partial pivoting.
+  /// Throws std::domain_error if the matrix is singular or non-square.
+  CMatrix inverse() const;
+
+  /// Moore-Penrose pseudo-inverse for full-row-rank matrices:
+  /// H^+ = H^H (H H^H)^{-1}. This is the zero-forcing precoder form used when
+  /// the AP has at least as many antennas as served streams.
+  CMatrix pseudo_inverse() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Column `c` as a vector.
+  std::vector<cplx> col_vector(std::size_t c) const;
+  /// Row `r` as a vector.
+  std::vector<cplx> row_vector(std::size_t r) const;
+
+  /// Scales so that the Frobenius norm equals `target` (no-op on zero matrix).
+  CMatrix normalized(double target = 1.0) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Inner product <a, b> = a^H b. Requires equal sizes.
+cplx inner_product(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+/// Euclidean norm of a complex vector.
+double vector_norm(const std::vector<cplx>& v);
+
+}  // namespace mobiwlan

@@ -1,0 +1,94 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mobiwlan {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // A state of all zeros is the one invalid xoshiro state; splitmix64 cannot
+  // produce four zero words from any seed, so no further check is needed.
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int Rng::uniform_int(int lo, int hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int>(next_u64() % span);
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 in (0,1] to keep the log finite.
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+double Rng::exponential(double mean) { return -mean * std::log(1.0 - uniform()); }
+
+double Rng::rayleigh(double sigma) {
+  return sigma * std::sqrt(-2.0 * std::log(1.0 - uniform()));
+}
+
+std::complex<double> Rng::complex_gaussian(double variance) {
+  const double per_component = std::sqrt(variance / 2.0);
+  return {gaussian(0.0, per_component), gaussian(0.0, per_component)};
+}
+
+std::complex<double> Rng::rician(double k_factor) {
+  const double los_amplitude = std::sqrt(k_factor / (k_factor + 1.0));
+  const double scatter_power = 1.0 / (k_factor + 1.0);
+  const double los_phase = phase();
+  return std::polar(los_amplitude, los_phase) + complex_gaussian(scatter_power);
+}
+
+double Rng::phase() { return uniform(0.0, 2.0 * std::numbers::pi); }
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace mobiwlan

@@ -1,0 +1,63 @@
+#include "util/significance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace mobiwlan {
+
+namespace {
+
+std::vector<double> resample(const std::vector<double>& xs, Rng& rng) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    out.push_back(xs[rng.uniform_int(0, static_cast<int>(xs.size()) - 1)]);
+  return out;
+}
+
+BootstrapInterval interval_from(std::vector<double> stats, double point,
+                                double confidence) {
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto n = stats.size();
+  const auto lo_idx = static_cast<std::size_t>(alpha * (n - 1));
+  const auto hi_idx = static_cast<std::size_t>((1.0 - alpha) * (n - 1));
+  return {stats[lo_idx], stats[hi_idx], point};
+}
+
+}  // namespace
+
+BootstrapInterval bootstrap_median_ci(const std::vector<double>& samples,
+                                      double confidence, int resamples,
+                                      std::uint64_t seed) {
+  if (samples.empty()) throw std::invalid_argument("empty sample");
+  Rng rng(seed);
+  std::vector<double> medians;
+  medians.reserve(resamples);
+  for (int i = 0; i < resamples; ++i)
+    medians.push_back(median_of(resample(samples, rng)));
+  return interval_from(std::move(medians), median_of(samples), confidence);
+}
+
+BootstrapInterval bootstrap_median_diff_ci(const std::vector<double>& a,
+                                           const std::vector<double>& b,
+                                           double confidence, int resamples,
+                                           std::uint64_t seed) {
+  if (a.empty() || b.empty()) throw std::invalid_argument("empty sample");
+  Rng rng(seed);
+  std::vector<double> diffs;
+  diffs.reserve(resamples);
+  for (int i = 0; i < resamples; ++i)
+    diffs.push_back(median_of(resample(a, rng)) - median_of(resample(b, rng)));
+  return interval_from(std::move(diffs), median_of(a) - median_of(b), confidence);
+}
+
+bool median_significantly_greater(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  double confidence) {
+  return bootstrap_median_diff_ci(a, b, confidence).lo > 0.0;
+}
+
+}  // namespace mobiwlan

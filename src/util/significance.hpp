@@ -1,0 +1,41 @@
+// significance.hpp — bootstrap confidence intervals for bench results.
+//
+// Several benches claim "scheme A's median beats scheme B's" from a dozen
+// trials; a bootstrap interval on the median difference says whether that
+// survives resampling. Kept deliberately simple: percentile bootstrap with
+// a deterministic seed so bench output is reproducible.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+
+struct BootstrapInterval {
+  double lo = 0.0;       ///< lower percentile bound
+  double hi = 0.0;       ///< upper percentile bound
+  double point = 0.0;    ///< the statistic on the original sample
+};
+
+/// Percentile-bootstrap CI for the median of `samples`.
+BootstrapInterval bootstrap_median_ci(const std::vector<double>& samples,
+                                      double confidence = 0.95,
+                                      int resamples = 2000,
+                                      std::uint64_t seed = 1);
+
+/// Percentile-bootstrap CI for (median(a) - median(b)), resampling the two
+/// groups independently (unpaired).
+BootstrapInterval bootstrap_median_diff_ci(const std::vector<double>& a,
+                                           const std::vector<double>& b,
+                                           double confidence = 0.95,
+                                           int resamples = 2000,
+                                           std::uint64_t seed = 1);
+
+/// True if the CI of median(a) - median(b) excludes zero from below
+/// (i.e. a's median is significantly larger than b's).
+bool median_significantly_greater(const std::vector<double>& a,
+                                  const std::vector<double>& b,
+                                  double confidence = 0.95);
+
+}  // namespace mobiwlan

@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mobiwlan {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+SampleSet::SampleSet(std::vector<double> samples)
+    : samples_(std::move(samples)), sorted_(false) {}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void SampleSet::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+double SampleSet::mean() const { return mean_of(samples_); }
+
+double SampleSet::stddev() const { return stddev_of(samples_); }
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
+    std::sort(mutable_samples.begin(), mutable_samples.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_points(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(quantile(q), q);
+  }
+  return out;
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const auto mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double m = xs[mid];
+  if (xs.size() % 2 == 0) {
+    const auto lower = std::max_element(xs.begin(), xs.begin() + mid);
+    m = (m + *lower) / 2.0;
+  }
+  return m;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,82 @@
+// stats.hpp — online statistics, sample collections, and CDFs.
+//
+// The paper's evaluation reports medians, CDFs, and per-window standard
+// deviations; these helpers provide those primitives for tests and benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mobiwlan {
+
+/// Welford-style online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A bag of samples supporting quantiles and CDF extraction.
+///
+/// Used by every bench binary to report the distributions the paper plots.
+class SampleSet {
+ public:
+  SampleSet() = default;
+  explicit SampleSet(std::vector<double> samples);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// Quantile by linear interpolation between order statistics, q in [0,1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// CDF value at x: fraction of samples <= x.
+  double cdf_at(double x) const;
+
+  /// Evenly-spaced (in probability) CDF points for plotting/printing.
+  /// Returns `points` pairs of (value, cumulative probability).
+  std::vector<std::pair<double, double>> cdf_points(std::size_t points = 20) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Standard deviation of a window of values (n-1 denominator; 0 if n < 2).
+double stddev_of(const std::vector<double>& xs);
+
+/// Median of a vector (copies; does not mutate the input). 0 for empty input.
+double median_of(std::vector<double> xs);
+
+/// Arithmetic mean; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace mobiwlan

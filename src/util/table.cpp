@@ -1,0 +1,112 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace mobiwlan {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::render() const {
+  // Compute column widths over header + rows.
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    out << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::pct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * fraction);
+  return buf;
+}
+
+std::string render_cdf_table(
+    const std::string& title,
+    const std::vector<std::pair<std::string, const SampleSet*>>& series) {
+  TablePrinter t(title);
+  t.set_header({"series", "n", "p10", "p25", "p50", "p75", "p90", "mean"});
+  for (const auto& [name, s] : series) {
+    t.add_row({name, std::to_string(s->size()), TablePrinter::num(s->quantile(0.10)),
+               TablePrinter::num(s->quantile(0.25)), TablePrinter::num(s->quantile(0.50)),
+               TablePrinter::num(s->quantile(0.75)), TablePrinter::num(s->quantile(0.90)),
+               TablePrinter::num(s->mean())});
+  }
+  return t.render();
+}
+
+std::string render_ascii_cdf(const std::string& title, const SampleSet& samples,
+                             int width, int height) {
+  std::ostringstream out;
+  out << "-- " << title << " (CDF) --\n";
+  if (samples.empty()) {
+    out << "(no samples)\n";
+    return out.str();
+  }
+  const double lo = samples.min();
+  const double hi = samples.max();
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (int x = 0; x < width; ++x) {
+    const double value = lo + span * x / std::max(1, width - 1);
+    const double p = samples.cdf_at(value);
+    int y = static_cast<int>(p * (height - 1) + 0.5);
+    y = std::clamp(y, 0, height - 1);
+    grid[static_cast<std::size_t>(height - 1 - y)][static_cast<std::size_t>(x)] = '*';
+  }
+  for (int y = 0; y < height; ++y) {
+    const double p = 1.0 - static_cast<double>(y) / (height - 1);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%4.2f |", p);
+    out << label << grid[static_cast<std::size_t>(y)] << "\n";
+  }
+  char axis[128];
+  std::snprintf(axis, sizeof(axis), "      %-10.3g%*s%10.3g\n", lo,
+                std::max(0, width - 20), "", hi);
+  out << axis;
+  return out.str();
+}
+
+}  // namespace mobiwlan

@@ -1,0 +1,49 @@
+// table.hpp — plain-text tables and CDF sketches for bench output.
+//
+// Every bench binary regenerates one of the paper's tables or figures and
+// prints it in a form comparable side-by-side with the paper; these helpers
+// keep that output consistent across binaries.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mobiwlan {
+
+class SampleSet;
+
+/// Column-aligned ASCII table with a title and header row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title);
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Render to a string (also usable in tests).
+  std::string render() const;
+  /// Render to stdout.
+  void print() const;
+
+  /// Format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Format as a percentage with one decimal ("93.4%").
+  static std::string pct(double fraction);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders several named sample distributions as a quantile table
+/// (p10/p25/p50/p75/p90) — the textual stand-in for the paper's CDF plots.
+std::string render_cdf_table(const std::string& title,
+                             const std::vector<std::pair<std::string, const SampleSet*>>& series);
+
+/// Renders one distribution as an ASCII CDF curve (value axis horizontal).
+std::string render_ascii_cdf(const std::string& title, const SampleSet& samples,
+                             int width = 60, int height = 10);
+
+}  // namespace mobiwlan

@@ -1,0 +1,45 @@
+// units.hpp — physical constants and dB/linear conversions used across mobiwlan.
+#pragma once
+
+#include <cmath>
+
+namespace mobiwlan {
+
+/// Speed of light in vacuum (m/s). Indoor propagation is close enough to c
+/// that ToF-based ranging uses the vacuum value, as the Atheros firmware does.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Thermal noise power spectral density at 290 K (dBm/Hz).
+inline constexpr double kThermalNoiseDbmPerHz = -174.0;
+
+/// 802.11 SIFS on 5 GHz OFDM PHYs (seconds).
+inline constexpr double kSifs = 16e-6;
+
+/// 802.11 slot time on 5 GHz OFDM PHYs (seconds).
+inline constexpr double kSlotTime = 9e-6;
+
+/// DIFS = SIFS + 2 * slot (seconds).
+inline constexpr double kDifs = kSifs + 2.0 * kSlotTime;
+
+/// Convert a power ratio in dB to linear scale.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert a linear power ratio to dB. Clamps at -300 dB for zero/negative input.
+inline double linear_to_db(double linear) {
+  if (linear <= 0.0) return -300.0;
+  return 10.0 * std::log10(linear);
+}
+
+/// Convert power in dBm to milliwatts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Convert power in milliwatts to dBm. Clamps at -300 dBm for zero/negative input.
+inline double mw_to_dbm(double mw) {
+  if (mw <= 0.0) return -300.0;
+  return 10.0 * std::log10(mw);
+}
+
+/// Wavelength (m) of a carrier frequency (Hz).
+inline double wavelength(double freq_hz) { return kSpeedOfLight / freq_hz; }
+
+}  // namespace mobiwlan

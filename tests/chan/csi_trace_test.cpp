@@ -1,0 +1,91 @@
+// Tests for CSI trace recording, lookup and binary persistence.
+#include "chan/csi_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "chan/scenario.hpp"
+
+namespace mobiwlan {
+namespace {
+
+CsiTrace small_trace() {
+  Rng rng(1);
+  Scenario s = make_scenario(MobilityClass::kMicro, rng);
+  return CsiTrace::record(*s.channel, 1.0, 0.1);
+}
+
+TEST(CsiTraceTest, RecordProducesExpectedCount) {
+  const CsiTrace t = small_trace();
+  EXPECT_EQ(t.size(), 11u);  // 0.0 .. 1.0 inclusive at 0.1
+  EXPECT_NEAR(t.duration(), 1.0, 1e-9);
+}
+
+TEST(CsiTraceTest, EntriesTimeOrdered) {
+  const CsiTrace t = small_trace();
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GT(t[i].t, t[i - 1].t);
+}
+
+TEST(CsiTraceTest, AtTimeClampsAndSelects) {
+  const CsiTrace t = small_trace();
+  EXPECT_DOUBLE_EQ(t.at_time(-1.0).t, 0.0);
+  EXPECT_DOUBLE_EQ(t.at_time(0.55).t, 0.5);
+  EXPECT_DOUBLE_EQ(t.at_time(99.0).t, 1.0);
+  EXPECT_EQ(t.index_at(0.0), 0u);
+}
+
+TEST(CsiTraceTest, AtTimeExactBoundary) {
+  const CsiTrace t = small_trace();
+  EXPECT_DOUBLE_EQ(t.at_time(0.5).t, 0.5);
+}
+
+TEST(CsiTraceTest, EmptyTraceThrowsOnLookup) {
+  CsiTrace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW(t.at_time(0.0), std::out_of_range);
+}
+
+TEST(CsiTraceTest, SaveLoadRoundTrip) {
+  const CsiTrace t = small_trace();
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.bin";
+  ASSERT_TRUE(t.save(path));
+  const CsiTrace loaded = CsiTrace::load(path);
+  ASSERT_EQ(loaded.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].t, t[i].t);
+    EXPECT_DOUBLE_EQ(loaded[i].snr_db, t[i].snr_db);
+    EXPECT_DOUBLE_EQ(loaded[i].rssi_dbm, t[i].rssi_dbm);
+    EXPECT_DOUBLE_EQ(loaded[i].tof_cycles, t[i].tof_cycles);
+    ASSERT_EQ(loaded[i].csi.raw().size(), t[i].csi.raw().size());
+    for (std::size_t j = 0; j < t[i].csi.raw().size(); ++j)
+      EXPECT_EQ(loaded[i].csi.raw()[j], t[i].csi.raw()[j]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsiTraceTest, LoadMissingFileThrows) {
+  EXPECT_THROW(CsiTrace::load("/nonexistent/path/trace.bin"), std::runtime_error);
+}
+
+TEST(CsiTraceTest, LoadGarbageThrows) {
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace", f);
+  std::fclose(f);
+  EXPECT_THROW(CsiTrace::load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CsiTraceTest, EmptyTraceRoundTrips) {
+  CsiTrace t;
+  const std::string path = ::testing::TempDir() + "/empty_trace.bin";
+  ASSERT_TRUE(t.save(path));
+  EXPECT_EQ(CsiTrace::load(path).size(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,58 @@
+// Tests for 2-D geometry primitives.
+#include "chan/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace mobiwlan {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  const Vec2 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 4.0);
+  EXPECT_DOUBLE_EQ(sum.y, 1.0);
+  const Vec2 diff = a - b;
+  EXPECT_DOUBLE_EQ(diff.x, -2.0);
+  const Vec2 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.y, 4.0);
+}
+
+TEST(Vec2Test, NormAndDot) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.dot({1.0, 1.0}), 7.0);
+}
+
+TEST(Vec2Test, NormalizedUnitLength) {
+  const Vec2 v{3.0, 4.0};
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(u.x, 0.6, 1e-12);
+}
+
+TEST(Vec2Test, NormalizedZeroIsZero) {
+  const Vec2 z = Vec2{}.normalized();
+  EXPECT_DOUBLE_EQ(z.x, 0.0);
+  EXPECT_DOUBLE_EQ(z.y, 0.0);
+}
+
+TEST(GeometryTest, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(GeometryTest, UnitFromAngle) {
+  const Vec2 east = unit_from_angle(0.0);
+  EXPECT_NEAR(east.x, 1.0, 1e-12);
+  EXPECT_NEAR(east.y, 0.0, 1e-12);
+  const Vec2 north = unit_from_angle(std::numbers::pi / 2.0);
+  EXPECT_NEAR(north.x, 0.0, 1e-12);
+  EXPECT_NEAR(north.y, 1.0, 1e-12);
+  EXPECT_NEAR(unit_from_angle(1.23).norm(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mobiwlan

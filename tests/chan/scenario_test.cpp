@@ -1,0 +1,108 @@
+// Tests for the randomized "measurement location" scenario builders.
+#include "chan/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+TEST(ScenarioTest, TruthMatchesRequestedClass) {
+  Rng rng(1);
+  for (auto cls : {MobilityClass::kStatic, MobilityClass::kEnvironmental,
+                   MobilityClass::kMicro, MobilityClass::kMacro}) {
+    const Scenario s = make_scenario(cls, rng);
+    EXPECT_EQ(s.truth, cls);
+    EXPECT_EQ(s.trajectory->mobility_class(), cls == MobilityClass::kEnvironmental
+                                                  ? MobilityClass::kStatic
+                                                  : cls);
+  }
+}
+
+TEST(ScenarioTest, DistanceWithinConfiguredRange) {
+  Rng rng(2);
+  ScenarioOptions opt;
+  opt.min_distance_m = 10.0;
+  opt.max_distance_m = 20.0;
+  opt.min_link_snr_db = -100.0;  // disable redraws so the range is exact
+  for (int i = 0; i < 20; ++i) {
+    const Scenario s = make_scenario(MobilityClass::kStatic, rng, opt);
+    const double d = s.channel->true_distance(0.0);
+    EXPECT_GE(d, 10.0 - 1e-9);
+    EXPECT_LE(d, 20.0 + 1e-9);
+  }
+}
+
+TEST(ScenarioTest, CoveredLocationsClearMinSnr) {
+  Rng rng(3);
+  ScenarioOptions opt;
+  opt.min_link_snr_db = 15.0;
+  int below = 0;
+  for (int i = 0; i < 30; ++i) {
+    const Scenario s = make_scenario(MobilityClass::kStatic, rng, opt);
+    if (s.channel->snr_db(0.0) < 15.0) ++below;
+  }
+  // Redraws cap at 32 attempts, so an occasional miss is tolerated.
+  EXPECT_LE(below, 1);
+}
+
+TEST(ScenarioTest, StaticTruthModeIsStatic) {
+  Rng rng(4);
+  const Scenario s = make_scenario(MobilityClass::kStatic, rng);
+  EXPECT_EQ(s.truth_mode(3.0), MobilityMode::kStatic);
+}
+
+TEST(ScenarioTest, MacroTruthModeFollowsRadialVelocity) {
+  Rng rng(5);
+  const Scenario away = make_radial_scenario(false, 10.0, rng);
+  EXPECT_EQ(away.truth_mode(2.0), MobilityMode::kMacroAway);
+  const Scenario toward = make_radial_scenario(true, 30.0, rng);
+  EXPECT_EQ(toward.truth_mode(2.0), MobilityMode::kMacroToward);
+}
+
+TEST(ScenarioTest, RadialScenarioChangesDistanceLinearly) {
+  Rng rng(6);
+  const Scenario s = make_radial_scenario(false, 10.0, rng);
+  const double d0 = s.channel->true_distance(0.0);
+  const double d5 = s.channel->true_distance(5.0);
+  EXPECT_NEAR(d5 - d0, 5.0 * 1.2, 0.01);
+}
+
+TEST(ScenarioTest, BounceScenarioStaysWithinRadii) {
+  Rng rng(7);
+  const Scenario s = make_bounce_scenario(5.0, 15.0, rng);
+  for (double t = 0.0; t < 40.0; t += 0.5) {
+    const double d = s.channel->true_distance(t);
+    EXPECT_GE(d, 5.0 - 1e-6);
+    EXPECT_LE(d, 15.0 + 1e-6);
+  }
+}
+
+TEST(ScenarioTest, CircularScenarioConstantDistance) {
+  Rng rng(8);
+  const Scenario s = make_circular_scenario(9.0, rng);
+  for (double t = 0.0; t < 20.0; t += 1.0)
+    EXPECT_NEAR(s.channel->true_distance(t), 9.0, 1e-6);
+  EXPECT_EQ(s.truth, MobilityClass::kMacro);
+}
+
+TEST(ScenarioTest, EnvironmentalActivityLevelsDiffer) {
+  Rng rng(9);
+  const Scenario weak =
+      make_environmental_scenario(EnvironmentalActivity::kWeak, rng);
+  const Scenario strong =
+      make_environmental_scenario(EnvironmentalActivity::kStrong, rng);
+  EXPECT_EQ(weak.truth, MobilityClass::kEnvironmental);
+  EXPECT_EQ(strong.truth, MobilityClass::kEnvironmental);
+  EXPECT_EQ(weak.channel->config().activity, EnvironmentalActivity::kWeak);
+  EXPECT_EQ(strong.channel->config().activity, EnvironmentalActivity::kStrong);
+}
+
+TEST(ScenarioTest, DifferentSeedsDifferentGeometry) {
+  Rng rng(10);
+  const Scenario a = make_scenario(MobilityClass::kStatic, rng);
+  const Scenario b = make_scenario(MobilityClass::kStatic, rng);
+  EXPECT_NE(a.channel->true_distance(0.0), b.channel->true_distance(0.0));
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,190 @@
+// Tests for the four mobility-class motion models and controlled variants.
+#include "chan/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+TEST(StaticTrajectoryTest, NeverMoves) {
+  StaticTrajectory t({2.0, 3.0});
+  for (double time : {0.0, 1.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(t.position(time).x, 2.0);
+    EXPECT_DOUBLE_EQ(t.position(time).y, 3.0);
+  }
+  EXPECT_EQ(t.mobility_class(), MobilityClass::kStatic);
+  EXPECT_NEAR(t.speed(5.0), 0.0, 1e-9);
+}
+
+TEST(MicroTrajectoryTest, ConfinedToExtent) {
+  Rng rng(1);
+  const Vec2 anchor{10.0, -5.0};
+  MicroTrajectory t(anchor, rng, 0.5);
+  for (double time = 0.0; time < 60.0; time += 0.05) {
+    const Vec2 p = t.position(time);
+    // Sum of per-axis amplitudes is bounded by extent.
+    EXPECT_LE(std::abs(p.x - anchor.x), 0.5 + 1e-9);
+    EXPECT_LE(std::abs(p.y - anchor.y), 0.5 + 1e-9);
+  }
+  EXPECT_EQ(t.mobility_class(), MobilityClass::kMicro);
+}
+
+TEST(MicroTrajectoryTest, ActuallyMoves) {
+  Rng rng(2);
+  MicroTrajectory t({0.0, 0.0}, rng, 0.5);
+  double max_speed = 0.0;
+  for (double time = 0.0; time < 10.0; time += 0.02)
+    max_speed = std::max(max_speed, t.speed(time));
+  EXPECT_GT(max_speed, 0.2);   // gesture-like speeds
+  EXPECT_LT(max_speed, 5.0);   // but not superhuman
+}
+
+TEST(MicroTrajectoryTest, DeterministicGivenRng) {
+  Rng rng1(3);
+  Rng rng2(3);
+  MicroTrajectory a({0.0, 0.0}, rng1);
+  MicroTrajectory b({0.0, 0.0}, rng2);
+  for (double time : {0.1, 1.7, 9.9})
+    EXPECT_DOUBLE_EQ(a.position(time).x, b.position(time).x);
+}
+
+TEST(WalkTrajectoryTest, WalkingSpeedAboutRight) {
+  Rng rng(4);
+  WalkTrajectory::Config cfg;
+  cfg.swing_amplitude_m = 0.0;  // isolate trunk speed
+  WalkTrajectory t({0.0, 0.0}, rng, cfg);
+  for (double time = 1.0; time < 50.0; time += 1.0) {
+    EXPECT_NEAR(t.speed(time), cfg.speed_mps, 0.2) << "t=" << time;
+  }
+}
+
+TEST(WalkTrajectoryTest, StaysInBounds) {
+  Rng rng(5);
+  WalkTrajectory::Config cfg;
+  cfg.bounds_min = {-10.0, -5.0};
+  cfg.bounds_max = {10.0, 5.0};
+  WalkTrajectory t({0.0, 0.0}, rng, cfg, 300.0);
+  for (double time = 0.0; time < 300.0; time += 0.5) {
+    const Vec2 p = t.position(time);
+    EXPECT_GE(p.x, cfg.bounds_min.x - 1.0);
+    EXPECT_LE(p.x, cfg.bounds_max.x + 1.0);
+    EXPECT_GE(p.y, cfg.bounds_min.y - 1.0);
+    EXPECT_LE(p.y, cfg.bounds_max.y + 1.0);
+  }
+}
+
+TEST(WalkTrajectoryTest, CoversDistance) {
+  Rng rng(6);
+  WalkTrajectory t({0.0, 0.0}, rng);
+  double total = 0.0;
+  Vec2 prev = t.position(0.0);
+  for (double time = 1.0; time <= 30.0; time += 1.0) {
+    const Vec2 p = t.position(time);
+    total += distance(prev, p);
+    prev = p;
+  }
+  EXPECT_GT(total, 20.0);  // ~1.2 m/s for 30 s, minus turns/swing
+}
+
+TEST(WalkTrajectoryTest, HandSwingRaisesPeakSpeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  WalkTrajectory::Config no_swing;
+  no_swing.swing_amplitude_m = 0.0;
+  WalkTrajectory::Config swing;
+  WalkTrajectory plain({0.0, 0.0}, rng1, no_swing);
+  WalkTrajectory swung({0.0, 0.0}, rng2, swing);
+  double peak_plain = 0.0;
+  double peak_swung = 0.0;
+  for (double time = 0.5; time < 15.0; time += 0.01) {
+    peak_plain = std::max(peak_plain, plain.speed(time));
+    peak_swung = std::max(peak_swung, swung.speed(time));
+  }
+  EXPECT_GT(peak_swung, peak_plain + 0.5);
+}
+
+TEST(WalkTrajectoryTest, RadialConstraintKeepsHeadingRadial) {
+  Rng rng(8);
+  WalkTrajectory::Config cfg;
+  cfg.constrain_radial = true;
+  cfg.radial_focus = {0.0, 0.0};
+  cfg.swing_amplitude_m = 0.0;
+  WalkTrajectory t({15.0, 0.0}, rng, cfg, 120.0);
+  // Measure |radial speed| / speed on leg interiors; with the cone of 0.6 rad
+  // it should be mostly > cos(0.6) ~ 0.825.
+  int radial_enough = 0;
+  int samples = 0;
+  for (double time = 1.0; time < 110.0; time += 0.5) {
+    const Vec2 p0 = t.position(time - 0.2);
+    const Vec2 p1 = t.position(time + 0.2);
+    const double moved = distance(p0, p1);
+    if (moved < 0.1) continue;
+    const double radial_change = std::abs(p1.norm() - p0.norm());
+    if (radial_change / moved > 0.7) ++radial_enough;
+    ++samples;
+  }
+  ASSERT_GT(samples, 50);
+  EXPECT_GT(static_cast<double>(radial_enough) / samples, 0.75);
+}
+
+TEST(LinearTrajectoryTest, ConstantVelocity) {
+  LinearTrajectory t({0.0, 0.0}, {1.0, 0.0}, 2.0);
+  EXPECT_NEAR(t.position(3.0).x, 6.0, 1e-12);
+  EXPECT_NEAR(t.speed(1.0), 2.0, 1e-6);
+  EXPECT_EQ(t.mobility_class(), MobilityClass::kMacro);
+}
+
+TEST(LinearTrajectoryTest, DirectionNormalized) {
+  LinearTrajectory t({0.0, 0.0}, {10.0, 0.0}, 1.0);
+  EXPECT_NEAR(t.position(1.0).x, 1.0, 1e-12);
+}
+
+TEST(RadialBounceTest, StaysBetweenRadii) {
+  RadialBounceTrajectory t({0.0, 0.0}, {5.0, 0.0}, 3.0, 12.0, 1.2);
+  for (double time = 0.0; time < 60.0; time += 0.1) {
+    const double r = t.radius(time);
+    EXPECT_GE(r, 3.0 - 1e-9);
+    EXPECT_LE(r, 12.0 + 1e-9);
+  }
+}
+
+TEST(RadialBounceTest, AlternatesDirection) {
+  RadialBounceTrajectory t({0.0, 0.0}, {5.0, 0.0}, 3.0, 12.0, 1.2);
+  int flips = 0;
+  bool prev = t.moving_toward(0.0);
+  for (double time = 0.1; time < 40.0; time += 0.1) {
+    const bool now = t.moving_toward(time);
+    if (now != prev) ++flips;
+    prev = now;
+  }
+  EXPECT_GE(flips, 2);
+}
+
+TEST(RadialBounceTest, RadialSpeedMatches) {
+  RadialBounceTrajectory t({0.0, 0.0}, {6.0, 0.0}, 3.0, 12.0, 1.5);
+  // Away from turn points the radial speed equals the configured speed.
+  const double r0 = t.radius(1.0);
+  const double r1 = t.radius(1.1);
+  EXPECT_NEAR(std::abs(r1 - r0) / 0.1, 1.5, 0.01);
+}
+
+TEST(CircularTrajectoryTest, ConstantRadius) {
+  CircularTrajectory t({2.0, 2.0}, 7.0, 1.2);
+  for (double time = 0.0; time < 30.0; time += 0.3) {
+    EXPECT_NEAR(distance(t.position(time), {2.0, 2.0}), 7.0, 1e-9);
+  }
+  EXPECT_EQ(t.mobility_class(), MobilityClass::kMacro);
+}
+
+TEST(CircularTrajectoryTest, TangentialSpeedMatches) {
+  CircularTrajectory t({0.0, 0.0}, 5.0, 1.3);
+  EXPECT_NEAR(t.speed(2.0), 1.3, 0.01);
+}
+
+TEST(CircularTrajectoryTest, ZeroRadiusDoesNotDivide) {
+  CircularTrajectory t({1.0, 1.0}, 0.0, 1.0);
+  EXPECT_NEAR(t.position(5.0).x, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mobiwlan

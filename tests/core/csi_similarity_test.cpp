@@ -1,0 +1,126 @@
+// Tests for Equation (1): the CSI similarity metric.
+#include "core/csi_similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+namespace {
+
+CsiMatrix random_csi(Rng& rng, std::size_t tx = 3, std::size_t rx = 2,
+                     std::size_t sc = 52) {
+  CsiMatrix m(tx, rx, sc);
+  for (auto& v : m.raw()) v = rng.complex_gaussian();
+  return m;
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectAntiCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ShiftAndScaleInvariant) {
+  const std::vector<double> a{1.0, 5.0, 2.0, 8.0};
+  std::vector<double> b;
+  for (double x : a) b.push_back(3.0 * x + 7.0);
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantVectorYieldsZero) {
+  const std::vector<double> a{2.0, 2.0, 2.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(a, b), 0.0);
+}
+
+TEST(PearsonTest, SizeMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(pearson_correlation(a, b), std::invalid_argument);
+}
+
+TEST(PearsonTest, EmptyThrows) {
+  const std::vector<double> e;
+  EXPECT_THROW(pearson_correlation(e, e), std::invalid_argument);
+}
+
+TEST(CsiSimilarityTest, IdenticalCsiIsOne) {
+  Rng rng(1);
+  const CsiMatrix a = random_csi(rng);
+  EXPECT_NEAR(csi_similarity(a, a), 1.0, 1e-12);
+}
+
+TEST(CsiSimilarityTest, ScaleInvariant) {
+  // AGC rescaling between packets must not change the similarity.
+  Rng rng(2);
+  const CsiMatrix a = random_csi(rng);
+  CsiMatrix b = a;
+  for (auto& v : b.raw()) v *= 3.7;
+  EXPECT_NEAR(csi_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CsiSimilarityTest, PhaseRotationOfWholeMatrixInvariant) {
+  // Similarity uses magnitudes, so a common phase rotation is invisible.
+  Rng rng(3);
+  const CsiMatrix a = random_csi(rng);
+  CsiMatrix b = a;
+  for (auto& v : b.raw()) v *= std::polar(1.0, 2.1);
+  EXPECT_NEAR(csi_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CsiSimilarityTest, IndependentChannelsNearZero) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i)
+    sum += csi_similarity(random_csi(rng), random_csi(rng));
+  EXPECT_NEAR(sum / trials, 0.0, 0.1);
+}
+
+TEST(CsiSimilarityTest, SmallPerturbationStaysHigh) {
+  Rng rng(5);
+  const CsiMatrix a = random_csi(rng);
+  CsiMatrix b = a;
+  for (auto& v : b.raw()) v += rng.complex_gaussian(0.001);
+  EXPECT_GT(csi_similarity(a, b), 0.95);
+}
+
+TEST(CsiSimilarityTest, SimilarityDecreasesWithPerturbation) {
+  Rng rng(6);
+  const CsiMatrix a = random_csi(rng);
+  double prev = 1.0;
+  for (double var : {0.01, 0.1, 1.0, 10.0}) {
+    CsiMatrix b = a;
+    Rng noise(42);
+    for (auto& v : b.raw()) v += noise.complex_gaussian(var);
+    const double s = csi_similarity(a, b);
+    EXPECT_LT(s, prev + 0.05);
+    prev = s;
+  }
+}
+
+TEST(CsiSimilarityTest, PerPairMatchesManualComputation) {
+  Rng rng(7);
+  const CsiMatrix a = random_csi(rng, 2, 1, 8);
+  const CsiMatrix b = random_csi(rng, 2, 1, 8);
+  const double pair0 = csi_similarity(a, b, 0, 0);
+  const double pair1 = csi_similarity(a, b, 1, 0);
+  EXPECT_NEAR(csi_similarity(a, b), (pair0 + pair1) / 2.0, 1e-12);
+}
+
+TEST(CsiSimilarityTest, DimensionMismatchThrows) {
+  Rng rng(8);
+  const CsiMatrix a = random_csi(rng, 3, 2, 52);
+  const CsiMatrix b = random_csi(rng, 3, 2, 26);
+  EXPECT_THROW(csi_similarity(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mobiwlan

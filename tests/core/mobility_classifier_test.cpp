@@ -1,0 +1,266 @@
+// Tests for the Fig. 5 classifier state machine, driven by both synthetic
+// CSI streams (unit level) and the channel simulator (behavioural level).
+#include "core/mobility_classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chan/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+namespace {
+
+CsiMatrix random_csi(Rng& rng) {
+  CsiMatrix m(3, 2, 52);
+  for (auto& v : m.raw()) v = rng.complex_gaussian();
+  return m;
+}
+
+CsiMatrix perturbed(const CsiMatrix& base, double variance, Rng& rng) {
+  CsiMatrix m = base;
+  for (auto& v : m.raw()) v += rng.complex_gaussian(variance);
+  return m;
+}
+
+/// Run a scenario through the classifier and return the fraction of
+/// per-second decisions (after warmup) matching the coarse ground truth.
+double accuracy_on(const Scenario& s, double duration_s = 35.0) {
+  MobilityClassifier clf;
+  double next_csi = 0.0;
+  double next_tof = 0.0;
+  int correct = 0;
+  int total = 0;
+  for (double t = 0.0; t < duration_s; t += 0.02) {
+    if (t >= next_csi - 1e-9) {
+      clf.on_csi(t, s.channel->csi_at(t));
+      next_csi += clf.config().csi_period_s;
+    }
+    if (t >= next_tof - 1e-9) {
+      clf.on_tof(t, s.channel->tof_cycles(t));
+      next_tof += clf.config().tof_period_s;
+    }
+    if (t > 10.0 && std::fmod(t, 1.0) < 0.02) {
+      ++total;
+      if (to_class(clf.mode()) == s.truth) ++correct;
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0.0;
+}
+
+TEST(ClassifierUnitTest, DefaultsToStatic) {
+  MobilityClassifier clf;
+  EXPECT_EQ(clf.mode(), MobilityMode::kStatic);
+  EXPECT_FALSE(clf.similarity().has_value());
+  EXPECT_FALSE(clf.tof_active());
+}
+
+TEST(ClassifierUnitTest, StableCsiStreamClassifiesStatic) {
+  MobilityClassifier clf;
+  Rng rng(1);
+  const CsiMatrix base = random_csi(rng);
+  for (double t = 0.0; t < 5.0; t += 0.5)
+    clf.on_csi(t, perturbed(base, 1e-5, rng));
+  EXPECT_EQ(clf.mode(), MobilityMode::kStatic);
+  ASSERT_TRUE(clf.similarity().has_value());
+  EXPECT_GT(*clf.similarity(), 0.98);
+  EXPECT_FALSE(clf.tof_active());
+}
+
+TEST(ClassifierUnitTest, ModeratePerturbationClassifiesEnvironmental) {
+  MobilityClassifier clf;
+  Rng rng(2);
+  const CsiMatrix base = random_csi(rng);
+  // Perturbation tuned to land between the two thresholds (sim ~ 0.85).
+  for (double t = 0.0; t < 6.0; t += 0.5)
+    clf.on_csi(t, perturbed(base, 0.12, rng));
+  ASSERT_TRUE(clf.similarity().has_value());
+  EXPECT_EQ(clf.mode(), MobilityMode::kEnvironmental);
+  EXPECT_FALSE(clf.tof_active());
+}
+
+TEST(ClassifierUnitTest, UncorrelatedCsiStartsToF) {
+  MobilityClassifier clf;
+  Rng rng(3);
+  for (double t = 0.0; t < 4.0; t += 0.5) clf.on_csi(t, random_csi(rng));
+  EXPECT_TRUE(clf.tof_active());
+  EXPECT_EQ(clf.mode(), MobilityMode::kMicro);  // no ToF trend yet
+}
+
+TEST(ClassifierUnitTest, DeviceMobilityWithRisingTofIsMacroAway) {
+  MobilityClassifier clf;
+  Rng rng(4);
+  double tof = 100.0;
+  for (double t = 0.0; t < 12.0; t += 0.02) {
+    if (std::fmod(t, 0.5) < 0.02) clf.on_csi(t, random_csi(rng));
+    clf.on_tof(t, std::round(tof + 0.7 * t + rng.gaussian(0.0, 1.0)));
+  }
+  EXPECT_EQ(clf.mode(), MobilityMode::kMacroAway);
+}
+
+TEST(ClassifierUnitTest, DeviceMobilityWithFallingTofIsMacroToward) {
+  MobilityClassifier clf;
+  Rng rng(5);
+  for (double t = 0.0; t < 12.0; t += 0.02) {
+    if (std::fmod(t, 0.5) < 0.02) clf.on_csi(t, random_csi(rng));
+    clf.on_tof(t, std::round(150.0 - 0.7 * t + rng.gaussian(0.0, 1.0)));
+  }
+  EXPECT_EQ(clf.mode(), MobilityMode::kMacroToward);
+}
+
+TEST(ClassifierUnitTest, TofIgnoredWhileNotDeviceMobile) {
+  MobilityClassifier clf;
+  Rng rng(6);
+  const CsiMatrix base = random_csi(rng);
+  for (double t = 0.0; t < 10.0; t += 0.02) {
+    if (std::fmod(t, 0.5) < 0.02) clf.on_csi(t, perturbed(base, 1e-5, rng));
+    clf.on_tof(t, std::round(100.0 + 2.0 * t));  // strong trend, but static CSI
+  }
+  EXPECT_EQ(clf.mode(), MobilityMode::kStatic);
+  EXPECT_FALSE(clf.tof_active());
+}
+
+TEST(ClassifierUnitTest, TofStateClearedWhenLeavingDeviceMobility) {
+  MobilityClassifier clf;
+  Rng rng(7);
+  // Phase 1: device mobility with rising ToF -> macro-away.
+  for (double t = 0.0; t < 10.0; t += 0.02) {
+    if (std::fmod(t, 0.5) < 0.02) clf.on_csi(t, random_csi(rng));
+    clf.on_tof(t, std::round(100.0 + 0.8 * t));
+  }
+  EXPECT_EQ(clf.mode(), MobilityMode::kMacroAway);
+  // Phase 2: the device is put down -> static CSI; ToF must stop.
+  const CsiMatrix base = random_csi(rng);
+  for (double t = 10.0; t < 14.0; t += 0.5) clf.on_csi(t, perturbed(base, 1e-5, rng));
+  EXPECT_EQ(clf.mode(), MobilityMode::kStatic);
+  EXPECT_FALSE(clf.tof_active());
+}
+
+TEST(ClassifierUnitTest, DecimatesFastCsiFeed) {
+  // Feeding every 10 ms must not collapse similarity computation to
+  // back-to-back samples: a *slowly* drifting channel still looks static.
+  MobilityClassifier clf;
+  Rng rng(8);
+  const CsiMatrix base = random_csi(rng);
+  for (double t = 0.0; t < 4.0; t += 0.01)
+    clf.on_csi(t, perturbed(base, 1e-5, rng));
+  ASSERT_TRUE(clf.similarity().has_value());
+  EXPECT_EQ(clf.mode(), MobilityMode::kStatic);
+}
+
+TEST(ClassifierUnitTest, ThresholdsConfigurable) {
+  MobilityClassifier::Config cfg;
+  cfg.thr_sta = 0.5;  // absurdly lax: everything is "static"
+  MobilityClassifier clf(cfg);
+  Rng rng(9);
+  const CsiMatrix base = random_csi(rng);
+  for (double t = 0.0; t < 4.0; t += 0.5) clf.on_csi(t, perturbed(base, 0.12, rng));
+  EXPECT_EQ(clf.mode(), MobilityMode::kStatic);
+}
+
+// ---------- behavioural tests over the channel simulator -----------------
+
+TEST(ClassifierScenarioTest, StaticScenario) {
+  // Averaged over locations: an individual far, low-SNR link can sit just
+  // below the 0.98 threshold (the paper's static accuracy is 97%, not 100%).
+  Rng rng(11);
+  double acc = 0.0;
+  for (int i = 0; i < 3; ++i)
+    acc += accuracy_on(make_scenario(MobilityClass::kStatic, rng));
+  EXPECT_GT(acc / 3.0, 0.8);
+}
+
+TEST(ClassifierScenarioTest, EnvironmentalScenario) {
+  Rng rng(12);
+  double acc = 0.0;
+  for (int i = 0; i < 3; ++i)
+    acc += accuracy_on(make_scenario(MobilityClass::kEnvironmental, rng));
+  EXPECT_GT(acc / 3.0, 0.6);
+}
+
+TEST(ClassifierScenarioTest, MicroScenario) {
+  Rng rng(13);
+  const Scenario s = make_scenario(MobilityClass::kMicro, rng);
+  EXPECT_GT(accuracy_on(s), 0.9);
+}
+
+TEST(ClassifierScenarioTest, MacroScenario) {
+  Rng rng(14);
+  double acc = 0.0;
+  for (int i = 0; i < 3; ++i)
+    acc += accuracy_on(make_scenario(MobilityClass::kMacro, rng));
+  EXPECT_GT(acc / 3.0, 0.6);
+}
+
+TEST(ClassifierScenarioTest, HeadingResolvedOnRadialWalks) {
+  // Controlled moving-away experiment: the classifier should report
+  // macro-away (not just "macro") most of the time.
+  Rng rng(15);
+  const Scenario s = make_radial_scenario(false, 8.0, rng);
+  MobilityClassifier clf;
+  double next_csi = 0.0;
+  double next_tof = 0.0;
+  int away = 0;
+  int total = 0;
+  for (double t = 0.0; t < 20.0; t += 0.02) {
+    if (t >= next_csi - 1e-9) {
+      clf.on_csi(t, s.channel->csi_at(t));
+      next_csi += 0.5;
+    }
+    if (t >= next_tof - 1e-9) {
+      clf.on_tof(t, s.channel->tof_cycles(t));
+      next_tof += 0.02;
+    }
+    if (t > 8.0 && std::fmod(t, 1.0) < 0.02) {
+      ++total;
+      if (clf.mode() == MobilityMode::kMacroAway) ++away;
+    }
+  }
+  EXPECT_GT(static_cast<double>(away) / total, 0.7);
+}
+
+TEST(ClassifierScenarioTest, CircularWalkMisclassifiedAsMicro) {
+  // The documented §9 limitation: constant distance -> no ToF trend ->
+  // walking client classified micro.
+  Rng rng(16);
+  const Scenario s = make_circular_scenario(10.0, rng);
+  MobilityClassifier clf;
+  double next_csi = 0.0;
+  double next_tof = 0.0;
+  int micro = 0;
+  int total = 0;
+  for (double t = 0.0; t < 25.0; t += 0.02) {
+    if (t >= next_csi - 1e-9) {
+      clf.on_csi(t, s.channel->csi_at(t));
+      next_csi += 0.5;
+    }
+    if (t >= next_tof - 1e-9) {
+      clf.on_tof(t, s.channel->tof_cycles(t));
+      next_tof += 0.02;
+    }
+    if (t > 10.0 && std::fmod(t, 1.0) < 0.02) {
+      ++total;
+      if (clf.mode() == MobilityMode::kMicro) ++micro;
+    }
+  }
+  EXPECT_GT(static_cast<double>(micro) / total, 0.7);
+}
+
+TEST(ClassifierScenarioTest, ObserveConvenienceMatchesManualFeed) {
+  Rng rng1(17);
+  Rng rng2(17);
+  Scenario s1 = make_scenario(MobilityClass::kMicro, rng1);
+  Scenario s2 = make_scenario(MobilityClass::kMicro, rng2);
+  MobilityClassifier a;
+  MobilityClassifier b;
+  for (double t = 0.0; t < 5.0; t += 0.02) {
+    const ChannelSample sample = s1.channel->sample(t);
+    a.observe(sample);
+    const ChannelSample sample2 = s2.channel->sample(t);
+    b.on_csi(sample2.t, sample2.csi);
+    b.on_tof(sample2.t, sample2.tof_cycles);
+  }
+  EXPECT_EQ(a.mode(), b.mode());
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,134 @@
+// Tests for the Table-2 protocol parameter matrix: the orderings the paper's
+// observations imply, not just raw values.
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+constexpr MobilityMode kAllModes[] = {
+    MobilityMode::kStatic, MobilityMode::kEnvironmental, MobilityMode::kMicro,
+    MobilityMode::kMacroAway, MobilityMode::kMacroToward};
+
+TEST(PolicyTest, OnlyMovingAwayEncouragesRoaming) {
+  // §3.1: roaming is required only when the client moves away from its AP.
+  for (MobilityMode m : kAllModes) {
+    EXPECT_EQ(mobility_params(m).encourage_roaming, m == MobilityMode::kMacroAway)
+        << to_string(m);
+  }
+}
+
+TEST(PolicyTest, StaticKeepsLongestPerHistory) {
+  // §4.2 optimization 2: history length commensurate with mobility.
+  const double static_alpha = mobility_params(MobilityMode::kStatic).per_smoothing_alpha;
+  for (MobilityMode m : kAllModes) {
+    if (m == MobilityMode::kStatic) continue;
+    EXPECT_LT(static_alpha, mobility_params(m).per_smoothing_alpha) << to_string(m);
+  }
+}
+
+TEST(PolicyTest, MovingTowardProbesFastest) {
+  // §4.2 optimization 3: probe aggressively only when approaching the AP.
+  const double toward = mobility_params(MobilityMode::kMacroToward).probe_interval_s;
+  for (MobilityMode m : kAllModes) {
+    if (m == MobilityMode::kMacroToward) continue;
+    EXPECT_LT(toward, mobility_params(m).probe_interval_s) << to_string(m);
+  }
+}
+
+TEST(PolicyTest, MovingAwayProbesSlowest) {
+  const double away = mobility_params(MobilityMode::kMacroAway).probe_interval_s;
+  for (MobilityMode m : kAllModes) {
+    if (m == MobilityMode::kMacroAway) continue;
+    EXPECT_GT(away, mobility_params(m).probe_interval_s) << to_string(m);
+  }
+}
+
+TEST(PolicyTest, MovingAwayNeverRetries) {
+  // §4.2 optimization 1: full losses are believed immediately when the
+  // channel is known to be deteriorating.
+  EXPECT_EQ(mobility_params(MobilityMode::kMacroAway).rate_retries, 0);
+  EXPECT_GT(mobility_params(MobilityMode::kStatic).rate_retries, 0);
+}
+
+TEST(PolicyTest, AggregationShrinksWithMobilityIntensity) {
+  // §5.1: 8 ms static/environmental, 2 ms micro/macro.
+  EXPECT_DOUBLE_EQ(mobility_params(MobilityMode::kStatic).aggregation_limit_s, 8e-3);
+  EXPECT_DOUBLE_EQ(mobility_params(MobilityMode::kEnvironmental).aggregation_limit_s,
+                   8e-3);
+  EXPECT_DOUBLE_EQ(mobility_params(MobilityMode::kMicro).aggregation_limit_s, 2e-3);
+  EXPECT_DOUBLE_EQ(mobility_params(MobilityMode::kMacroAway).aggregation_limit_s, 2e-3);
+  EXPECT_DOUBLE_EQ(mobility_params(MobilityMode::kMacroToward).aggregation_limit_s,
+                   2e-3);
+}
+
+TEST(PolicyTest, FeedbackPeriodShrinksWithMobilityIntensity) {
+  // §6.3: "the higher the intensity of mobility ... the higher the required
+  // frequency of the CSI feedback."
+  const double sta = mobility_params(MobilityMode::kStatic).bf_update_period_s;
+  const double env = mobility_params(MobilityMode::kEnvironmental).bf_update_period_s;
+  const double mic = mobility_params(MobilityMode::kMicro).bf_update_period_s;
+  const double mac = mobility_params(MobilityMode::kMacroAway).bf_update_period_s;
+  EXPECT_GT(sta, env);
+  EXPECT_GT(env, mic);
+  EXPECT_GT(mic, mac);
+}
+
+TEST(PolicyTest, MuMimoAtLeastAsAggressiveAsSuBf) {
+  for (MobilityMode m : kAllModes) {
+    EXPECT_LE(mobility_params(m).mumimo_update_period_s,
+              mobility_params(m).bf_update_period_s)
+        << to_string(m);
+  }
+}
+
+TEST(PolicyTest, DefaultMatchesStockDriver) {
+  const ProtocolParams d = default_params();
+  EXPECT_DOUBLE_EQ(d.per_smoothing_alpha, 1.0 / 8.0);  // §4.1
+  EXPECT_EQ(d.rate_retries, 0);
+  EXPECT_DOUBLE_EQ(d.aggregation_limit_s, 4e-3);       // §5.1 default
+  EXPECT_DOUBLE_EQ(d.bf_update_period_s, 2e-3);        // §6.3 default
+  EXPECT_FALSE(d.encourage_roaming);
+}
+
+TEST(PolicyTest, OrbitSharesMacroChannelDynamics) {
+  // An orbiting client has macro channel dynamics but no roaming pressure.
+  const ProtocolParams orbit = mobility_params(MobilityMode::kMacroOrbit);
+  EXPECT_FALSE(orbit.encourage_roaming);
+  EXPECT_DOUBLE_EQ(orbit.aggregation_limit_s,
+                   mobility_params(MobilityMode::kMacroAway).aggregation_limit_s);
+  EXPECT_DOUBLE_EQ(orbit.bf_update_period_s,
+                   mobility_params(MobilityMode::kMacroAway).bf_update_period_s);
+}
+
+TEST(PolicyTest, MacroDirectionsShareChannelDynamicsParams) {
+  // Toward and away have the same channel coherence, so smoothing and
+  // aggregation match; only probing/roaming/retries differ.
+  const ProtocolParams away = mobility_params(MobilityMode::kMacroAway);
+  const ProtocolParams toward = mobility_params(MobilityMode::kMacroToward);
+  EXPECT_DOUBLE_EQ(away.per_smoothing_alpha, toward.per_smoothing_alpha);
+  EXPECT_DOUBLE_EQ(away.aggregation_limit_s, toward.aggregation_limit_s);
+  EXPECT_DOUBLE_EQ(away.bf_update_period_s, toward.bf_update_period_s);
+}
+
+TEST(MobilityModeTest, CoarseMapping) {
+  EXPECT_EQ(to_class(MobilityMode::kMacroAway), MobilityClass::kMacro);
+  EXPECT_EQ(to_class(MobilityMode::kMacroToward), MobilityClass::kMacro);
+  EXPECT_EQ(to_class(MobilityMode::kStatic), MobilityClass::kStatic);
+}
+
+TEST(MobilityModeTest, DeviceMobilityPredicate) {
+  EXPECT_TRUE(is_device_mobility(MobilityMode::kMicro));
+  EXPECT_TRUE(is_device_mobility(MobilityMode::kMacroAway));
+  EXPECT_FALSE(is_device_mobility(MobilityMode::kEnvironmental));
+  EXPECT_FALSE(is_device_mobility(MobilityMode::kStatic));
+}
+
+TEST(MobilityModeTest, Names) {
+  EXPECT_EQ(to_string(MobilityMode::kMacroToward), "macro-toward");
+  EXPECT_EQ(to_string(MobilityClass::kEnvironmental), "environmental");
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,143 @@
+// Tests for the ToF median/trend pipeline (§2.4-2.5).
+#include "core/tof_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+namespace {
+
+// Feed a synthetic ToF stream: base + slope*t + gaussian noise, sampled at
+// 20 ms for `duration` seconds.
+void feed(TofTracker& tracker, double base, double slope_per_s, double noise_std,
+          double duration_s, Rng& rng, double t0 = 0.0) {
+  for (double t = t0; t < t0 + duration_s; t += 0.02) {
+    const double v =
+        std::round(base + slope_per_s * (t - t0) + rng.gaussian(0.0, noise_std));
+    tracker.add(t, v);
+  }
+}
+
+TEST(TofTrackerTest, NoTrendUntilWindowFull) {
+  TofTracker tracker;
+  Rng rng(1);
+  feed(tracker, 100.0, 2.0, 0.0, 2.5, rng);  // only 2 medians
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);
+}
+
+TEST(TofTrackerTest, MedianCadenceOnePerSecond) {
+  TofTracker tracker;
+  Rng rng(2);
+  feed(tracker, 100.0, 0.0, 0.0, 5.5, rng);
+  EXPECT_EQ(tracker.median_count(), 5u);
+  ASSERT_TRUE(tracker.last_median().has_value());
+  EXPECT_NEAR(*tracker.last_median(), 100.0, 0.5);
+}
+
+TEST(TofTrackerTest, DetectsIncreasingTrend) {
+  // Walking away: ~0.7 cycles/s of drift against ~1 cycle of noise.
+  TofTracker tracker;
+  Rng rng(3);
+  feed(tracker, 100.0, 0.7, 1.0, 6.0, rng);
+  EXPECT_EQ(tracker.trend(), TofTrend::kIncreasing);
+}
+
+TEST(TofTrackerTest, DetectsDecreasingTrend) {
+  TofTracker tracker;
+  Rng rng(4);
+  feed(tracker, 100.0, -0.7, 1.0, 6.0, rng);
+  EXPECT_EQ(tracker.trend(), TofTrend::kDecreasing);
+}
+
+TEST(TofTrackerTest, FlatNoisySignalNoTrend) {
+  // Micro-mobility: no systematic drift. Check over many independent windows
+  // that false trends are rare.
+  Rng rng(5);
+  int false_trends = 0;
+  const int trials = 50;
+  for (int i = 0; i < trials; ++i) {
+    TofTracker tracker;
+    feed(tracker, 100.0, 0.0, 1.1, 6.0, rng);
+    if (tracker.trend() != TofTrend::kNone) ++false_trends;
+  }
+  EXPECT_LE(false_trends, 5);
+}
+
+TEST(TofTrackerTest, ResetClearsEverything) {
+  TofTracker tracker;
+  Rng rng(6);
+  feed(tracker, 100.0, 1.0, 0.0, 6.0, rng);
+  EXPECT_NE(tracker.trend(), TofTrend::kNone);
+  tracker.reset();
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);
+  EXPECT_EQ(tracker.median_count(), 0u);
+  EXPECT_FALSE(tracker.last_median().has_value());
+}
+
+TEST(TofTrackerTest, RestartsCleanlyAfterReset) {
+  TofTracker tracker;
+  Rng rng(7);
+  feed(tracker, 100.0, 1.0, 0.5, 6.0, rng);
+  tracker.reset();
+  feed(tracker, 200.0, -1.0, 0.5, 6.0, rng, /*t0=*/20.0);
+  EXPECT_EQ(tracker.trend(), TofTrend::kDecreasing);
+}
+
+TEST(TofTrackerTest, MedianRejectsOutliers) {
+  TofTracker tracker;
+  Rng rng(8);
+  for (double t = 0.0; t < 1.2; t += 0.02) {
+    // One in ten readings is a wild outlier.
+    const double v = (static_cast<int>(t / 0.02) % 10 == 0) ? 500.0 : 100.0;
+    tracker.add(t, v);
+  }
+  ASSERT_TRUE(tracker.last_median().has_value());
+  EXPECT_NEAR(*tracker.last_median(), 100.0, 0.5);
+}
+
+TEST(TofTrackerTest, SmallDriftBelowMinChangeIgnored) {
+  // Drift too small to count as walking (min_change gate).
+  TofTracker tracker;
+  Rng rng(9);
+  feed(tracker, 100.0, 0.05, 0.0, 6.0, rng);
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);
+}
+
+TEST(TofTrackerTest, ConfigurableWindow) {
+  TofTracker::Config cfg;
+  cfg.trend_window = 6;
+  TofTracker tracker(cfg);
+  Rng rng(10);
+  feed(tracker, 100.0, 1.0, 0.0, 5.0, rng);  // only 5 medians < 6
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);
+  feed(tracker, 105.0, 1.0, 0.0, 2.0, rng, 5.0);
+  EXPECT_EQ(tracker.trend(), TofTrend::kIncreasing);
+}
+
+class TrendSlopeNoiseSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(TrendSlopeNoiseSweep, WalkingSlopesDetectedAcrossNoiseLevels) {
+  const auto [slope, noise] = GetParam();
+  Rng rng(42);
+  int detected = 0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    TofTracker tracker;
+    feed(tracker, 150.0, slope, noise, 7.0, rng);
+    const TofTrend want = slope > 0 ? TofTrend::kIncreasing : TofTrend::kDecreasing;
+    if (tracker.trend() == want) ++detected;
+  }
+  EXPECT_GE(detected, trials * 3 / 5)
+      << "slope " << slope << " noise " << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SlopesAndNoise, TrendSlopeNoiseSweep,
+    ::testing::Values(std::make_pair(0.7, 0.5), std::make_pair(0.7, 1.0),
+                      std::make_pair(-0.7, 1.0), std::make_pair(1.4, 1.5),
+                      std::make_pair(-1.4, 1.5)));
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,121 @@
+// Integration: Table-1-style accuracy of the full classification pipeline
+// over randomized locations, at reduced trial counts suitable for CI.
+// The bench binary bench_table1_classification runs the full-scale version.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "chan/scenario.hpp"
+#include "core/mobility_classifier.hpp"
+
+namespace mobiwlan {
+namespace {
+
+struct ClassResult {
+  std::map<MobilityClass, int> counts;
+  int total = 0;
+
+  double accuracy(MobilityClass truth) const {
+    const auto it = counts.find(truth);
+    const int correct = it == counts.end() ? 0 : it->second;
+    return total > 0 ? static_cast<double>(correct) / total : 0.0;
+  }
+};
+
+ClassResult run_trials(MobilityClass cls, int trials, std::uint64_t seed) {
+  Rng master(seed);
+  ClassResult result;
+  for (int trial = 0; trial < trials; ++trial) {
+    Scenario s = make_scenario(cls, master);
+    MobilityClassifier clf;
+    double next_csi = 0.0;
+    double next_tof = 0.0;
+    for (double t = 0.0; t < 35.0; t += 0.02) {
+      if (t >= next_csi - 1e-9) {
+        clf.on_csi(t, s.channel->csi_at(t));
+        next_csi += clf.config().csi_period_s;
+      }
+      if (t >= next_tof - 1e-9) {
+        clf.on_tof(t, s.channel->tof_cycles(t));
+        next_tof += clf.config().tof_period_s;
+      }
+      if (t > 10.0 && std::fmod(t, 1.0) < 0.02) {
+        ++result.total;
+        ++result.counts[to_class(clf.mode())];
+      }
+    }
+  }
+  return result;
+}
+
+class AccuracyPerClass
+    : public ::testing::TestWithParam<std::pair<MobilityClass, double>> {};
+
+TEST_P(AccuracyPerClass, MeetsFloor) {
+  const auto [cls, floor] = GetParam();
+  const ClassResult r = run_trials(cls, 8, 4242);
+  EXPECT_GE(r.accuracy(cls), floor) << to_string(cls);
+}
+
+// Floors are set below the calibrated full-scale accuracies (97/91/100/90)
+// to absorb small-sample noise at 8 trials.
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, AccuracyPerClass,
+    ::testing::Values(std::make_pair(MobilityClass::kStatic, 0.85),
+                      std::make_pair(MobilityClass::kEnvironmental, 0.70),
+                      std::make_pair(MobilityClass::kMicro, 0.90),
+                      std::make_pair(MobilityClass::kMacro, 0.70)));
+
+TEST(ClassificationIntegrationTest, NoCrossContaminationStaticVsDevice) {
+  // Static must never be classified as device mobility and vice versa —
+  // those confusions would flip every downstream protocol decision.
+  ClassResult stat = run_trials(MobilityClass::kStatic, 6, 777);
+  EXPECT_EQ(stat.counts[MobilityClass::kMicro] + stat.counts[MobilityClass::kMacro],
+            0);
+  ClassResult micro = run_trials(MobilityClass::kMicro, 6, 778);
+  EXPECT_EQ(micro.counts[MobilityClass::kStatic], 0);
+}
+
+TEST(ClassificationIntegrationTest, EnvironmentalNeverLooksMacro) {
+  // Environmental errors fall into micro (ToF shows no trend for a static
+  // device), never macro.
+  ClassResult env = run_trials(MobilityClass::kEnvironmental, 6, 779);
+  EXPECT_EQ(env.counts[MobilityClass::kMacro], 0);
+}
+
+TEST(ClassificationIntegrationTest, HeadingAccuracyOnControlledWalks) {
+  // Controlled toward/away radial walks: the detected macro direction must
+  // match ground truth in the vast majority of classified-macro seconds.
+  Rng master(991);
+  int correct = 0;
+  int classified = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const bool toward = trial % 2 == 0;
+    Scenario s = make_radial_scenario(toward, toward ? 30.0 : 8.0, master);
+    MobilityClassifier clf;
+    double next_csi = 0.0;
+    double next_tof = 0.0;
+    for (double t = 0.0; t < 16.0; t += 0.02) {
+      if (t >= next_csi - 1e-9) {
+        clf.on_csi(t, s.channel->csi_at(t));
+        next_csi += 0.5;
+      }
+      if (t >= next_tof - 1e-9) {
+        clf.on_tof(t, s.channel->tof_cycles(t));
+        next_tof += 0.02;
+      }
+      if (t > 8.0 && std::fmod(t, 1.0) < 0.02 && is_macro(clf.mode())) {
+        ++classified;
+        const MobilityMode want =
+            toward ? MobilityMode::kMacroToward : MobilityMode::kMacroAway;
+        if (clf.mode() == want) ++correct;
+      }
+    }
+  }
+  ASSERT_GT(classified, 10);
+  EXPECT_GT(static_cast<double>(correct) / classified, 0.9);
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,80 @@
+// Tests for A-MPDU planning and the adaptive aggregation policy (§5).
+#include "mac/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hpp"
+
+namespace mobiwlan {
+namespace {
+
+TEST(AggregationPolicyTest, FixedPolicyIgnoresMode) {
+  AggregationPolicy policy;
+  policy.adaptive = false;
+  policy.fixed_limit_s = 4e-3;
+  EXPECT_DOUBLE_EQ(aggregation_limit_s(policy, MobilityMode::kMacroAway), 4e-3);
+  EXPECT_DOUBLE_EQ(aggregation_limit_s(policy, std::nullopt), 4e-3);
+}
+
+TEST(AggregationPolicyTest, AdaptiveFollowsTable2) {
+  AggregationPolicy policy;
+  policy.adaptive = true;
+  EXPECT_DOUBLE_EQ(aggregation_limit_s(policy, MobilityMode::kStatic), 8e-3);
+  EXPECT_DOUBLE_EQ(aggregation_limit_s(policy, MobilityMode::kMicro), 2e-3);
+  EXPECT_DOUBLE_EQ(aggregation_limit_s(policy, MobilityMode::kMacroToward), 2e-3);
+}
+
+TEST(AggregationPolicyTest, AdaptiveWithoutClassificationFallsBack) {
+  AggregationPolicy policy;
+  policy.adaptive = true;
+  policy.fixed_limit_s = 4e-3;
+  EXPECT_DOUBLE_EQ(aggregation_limit_s(policy, std::nullopt), 4e-3);
+}
+
+TEST(AmpduPlanTest, PlanRespectsTimeLimit) {
+  for (int mcs_index : {0, 4, 9, 15}) {
+    for (double limit : {2e-3, 4e-3, 8e-3}) {
+      const AmpduPlan plan = plan_ampdu(mcs(mcs_index), limit, 1500);
+      EXPECT_GE(plan.n_mpdus, 1);
+      // Allow preamble slack plus one MPDU of quantization.
+      EXPECT_LE(plan.frame_airtime_s, limit + 1e-3) << mcs_index << " " << limit;
+    }
+  }
+}
+
+TEST(AmpduPlanTest, MoreTimeMoreMpdus) {
+  const AmpduPlan small = plan_ampdu(mcs(12), 2e-3, 1500);
+  const AmpduPlan large = plan_ampdu(mcs(12), 8e-3, 1500);
+  EXPECT_GT(large.n_mpdus, small.n_mpdus);
+}
+
+TEST(AmpduPlanTest, AgeFractionsOrderedAndCentered) {
+  const AmpduPlan plan = plan_ampdu(mcs(12), 4e-3, 1500);
+  ASSERT_GT(plan.n_mpdus, 2);
+  double prev = 0.0;
+  for (int i = 0; i < plan.n_mpdus; ++i) {
+    const double age = plan.mpdu_age_fraction(i);
+    EXPECT_GT(age, prev);
+    EXPECT_GT(age, 0.0);
+    EXPECT_LT(age, 1.0);
+    prev = age;
+  }
+  // First MPDU sits right after the channel estimate; last near frame end.
+  EXPECT_LT(plan.mpdu_age_fraction(0), 0.1);
+  EXPECT_GT(plan.mpdu_age_fraction(plan.n_mpdus - 1), 0.9);
+}
+
+TEST(AmpduPlanTest, SingleMpduAgeIsMidpoint) {
+  AmpduPlan plan;
+  plan.n_mpdus = 1;
+  EXPECT_DOUBLE_EQ(plan.mpdu_age_fraction(0), 0.5);
+}
+
+TEST(AmpduPlanTest, ZeroMpdusSafe) {
+  AmpduPlan plan;
+  plan.n_mpdus = 0;
+  EXPECT_DOUBLE_EQ(plan.mpdu_age_fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace mobiwlan

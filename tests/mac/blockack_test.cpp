@@ -1,0 +1,155 @@
+// Tests for the Block ACK window and retransmission bookkeeping.
+#include "mac/blockack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+std::vector<bool> all(bool v, std::size_t n) { return std::vector<bool>(n, v); }
+
+TEST(BlockAckTest, SequencesAreMonotonic) {
+  BlockAckWindow w;
+  for (int i = 0; i < 5; ++i) w.enqueue(i * 0.001);
+  const auto frame = w.next_frame(0.01, 5);
+  ASSERT_EQ(frame.size(), 5u);
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    EXPECT_EQ(frame[i].seq, static_cast<std::uint32_t>(i));
+}
+
+TEST(BlockAckTest, FrameLimitedByMaxMpdus) {
+  BlockAckWindow w;
+  for (int i = 0; i < 10; ++i) w.enqueue(0.0);
+  EXPECT_EQ(w.next_frame(0.0, 4).size(), 4u);
+}
+
+TEST(BlockAckTest, FrameLimitedByWindow) {
+  BlockAckWindow::Config cfg;
+  cfg.window_size = 8;
+  BlockAckWindow w(cfg);
+  for (int i = 0; i < 20; ++i) w.enqueue(0.0);
+  EXPECT_EQ(w.next_frame(0.0, 64).size(), 8u);
+}
+
+TEST(BlockAckTest, DeliveredMpdusComplete) {
+  BlockAckWindow w;
+  for (int i = 0; i < 3; ++i) w.enqueue(0.0);
+  const auto frame = w.next_frame(0.1, 3);
+  const auto outcome = w.on_block_ack(frame, all(true, 3));
+  EXPECT_EQ(outcome.delivered.size(), 3u);
+  EXPECT_EQ(outcome.dropped.size(), 0u);
+  EXPECT_EQ(w.queued(), 0u);
+}
+
+TEST(BlockAckTest, FailedMpdusRetransmitFirst) {
+  BlockAckWindow w;
+  for (int i = 0; i < 4; ++i) w.enqueue(0.0);
+  const auto frame = w.next_frame(0.1, 2);            // seqs 0,1
+  w.on_block_ack(frame, {false, true});               // 0 failed
+  const auto next = w.next_frame(0.2, 3);
+  ASSERT_EQ(next.size(), 3u);
+  EXPECT_EQ(next[0].seq, 0u);  // retransmission leads
+  EXPECT_EQ(next[0].retries, 2);
+  EXPECT_EQ(next[1].seq, 2u);
+  EXPECT_EQ(next[2].seq, 3u);
+}
+
+TEST(BlockAckTest, RetryLimitDrops) {
+  BlockAckWindow::Config cfg;
+  cfg.retry_limit = 3;
+  BlockAckWindow w(cfg);
+  w.enqueue(0.0);
+  double t = 0.0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const auto frame = w.next_frame(t, 1);
+    ASSERT_EQ(frame.size(), 1u);
+    const auto outcome = w.on_block_ack(frame, all(false, 1));
+    EXPECT_TRUE(outcome.dropped.empty());
+    t += 0.01;
+  }
+  const auto frame = w.next_frame(t, 1);
+  ASSERT_EQ(frame.size(), 1u);
+  EXPECT_EQ(frame[0].retries, 3);
+  const auto outcome = w.on_block_ack(frame, all(false, 1));
+  ASSERT_EQ(outcome.dropped.size(), 1u);
+  EXPECT_EQ(outcome.dropped[0].seq, 0u);
+  // Dropped MPDU releases the window.
+  EXPECT_EQ(w.in_flight(), 0u);
+  EXPECT_FALSE(w.window_stalled());
+}
+
+TEST(BlockAckTest, WindowAdvancesAfterHeadDelivery) {
+  BlockAckWindow::Config cfg;
+  cfg.window_size = 4;
+  BlockAckWindow w(cfg);
+  for (int i = 0; i < 8; ++i) w.enqueue(0.0);
+  auto frame = w.next_frame(0.0, 4);                   // seqs 0..3
+  w.on_block_ack(frame, all(true, 4));
+  frame = w.next_frame(0.1, 4);                        // window slid to 4..7
+  ASSERT_EQ(frame.size(), 4u);
+  EXPECT_EQ(frame[0].seq, 4u);
+}
+
+TEST(BlockAckTest, HeadOfLineFailureBlocksNewSequences) {
+  BlockAckWindow::Config cfg;
+  cfg.window_size = 4;
+  cfg.retry_limit = 10;
+  BlockAckWindow w(cfg);
+  for (int i = 0; i < 12; ++i) w.enqueue(0.0);
+  auto frame = w.next_frame(0.0, 4);                   // 0..3
+  w.on_block_ack(frame, {false, true, true, true});    // 0 pins the window
+  frame = w.next_frame(0.1, 4);
+  // Sequence 0 pins the window at [0, 4); seqs 1-3 are already delivered and
+  // the queued seqs 4+ do not fit — the frame carries ONLY the retransmission.
+  ASSERT_EQ(frame.size(), 1u);
+  EXPECT_EQ(frame[0].seq, 0u);
+  EXPECT_EQ(frame[0].retries, 2);
+  // Delivering it releases the window for fresh sequences.
+  w.on_block_ack(frame, all(true, 1));
+  frame = w.next_frame(0.2, 4);
+  ASSERT_EQ(frame.size(), 4u);
+  EXPECT_EQ(frame[0].seq, 4u);
+}
+
+TEST(BlockAckTest, TimestampsPreserved) {
+  BlockAckWindow w;
+  w.enqueue(1.5);
+  const auto frame = w.next_frame(2.0, 1);
+  ASSERT_EQ(frame.size(), 1u);
+  EXPECT_DOUBLE_EQ(frame[0].enqueue_t, 1.5);
+  EXPECT_DOUBLE_EQ(frame[0].first_tx_t, 2.0);
+  const auto outcome = w.on_block_ack(frame, all(true, 1));
+  EXPECT_DOUBLE_EQ(outcome.delivered[0].enqueue_t, 1.5);
+}
+
+TEST(BlockAckTest, NextFrameWhileUnackedThrows) {
+  BlockAckWindow w;
+  w.enqueue(0.0);
+  w.enqueue(0.0);
+  (void)w.next_frame(0.0, 1);
+  EXPECT_THROW(w.next_frame(0.1, 1), std::logic_error);
+}
+
+TEST(BlockAckTest, MismatchedBitmapThrows) {
+  BlockAckWindow w;
+  w.enqueue(0.0);
+  const auto frame = w.next_frame(0.0, 1);
+  EXPECT_THROW(w.on_block_ack(frame, all(true, 2)), std::invalid_argument);
+}
+
+TEST(BlockAckTest, EmptyFrameWhenNothingQueued) {
+  BlockAckWindow w;
+  EXPECT_TRUE(w.next_frame(0.0, 8).empty());
+}
+
+TEST(BlockAckTest, DegenerateConfigClamped) {
+  BlockAckWindow::Config cfg;
+  cfg.window_size = 0;
+  cfg.retry_limit = 0;
+  BlockAckWindow w(cfg);
+  EXPECT_GE(w.config().window_size, 1);
+  EXPECT_GE(w.config().retry_limit, 1);
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,233 @@
+// Tests for the comparison rate-adaptation schemes: SensorHint (RapidSample/
+// SampleRate), SoftRate, and ESNR.
+#include <gtest/gtest.h>
+
+#include "mac/esnr_ra.hpp"
+#include "mac/sensor_hint_ra.hpp"
+#include "mac/softrate_ra.hpp"
+#include "phy/mcs.hpp"
+
+namespace mobiwlan {
+namespace {
+
+TxContext moving_ctx(double t, bool moving) {
+  TxContext ctx;
+  ctx.t = t;
+  ctx.sensor_in_motion = moving;
+  return ctx;
+}
+
+FrameResult result_for(double t, int mcs_index, int n_mpdus, int n_failed) {
+  FrameResult r;
+  r.t = t;
+  r.mcs = mcs_index;
+  r.n_mpdus = n_mpdus;
+  r.n_failed = n_failed;
+  r.block_ack_received = n_failed < n_mpdus;
+  return r;
+}
+
+// ---------------- SensorHintRa ----------------
+
+TEST(SensorHintRaTest, MobileLossDropsImmediately) {
+  SensorHintRa ra;
+  const int first = ra.select_mcs(moving_ctx(0.0, true));
+  ra.on_result(result_for(0.0, first, 10, 5), moving_ctx(0.0, true));
+  const int next = ra.select_mcs(moving_ctx(0.001, true));
+  EXPECT_LT(next, first);
+}
+
+TEST(SensorHintRaTest, MobileProbesUpAfterQuietPeriod) {
+  SensorHintRa ra;
+  double t = 0.0;
+  int current = ra.select_mcs(moving_ctx(t, true));
+  ra.on_result(result_for(t, current, 10, 10), moving_ctx(t, true));
+  t += 0.004;
+  current = ra.select_mcs(moving_ctx(t, true));
+  // Run loss-free for 100 ms; RapidSample must have climbed.
+  for (int i = 0; i < 25; ++i) {
+    ra.on_result(result_for(t, current, 10, 0), moving_ctx(t, true));
+    t += 0.004;
+    current = ra.select_mcs(moving_ctx(t, true));
+  }
+  EXPECT_GT(current, 0);
+}
+
+TEST(SensorHintRaTest, StaticConvergesToGoodRate) {
+  // SampleRate half: feed outcomes consistent with "MCS 11 is optimal".
+  SensorHintRa ra;
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const int m = ra.select_mcs(moving_ctx(t, false));
+    const int failed = mcs(m).rate_mbps > mcs(11).rate_mbps ? 9 : 0;
+    ra.on_result(result_for(t, m, 10, failed), moving_ctx(t, false));
+    t += 0.004;
+  }
+  const int settled = ra.select_mcs(moving_ctx(t, false));
+  EXPECT_EQ(settled, 11);
+}
+
+TEST(SensorHintRaTest, StaticSamplesOccasionally) {
+  SensorHintRa ra;
+  double t = 0.0;
+  bool sampled = false;
+  int settled = -1;
+  for (int i = 0; i < 100; ++i) {
+    const int m = ra.select_mcs(moving_ctx(t, false));
+    if (settled >= 0 && m != settled) sampled = true;
+    if (i == 30) settled = m;
+    ra.on_result(result_for(t, m, 10, m > 9 ? 9 : 0), moving_ctx(t, false));
+    t += 0.004;
+  }
+  EXPECT_TRUE(sampled);
+}
+
+TEST(SensorHintRaTest, MissingHintTreatedAsStatic) {
+  SensorHintRa ra;
+  TxContext ctx;
+  ctx.t = 0.0;
+  EXPECT_NO_THROW(ra.select_mcs(ctx));
+}
+
+TEST(SensorHintRaTest, Name) {
+  SensorHintRa ra;
+  EXPECT_EQ(ra.name(), "rapidsample");
+}
+
+// ---------------- SoftRateRa ----------------
+
+TEST(SoftRateRaTest, HighBerStepsDown) {
+  SoftRateRa ra;
+  TxContext first;
+  first.t = 0.0;
+  const int start = ra.select_mcs(first);
+  TxContext fed;
+  fed.t = 0.004;
+  fed.feedback_ber = 1e-3;
+  EXPECT_LT(ra.select_mcs(fed), start);
+}
+
+TEST(SoftRateRaTest, LowBerStepsUp) {
+  SoftRateRa ra;
+  TxContext first;
+  first.t = 0.0;
+  const int start = ra.select_mcs(first);
+  TxContext fed;
+  fed.t = 0.004;
+  fed.feedback_ber = 1e-12;
+  EXPECT_GT(ra.select_mcs(fed), start);
+}
+
+TEST(SoftRateRaTest, MidBandHolds) {
+  SoftRateRa ra;
+  TxContext first;
+  first.t = 0.0;
+  const int start = ra.select_mcs(first);
+  TxContext fed;
+  fed.t = 0.004;
+  fed.feedback_ber = 1e-6;  // between ber_low and ber_high
+  EXPECT_EQ(ra.select_mcs(fed), start);
+}
+
+TEST(SoftRateRaTest, StepsOneRateAtATime) {
+  SoftRateRa ra;
+  TxContext first;
+  first.t = 0.0;
+  const int start = ra.select_mcs(first);
+  TxContext fed;
+  fed.t = 0.004;
+  fed.feedback_ber = 0.4;  // catastrophic, but still only one step
+  const int next = ra.select_mcs(fed);
+  const auto& ladder = atheros_rate_ladder(2);
+  const auto pos_start = std::find(ladder.begin(), ladder.end(), start);
+  const auto pos_next = std::find(ladder.begin(), ladder.end(), next);
+  EXPECT_EQ(pos_start - pos_next, 1);
+}
+
+TEST(SoftRateRaTest, TotalLossWithoutFeedbackStepsDown) {
+  SoftRateRa ra;
+  TxContext ctx;
+  ctx.t = 0.0;
+  const int start = ra.select_mcs(ctx);
+  ra.on_result(result_for(0.0, start, 10, 10), ctx);
+  TxContext next;
+  next.t = 0.004;
+  EXPECT_LT(ra.select_mcs(next), start);
+}
+
+TEST(SoftRateRaTest, ClampsAtLadderEnds) {
+  SoftRateRa ra;
+  TxContext fed;
+  fed.feedback_ber = 0.4;
+  for (int i = 0; i < 30; ++i) {
+    fed.t = i * 0.004;
+    ra.select_mcs(fed);
+  }
+  EXPECT_EQ(ra.select_mcs(fed), 0);
+  fed.feedback_ber = 1e-15;
+  int last = 0;
+  for (int i = 0; i < 30; ++i) {
+    fed.t = 1.0 + i * 0.004;
+    last = ra.select_mcs(fed);
+  }
+  EXPECT_EQ(last, 15);
+}
+
+// ---------------- EsnrRa ----------------
+
+TEST(EsnrRaTest, PicksOracleRateFromFeedback) {
+  EsnrRa ra;
+  TxContext ctx;
+  ctx.t = 0.0;
+  ctx.feedback_esnr_db = 35.0;
+  EXPECT_EQ(ra.select_mcs(ctx), 15);
+  ctx.feedback_esnr_db = 6.0;
+  EXPECT_LE(ra.select_mcs(ctx), 1);
+}
+
+TEST(EsnrRaTest, SingleObservationPinsRate) {
+  // §4.3: ESNR "can indicate the bit-rate of the channel using a single
+  // observation" — one feedback moves it multiple steps at once.
+  EsnrRa ra;
+  TxContext hi;
+  hi.feedback_esnr_db = 34.0;
+  const int top = ra.select_mcs(hi);
+  TxContext lo;
+  lo.feedback_esnr_db = 12.0;
+  const int bottom = ra.select_mcs(lo);
+  EXPECT_GT(top - bottom, 3);
+}
+
+TEST(EsnrRaTest, MarginBacksOff) {
+  EsnrRa::Config tight;
+  tight.margin_db = 0.0;
+  EsnrRa::Config loose;
+  loose.margin_db = 4.0;
+  EsnrRa a(tight);
+  EsnrRa b(loose);
+  TxContext ctx;
+  ctx.feedback_esnr_db = 21.0;
+  EXPECT_GE(a.select_mcs(ctx), b.select_mcs(ctx));
+}
+
+TEST(EsnrRaTest, NoFeedbackHoldsLastRate) {
+  EsnrRa ra;
+  TxContext fed;
+  fed.feedback_esnr_db = 25.0;
+  const int rate = ra.select_mcs(fed);
+  TxContext none;
+  EXPECT_EQ(ra.select_mcs(none), rate);
+}
+
+TEST(EsnrRaTest, TotalLossBacksOffOneRate) {
+  EsnrRa ra;
+  TxContext fed;
+  fed.feedback_esnr_db = 30.0;
+  const int rate = ra.select_mcs(fed);
+  ra.on_result(result_for(0.0, rate, 10, 10), fed);
+  TxContext none;
+  EXPECT_EQ(ra.select_mcs(none), rate - 1);
+}
+
+}  // namespace
+}  // namespace mobiwlan

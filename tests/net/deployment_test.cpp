@@ -1,0 +1,78 @@
+// Tests for the multi-AP deployment.
+#include "net/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+TEST(DeploymentTest, CorridorLayoutSpacing) {
+  const auto layout = WlanDeployment::corridor_layout(6, 25.0);
+  ASSERT_EQ(layout.size(), 6u);
+  for (std::size_t i = 1; i < layout.size(); ++i) {
+    EXPECT_DOUBLE_EQ(layout[i].x - layout[i - 1].x, 25.0);
+    EXPECT_DOUBLE_EQ(layout[i].y, 0.0);
+  }
+}
+
+TEST(DeploymentTest, OneChannelPerAp) {
+  Rng rng(1);
+  auto traj = std::make_shared<StaticTrajectory>(Vec2{10.0, 3.0});
+  WlanDeployment wlan(WlanDeployment::corridor_layout(4), traj, ChannelConfig{}, rng);
+  EXPECT_EQ(wlan.n_aps(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(wlan.channel(i).ap_position().x, wlan.ap_position(i).x);
+  }
+}
+
+TEST(DeploymentTest, StrongestApIsNearbyOne) {
+  // With shadowing the nearest AP is not always strongest, but over several
+  // random deployments the strongest AP should be among the closest.
+  int near_wins = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(100 + trial);
+    auto traj = std::make_shared<StaticTrajectory>(Vec2{2.0, 1.0});
+    WlanDeployment wlan(WlanDeployment::corridor_layout(6, 30.0), traj,
+                        ChannelConfig{}, rng);
+    if (wlan.strongest_ap(0.0) <= 1) ++near_wins;
+  }
+  EXPECT_GE(near_wins, 8);
+}
+
+TEST(DeploymentTest, ChannelsSeeTheSameClient) {
+  Rng rng(2);
+  auto traj = WlanDeployment::corridor_walk(rng, 3, 20.0);
+  WlanDeployment wlan(WlanDeployment::corridor_layout(3, 20.0), traj,
+                      ChannelConfig{}, rng);
+  // The trajectory is shared: distance differences equal geometry differences.
+  const Vec2 client = traj->position(5.0);
+  for (std::size_t ap = 0; ap < 3; ++ap) {
+    EXPECT_NEAR(wlan.channel(ap).true_distance(5.0),
+                distance(wlan.ap_position(ap), client), 1e-9);
+  }
+}
+
+TEST(DeploymentTest, CorridorWalkStaysNearCorridor) {
+  Rng rng(3);
+  auto traj = WlanDeployment::corridor_walk(rng, 6, 28.0);
+  for (double t = 0.0; t < 200.0; t += 1.0) {
+    const Vec2 p = traj->position(t);
+    EXPECT_GE(p.x, -7.0);
+    EXPECT_LE(p.x, 5.0 * 28.0 + 7.0);
+    EXPECT_LE(std::abs(p.y), 9.5);
+  }
+}
+
+TEST(DeploymentTest, IndependentScattererFieldsPerAp) {
+  Rng rng(4);
+  auto traj = std::make_shared<StaticTrajectory>(Vec2{30.0, 0.0});
+  // Two co-located APs still see different multipath (different furniture
+  // around each radio path) — their instantaneous SNR differs by shadowing
+  // and scatterer draws.
+  std::vector<Vec2> both{{0.0, 0.0}, {0.0, 0.0}};
+  WlanDeployment wlan(both, traj, ChannelConfig{}, rng);
+  EXPECT_NE(wlan.channel(0).snr_db(0.0), wlan.channel(1).snr_db(0.0));
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,119 @@
+// Tests for the mobility-aware downlink schedulers (§9 extension).
+#include "net/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+ClientSlotInfo client(double rate, std::optional<MobilityMode> mode = std::nullopt) {
+  ClientSlotInfo c;
+  c.rate_mbps = rate;
+  c.mobility = mode;
+  return c;
+}
+
+TEST(RoundRobinTest, CyclesThroughClients) {
+  RoundRobinScheduler s;
+  const std::vector<ClientSlotInfo> clients{client(10), client(20), client(30)};
+  EXPECT_EQ(s.pick(clients), 0u);
+  EXPECT_EQ(s.pick(clients), 1u);
+  EXPECT_EQ(s.pick(clients), 2u);
+  EXPECT_EQ(s.pick(clients), 0u);
+}
+
+TEST(RoundRobinTest, EmptyThrows) {
+  RoundRobinScheduler s;
+  EXPECT_THROW(s.pick({}), std::invalid_argument);
+}
+
+TEST(ProportionalFairTest, PrefersBetterRateInitially) {
+  ProportionalFairScheduler s;
+  const std::vector<ClientSlotInfo> clients{client(10), client(50)};
+  EXPECT_EQ(s.pick(clients), 1u);
+}
+
+TEST(ProportionalFairTest, StarvedClientEventuallyServed) {
+  ProportionalFairScheduler s;
+  const std::vector<ClientSlotInfo> clients{client(10), client(50)};
+  bool served_slow = false;
+  for (int slot = 0; slot < 200 && !served_slow; ++slot) {
+    const std::size_t who = s.pick(clients);
+    s.on_served(who, clients[who].rate_mbps);
+    if (who == 0) served_slow = true;
+  }
+  EXPECT_TRUE(served_slow);
+}
+
+TEST(ProportionalFairTest, LongRunSharesAreFairish) {
+  // With equal average channels, both clients get comparable service.
+  ProportionalFairScheduler s;
+  int served[2] = {0, 0};
+  for (int slot = 0; slot < 2000; ++slot) {
+    const std::vector<ClientSlotInfo> clients{
+        client(20.0 + 10.0 * ((slot / 7) % 2)),
+        client(20.0 + 10.0 * ((slot / 11) % 2))};
+    const std::size_t who = s.pick(clients);
+    s.on_served(who, clients[who].rate_mbps);
+    ++served[who];
+  }
+  const double share0 = served[0] / 2000.0;
+  EXPECT_GT(share0, 0.3);
+  EXPECT_LT(share0, 0.7);
+}
+
+TEST(MobilityAwareTest, RidesMobileClientPeaks) {
+  // One static client at a flat 30 Mbps, one macro client oscillating
+  // 10 <-> 50 Mbps. The mobility-aware scheduler should serve the mobile
+  // client mostly on its peaks.
+  MobilityAwareScheduler s;
+  int mobile_served_at_peak = 0;
+  int mobile_served_at_trough = 0;
+  for (int slot = 0; slot < 4000; ++slot) {
+    const bool peak = (slot / 10) % 2 == 0;
+    const std::vector<ClientSlotInfo> clients{
+        client(30.0, MobilityMode::kStatic),
+        client(peak ? 50.0 : 10.0, MobilityMode::kMacroAway)};
+    const std::size_t who = s.pick(clients);
+    s.on_served(who, clients[who].rate_mbps);
+    if (who == 1) (peak ? mobile_served_at_peak : mobile_served_at_trough)++;
+  }
+  EXPECT_GT(mobile_served_at_peak, 3 * std::max(1, mobile_served_at_trough));
+}
+
+TEST(MobilityAwareTest, BeatsRoundRobinOnMixedClients) {
+  // Total delivered bits: opportunism on the mobile client's swings should
+  // beat blind alternation while still serving the static client.
+  auto run = [](Scheduler& s) {
+    double total = 0.0;
+    int static_served = 0;
+    for (int slot = 0; slot < 4000; ++slot) {
+      const bool peak = (slot / 10) % 2 == 0;
+      const std::vector<ClientSlotInfo> clients{
+          client(30.0, MobilityMode::kStatic),
+          client(peak ? 50.0 : 10.0, MobilityMode::kMacroAway)};
+      const std::size_t who = s.pick(clients);
+      s.on_served(who, clients[who].rate_mbps);
+      total += clients[who].rate_mbps;
+      if (who == 0) ++static_served;
+    }
+    return std::make_pair(total, static_served);
+  };
+  RoundRobinScheduler rr;
+  MobilityAwareScheduler ma;
+  const auto [rr_total, rr_static] = run(rr);
+  const auto [ma_total, ma_static] = run(ma);
+  EXPECT_GT(ma_total, rr_total);
+  // Fairness is preserved: the static client still gets a material share.
+  EXPECT_GT(ma_static, 4000 / 4);
+}
+
+TEST(MobilityAwareTest, FallsBackToPfWithoutClassification) {
+  MobilityAwareScheduler ma;
+  ProportionalFairScheduler pf;
+  const std::vector<ClientSlotInfo> clients{client(10), client(50)};
+  EXPECT_EQ(ma.pick(clients), pf.pick(clients));
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,117 @@
+// Tests for the 802.11n airtime model behind every throughput number.
+#include "phy/airtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace mobiwlan {
+namespace {
+
+TEST(AirtimeTest, AmpduGrowsWithPayload) {
+  const McsEntry& e = mcs(7);
+  double prev = 0.0;
+  for (int n = 1; n <= 32; n *= 2) {
+    const double t = ampdu_airtime_s(e, n, 1500);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(AirtimeTest, FasterMcsShorterFrame) {
+  EXPECT_LT(ampdu_airtime_s(mcs(7), 8, 1500), ampdu_airtime_s(mcs(0), 8, 1500));
+}
+
+TEST(AirtimeTest, PreambleDominatesTinyFrame) {
+  AirtimeConfig cfg;
+  const double t = ampdu_airtime_s(mcs(15), 1, 100);
+  EXPECT_GT(t, cfg.preamble_s);
+  EXPECT_LT(t, cfg.preamble_s + 2 * cfg.ht_ltf_per_stream_s + 1e-4);
+}
+
+TEST(AirtimeTest, ExchangeAddsContentionAndAck) {
+  const double frame = ampdu_airtime_s(mcs(4), 4, 1500);
+  const double exchange = exchange_airtime_s(mcs(4), 4, 1500);
+  AirtimeConfig cfg;
+  EXPECT_NEAR(exchange - frame,
+              kDifs + cfg.avg_backoff_slots * kSlotTime + kSifs + cfg.block_ack_s,
+              1e-12);
+}
+
+TEST(AirtimeTest, SingleMpduUsesPlainAck) {
+  AirtimeConfig cfg;
+  const double single = exchange_airtime_s(mcs(4), 1, 1500);
+  const double frame = ampdu_airtime_s(mcs(4), 1, 1500);
+  EXPECT_NEAR(single - frame,
+              kDifs + cfg.avg_backoff_slots * kSlotTime + kSifs + cfg.ack_s, 1e-12);
+}
+
+TEST(MpdusWithinTimeTest, AtLeastOne) {
+  EXPECT_GE(mpdus_within_time(mcs(0), 1e-6, 1500), 1);
+}
+
+TEST(MpdusWithinTimeTest, CappedAt64) {
+  EXPECT_EQ(mpdus_within_time(mcs(15), 1.0, 100), 64);
+}
+
+TEST(MpdusWithinTimeTest, ScalesWithRate) {
+  // §5: aggregation size = max aggregation time / bit-rate.
+  const int slow = mpdus_within_time(mcs(0), 4e-3, 1500);
+  const int fast = mpdus_within_time(mcs(15), 4e-3, 1500);
+  EXPECT_GT(fast, slow);
+  // MCS15 is 20x the rate of MCS0.
+  EXPECT_NEAR(static_cast<double>(fast) / slow, 20.0, 4.0);
+}
+
+TEST(MpdusWithinTimeTest, ScalesWithTimeLimit) {
+  const int at2 = mpdus_within_time(mcs(3), 2e-3, 1500);
+  const int at8 = mpdus_within_time(mcs(3), 8e-3, 1500);
+  EXPECT_NEAR(static_cast<double>(at8) / at2, 4.0, 0.6);
+}
+
+TEST(GoodputTest, BelowPhyRate) {
+  for (const auto& e : mcs_table()) {
+    const int n = mpdus_within_time(e, 4e-3, 1500);
+    const double g = exchange_goodput_mbps(e, n, 1500);
+    EXPECT_GT(g, 0.0);
+    EXPECT_LT(g, e.rate_mbps);
+  }
+}
+
+TEST(GoodputTest, AggregationAmortizesOverhead) {
+  // The central premise of §5: more MPDUs per frame -> higher efficiency.
+  const McsEntry& e = mcs(12);
+  double prev = 0.0;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const double g = exchange_goodput_mbps(e, n, 1500);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(GoodputTest, EfficiencyGainSaturates) {
+  // Going 32 -> 64 helps less than 1 -> 2 (diminishing returns).
+  const McsEntry& e = mcs(12);
+  const double gain_small =
+      exchange_goodput_mbps(e, 2, 1500) / exchange_goodput_mbps(e, 1, 1500);
+  const double gain_large =
+      exchange_goodput_mbps(e, 64, 1500) / exchange_goodput_mbps(e, 32, 1500);
+  EXPECT_GT(gain_small, gain_large);
+}
+
+class AggregationEfficiencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregationEfficiencySweep, EfficiencyWithinBounds) {
+  const int mcs_index = GetParam();
+  const McsEntry& e = mcs(mcs_index);
+  const int n = mpdus_within_time(e, 4e-3, 1500);
+  const double efficiency = exchange_goodput_mbps(e, n, 1500) / e.rate_mbps;
+  EXPECT_GT(efficiency, 0.5) << "mcs " << mcs_index;
+  EXPECT_LT(efficiency, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, AggregationEfficiencySweep,
+                         ::testing::Values(0, 3, 7, 9, 12, 15));
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,89 @@
+// Tests for beamscan AoA estimation (§9 augmentation).
+#include "phy/aoa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "chan/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+namespace {
+
+/// Synthesize a single-path CSI with a known departure angle using the same
+/// ULA convention as the channel (element m phase: -pi * m * cos(theta)).
+CsiMatrix single_path_csi(double theta, std::size_t n_tx = 3, std::size_t n_rx = 2,
+                          std::size_t n_sc = 52) {
+  CsiMatrix csi(n_tx, n_rx, n_sc);
+  for (std::size_t tx = 0; tx < n_tx; ++tx) {
+    const double phase = -std::numbers::pi * static_cast<double>(tx) * std::cos(theta);
+    for (std::size_t rx = 0; rx < n_rx; ++rx)
+      for (std::size_t sc = 0; sc < n_sc; ++sc)
+        csi.at(tx, rx, sc) = std::polar(1.0, phase + 0.1 * static_cast<double>(sc));
+  }
+  return csi;
+}
+
+TEST(AoaTest, RecoversKnownAngles) {
+  for (double theta : {0.3, 0.8, 1.2, 1.57, 2.0, 2.7}) {
+    const AoaEstimate est = estimate_aoa(single_path_csi(theta));
+    EXPECT_NEAR(est.angle_rad, theta, 0.06) << "theta " << theta;
+  }
+}
+
+TEST(AoaTest, ConeAmbiguityFoldsIntoHalfPlane) {
+  // -theta and +theta are indistinguishable on a ULA: both report the fold.
+  const AoaEstimate pos = estimate_aoa(single_path_csi(0.9));
+  const AoaEstimate neg = estimate_aoa(single_path_csi(-0.9));
+  EXPECT_NEAR(pos.angle_rad, neg.angle_rad, 0.03);
+}
+
+TEST(AoaTest, PeakRatioHighForSinglePath) {
+  const AoaEstimate est = estimate_aoa(single_path_csi(1.0));
+  EXPECT_GT(est.peak_ratio, 1.5);
+}
+
+TEST(AoaTest, NoisyCsiStillNearTruth) {
+  Rng rng(3);
+  CsiMatrix csi = single_path_csi(1.1);
+  for (auto& v : csi.raw()) v += rng.complex_gaussian(0.02);
+  EXPECT_NEAR(estimate_aoa(csi).angle_rad, 1.1, 0.1);
+}
+
+TEST(AoaTest, EmptyCsiSafe) {
+  const AoaEstimate est = estimate_aoa(CsiMatrix{});
+  EXPECT_DOUBLE_EQ(est.angle_rad, 0.0);
+}
+
+TEST(AoaTest, DegenerateGridSafe) {
+  EXPECT_NO_THROW(estimate_aoa(single_path_csi(1.0), 1));
+}
+
+TEST(AoaTest, TracksLosDirectionOnSimulatedChannel) {
+  // On the full multipath channel the LOS usually dominates the scan;
+  // across several draws the estimate should track the geometric angle.
+  Rng master(7);
+  int close = 0;
+  const int trials = 12;
+  for (int trial = 0; trial < trials; ++trial) {
+    Scenario s = make_scenario(MobilityClass::kStatic, master);
+    const Vec2 pos = s.trajectory->position(0.0);
+    const double truth = std::acos(std::cos(std::atan2(pos.y, pos.x)));
+    const AoaEstimate est = estimate_aoa(s.channel->csi_at(0.0));
+    if (std::abs(est.angle_rad - truth) < 0.2) ++close;
+  }
+  EXPECT_GE(close, trials * 2 / 3);
+}
+
+TEST(AoaTest, OrbitSweepsTheEstimate) {
+  Rng master(9);
+  Scenario s = make_circular_scenario(10.0, master);
+  const double a0 = estimate_aoa(s.channel->csi_at(0.0)).angle_rad;
+  const double a1 = estimate_aoa(s.channel->csi_at(8.0)).angle_rad;
+  // ~0.12 rad/s of angular motion over 8 s.
+  EXPECT_GT(std::abs(a1 - a0), 0.4);
+}
+
+}  // namespace
+}  // namespace mobiwlan

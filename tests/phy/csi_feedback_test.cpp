@@ -1,0 +1,66 @@
+// Tests for the CSI feedback overhead model (§6).
+#include "phy/csi_feedback.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+TEST(FeedbackSizeTest, DefaultReportSize) {
+  CsiFeedbackConfig cfg;
+  // 3 tx * 1 rx * 52 sc * 2 components * 8 bits = 2496 bits = 312 bytes + hdr.
+  EXPECT_EQ(feedback_report_bytes(cfg), 312u + 40u);
+}
+
+TEST(FeedbackSizeTest, ScalesWithAntennasAndBits) {
+  CsiFeedbackConfig base;
+  CsiFeedbackConfig wide = base;
+  wide.n_rx = 2;
+  EXPECT_GT(feedback_report_bytes(wide), feedback_report_bytes(base));
+  CsiFeedbackConfig coarse = base;
+  coarse.bits_per_component = 4;
+  EXPECT_LT(feedback_report_bytes(coarse), feedback_report_bytes(base));
+}
+
+TEST(FeedbackAirtimeTest, IncludesSoundingOverhead) {
+  CsiFeedbackConfig cfg;
+  EXPECT_GT(feedback_exchange_airtime_s(cfg), cfg.sounding_overhead_s);
+}
+
+TEST(FeedbackAirtimeTest, SlowerRateLongerAirtime) {
+  CsiFeedbackConfig slow;
+  slow.feedback_rate_mbps = 6.5;
+  CsiFeedbackConfig fast;
+  fast.feedback_rate_mbps = 24.0;
+  EXPECT_GT(feedback_exchange_airtime_s(slow), feedback_exchange_airtime_s(fast));
+}
+
+TEST(OverheadTest, MonotoneDecreasingInPeriod) {
+  double prev = 1.1;
+  for (double p : {1e-3, 2e-3, 5e-3, 10e-3, 20e-3, 50e-3, 200e-3}) {
+    const double f = feedback_overhead_fraction(p);
+    EXPECT_LE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(OverheadTest, SaturatesAtOne) {
+  EXPECT_DOUBLE_EQ(feedback_overhead_fraction(1e-9), 1.0);
+  EXPECT_DOUBLE_EQ(feedback_overhead_fraction(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(feedback_overhead_fraction(-1.0), 1.0);
+}
+
+TEST(OverheadTest, LongPeriodNegligible) {
+  EXPECT_LT(feedback_overhead_fraction(0.2), 0.01);
+}
+
+TEST(OverheadTest, InverseProportional) {
+  const double at10 = feedback_overhead_fraction(10e-3);
+  const double at20 = feedback_overhead_fraction(20e-3);
+  EXPECT_NEAR(at10 / at20, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,92 @@
+// Tests for the 802.11n MCS table and the Atheros rate ladder.
+#include "phy/mcs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+TEST(McsTableTest, SixteenEntries) { EXPECT_EQ(mcs_count(), 16u); }
+
+TEST(McsTableTest, IndicesMatchPositions) {
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(mcs(i).index, i);
+}
+
+TEST(McsTableTest, OutOfRangeThrows) {
+  EXPECT_THROW(mcs(-1), std::out_of_range);
+  EXPECT_THROW(mcs(16), std::out_of_range);
+}
+
+TEST(McsTableTest, StreamCounts) {
+  for (int i = 0; i <= 7; ++i) EXPECT_EQ(mcs(i).streams, 1) << i;
+  for (int i = 8; i <= 15; ++i) EXPECT_EQ(mcs(i).streams, 2) << i;
+}
+
+TEST(McsTableTest, KnownRates) {
+  EXPECT_DOUBLE_EQ(mcs(0).rate_mbps, 13.5);
+  EXPECT_DOUBLE_EQ(mcs(7).rate_mbps, 135.0);
+  EXPECT_DOUBLE_EQ(mcs(15).rate_mbps, 270.0);
+}
+
+TEST(McsTableTest, DualStreamDoublesRate) {
+  // MCS 8+i has exactly twice the rate of MCS i.
+  for (int i = 0; i <= 7; ++i)
+    EXPECT_DOUBLE_EQ(mcs(8 + i).rate_mbps, 2.0 * mcs(i).rate_mbps) << i;
+}
+
+TEST(McsTableTest, RateMatchesModulationAndCoding) {
+  // rate = subcarriers(108) * bits * code_rate / symbol_time(4us), 40 MHz LGI.
+  for (const auto& e : mcs_table()) {
+    const double expected = 108.0 * bits_per_symbol(e.modulation) * e.code_rate *
+                            e.streams / 4.0;
+    EXPECT_NEAR(e.rate_mbps, expected, 1e-9) << "MCS " << e.index;
+  }
+}
+
+TEST(McsTableTest, RatesMonotoneWithinStreamGroup) {
+  for (int i = 1; i <= 7; ++i)
+    EXPECT_GT(mcs(i).rate_mbps, mcs(i - 1).rate_mbps);
+  for (int i = 9; i <= 15; ++i)
+    EXPECT_GT(mcs(i).rate_mbps, mcs(i - 1).rate_mbps);
+}
+
+TEST(McsTableTest, MaxForStreams) {
+  EXPECT_EQ(max_mcs_for_streams(1), 7);
+  EXPECT_EQ(max_mcs_for_streams(2), 15);
+}
+
+TEST(RateLadderTest, SingleStreamKeepsAllEight) {
+  const auto& ladder = atheros_rate_ladder(1);
+  EXPECT_EQ(ladder.size(), 8u);
+  EXPECT_EQ(ladder.front(), 0);
+  EXPECT_EQ(ladder.back(), 7);
+}
+
+TEST(RateLadderTest, DualStreamSkipsOverlaps) {
+  // §4.1: skip single-stream MCS 5-7 and the duplicate-rate MCS 8 (plus the
+  // other duplicate-rate dual-stream entries 9 and 10).
+  const auto& ladder = atheros_rate_ladder(2);
+  for (int skipped : {5, 6, 7, 8, 9, 10})
+    EXPECT_EQ(std::count(ladder.begin(), ladder.end(), skipped), 0) << skipped;
+}
+
+TEST(RateLadderTest, DualStreamRatesStrictlyIncreasing) {
+  const auto& ladder = atheros_rate_ladder(2);
+  for (std::size_t i = 1; i < ladder.size(); ++i)
+    EXPECT_GT(mcs(ladder[i]).rate_mbps, mcs(ladder[i - 1]).rate_mbps)
+        << "position " << i;
+}
+
+TEST(ModulationTest, BitsPerSymbol) {
+  EXPECT_EQ(bits_per_symbol(Modulation::kBpsk), 1);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQpsk), 2);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam16), 4);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam64), 6);
+}
+
+TEST(ModulationTest, Names) {
+  EXPECT_EQ(to_string(Modulation::kQam64), "64-QAM");
+}
+
+}  // namespace
+}  // namespace mobiwlan

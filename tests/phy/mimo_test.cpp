@@ -1,0 +1,92 @@
+// Tests for per-stream ZF SINRs and the stream-penalty validation.
+#include "phy/mimo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chan/scenario.hpp"
+#include "phy/error_model.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mobiwlan {
+namespace {
+
+CMatrix orthonormal_2x2() {
+  // Unitary channel: streams separate perfectly.
+  const double s = 1.0 / std::sqrt(2.0);
+  return CMatrix{{cplx(s, 0.0), cplx(s, 0.0)}, {cplx(s, 0.0), cplx(-s, 0.0)}};
+}
+
+TEST(MimoTest, SingleStreamMatchesReference) {
+  // One stream through a unit-gain channel: SINR equals the reference SNR.
+  CMatrix h{{cplx(1.0, 0.0)}};
+  const auto sinrs = zf_stream_sinrs_db(h, 1, 20.0);
+  ASSERT_EQ(sinrs.size(), 1u);
+  EXPECT_NEAR(sinrs[0], 20.0, 1e-9);
+}
+
+TEST(MimoTest, OrthogonalChannelBreaksEven) {
+  // Orthogonal 2x2: each stream pays the -3 dB power split but collects the
+  // +3 dB two-antenna receive combining gain — net zero vs the
+  // single-antenna reference.
+  const auto sinrs = zf_stream_sinrs_db(orthonormal_2x2(), 2, 20.0);
+  ASSERT_EQ(sinrs.size(), 2u);
+  for (double s : sinrs) EXPECT_NEAR(s, 20.0, 0.05);
+}
+
+TEST(MimoTest, IllConditionedChannelPaysMore) {
+  // Nearly-parallel columns: ZF noise enhancement crushes the streams.
+  CMatrix h{{cplx(1.0, 0.0), cplx(0.99, 0.0)},
+            {cplx(1.0, 0.0), cplx(1.01, 0.0)}};
+  const auto sinrs = zf_stream_sinrs_db(h, 2, 20.0);
+  for (double s : sinrs) EXPECT_LT(s, 5.0);
+}
+
+TEST(MimoTest, RankDeficientReportsFloor) {
+  CMatrix h{{cplx(1.0, 0.0), cplx(1.0, 0.0)}, {cplx(1.0, 0.0), cplx(1.0, 0.0)}};
+  const auto sinrs = zf_stream_sinrs_db(h, 2, 20.0);
+  for (double s : sinrs) EXPECT_LT(s, -100.0);
+}
+
+TEST(MimoTest, InvalidStreamCountThrows) {
+  CMatrix h(2, 3);
+  EXPECT_THROW(zf_stream_sinrs_db(h, 3, 20.0), std::invalid_argument);
+  EXPECT_THROW(zf_stream_sinrs_db(h, 0, 20.0), std::invalid_argument);
+}
+
+TEST(MimoTest, EffectiveSinrsTrackSnr) {
+  Rng rng(1);
+  Scenario s = make_scenario(MobilityClass::kStatic, rng);
+  const CsiMatrix csi = s.channel->csi_true(0.0);
+  const auto lo = zf_effective_stream_sinrs_db(csi, 2, 15.0);
+  const auto hi = zf_effective_stream_sinrs_db(csi, 2, 25.0);
+  for (int k = 0; k < 2; ++k) EXPECT_GT(hi[k], lo[k] + 8.0);
+}
+
+TEST(MimoTest, StreamPenaltyPositiveOnRealChannels) {
+  Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    Scenario s = make_scenario(MobilityClass::kStatic, rng);
+    const double penalty =
+        stream_separation_penalty_db(s.channel->csi_true(0.0), 2, 20.0);
+    EXPECT_GT(penalty, 0.0) << "trial " << trial;
+  }
+}
+
+TEST(MimoTest, ErrorModelPenaltyIsReasonableApproximation) {
+  // The error model charges a fixed `stream_penalty_db` (3 dB) over the
+  // power split; the true ZF penalty across random office channels should
+  // bracket it (median within a few dB).
+  Rng rng(3);
+  SampleSet penalties;
+  for (int trial = 0; trial < 24; ++trial) {
+    Scenario s = make_scenario(MobilityClass::kStatic, rng);
+    penalties.add(stream_separation_penalty_db(s.channel->csi_true(0.0), 2, 20.0));
+  }
+  const ErrorModelConfig cfg;
+  EXPECT_GT(penalties.median(), cfg.stream_penalty_db - 3.0);
+  EXPECT_LT(penalties.median(), cfg.stream_penalty_db + 6.0);
+}
+
+}  // namespace
+}  // namespace mobiwlan

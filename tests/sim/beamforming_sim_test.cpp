@@ -1,0 +1,198 @@
+// Tests for the SU beamforming and MU-MIMO emulators (§6).
+#include "sim/beamforming_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+BeamformingSimConfig short_config() {
+  BeamformingSimConfig cfg;
+  cfg.duration_s = 5.0;
+  return cfg;
+}
+
+ScenarioOptions single_antenna_options() {
+  ScenarioOptions opt;
+  opt.channel.n_rx = 1;
+  return opt;
+}
+
+TEST(SuBeamformingSimTest, ProducesThroughputAndGain) {
+  Rng rng(1);
+  Scenario s = make_scenario(MobilityClass::kStatic, rng);
+  Rng sim_rng(2);
+  const auto r = simulate_su_beamforming(s, short_config(), sim_rng);
+  EXPECT_GT(r.throughput_mbps, 5.0);
+  EXPECT_GT(r.mean_gain_db, 2.0);  // static client: near-full array gain
+  EXPECT_GE(r.overhead_fraction, 0.0);
+  EXPECT_LT(r.overhead_fraction, 0.5);
+}
+
+TEST(SuBeamformingSimTest, ShortPeriodMoreOverhead) {
+  Rng rng1(3);
+  Rng rng2(3);
+  Scenario a = make_scenario(MobilityClass::kStatic, rng1);
+  Scenario b = make_scenario(MobilityClass::kStatic, rng2);
+  BeamformingSimConfig fast = short_config();
+  fast.fixed_period_s = 2e-3;
+  BeamformingSimConfig slow = short_config();
+  slow.fixed_period_s = 50e-3;
+  Rng r1(4);
+  Rng r2(4);
+  const auto fast_result = simulate_su_beamforming(a, fast, r1);
+  const auto slow_result = simulate_su_beamforming(b, slow, r2);
+  EXPECT_GT(fast_result.overhead_fraction, slow_result.overhead_fraction * 5.0);
+}
+
+TEST(SuBeamformingSimTest, StaticClientPrefersLongPeriod) {
+  // Fig. 11(a) left edge: frequent feedback only adds overhead.
+  auto run = [](double period) {
+    double total = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      Rng rng(10 + i);
+      Scenario s = make_scenario(MobilityClass::kStatic, rng);
+      BeamformingSimConfig cfg;
+      cfg.duration_s = 5.0;
+      cfg.fixed_period_s = period;
+      Rng sim_rng(20 + i);
+      total += simulate_su_beamforming(s, cfg, sim_rng).throughput_mbps;
+    }
+    return total;
+  };
+  EXPECT_GT(run(200e-3), run(2e-3));
+}
+
+TEST(SuBeamformingSimTest, MacroClientGainDecaysWithPeriod) {
+  auto mean_gain = [](double period) {
+    double total = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      Rng rng(30 + i);
+      Scenario s = make_scenario(MobilityClass::kMacro, rng);
+      BeamformingSimConfig cfg;
+      cfg.duration_s = 5.0;
+      cfg.fixed_period_s = period;
+      Rng sim_rng(40 + i);
+      total += simulate_su_beamforming(s, cfg, sim_rng).mean_gain_db;
+    }
+    return total / 3.0;
+  };
+  EXPECT_GT(mean_gain(2e-3), mean_gain(200e-3) + 1.0);
+}
+
+TEST(SuBeamformingSimTest, AdaptivePeriodRuns) {
+  Rng rng(5);
+  Scenario s = make_scenario(MobilityClass::kMacro, rng);
+  BeamformingSimConfig cfg = short_config();
+  cfg.adaptive_period = true;
+  Rng sim_rng(6);
+  EXPECT_GT(simulate_su_beamforming(s, cfg, sim_rng).throughput_mbps, 1.0);
+}
+
+TEST(MuMimoSimTest, ServesThreeClients) {
+  Rng rng(7);
+  const auto opt = single_antenna_options();
+  Scenario a = make_scenario(MobilityClass::kEnvironmental, rng, opt);
+  Scenario b = make_scenario(MobilityClass::kMicro, rng, opt);
+  Scenario c = make_scenario(MobilityClass::kMacro, rng, opt);
+  Rng sim_rng(8);
+  const auto r = simulate_mu_mimo({&a, &b, &c}, short_config(), sim_rng);
+  ASSERT_EQ(r.per_client_mbps.size(), 3u);
+  for (double mbps : r.per_client_mbps) EXPECT_GT(mbps, 0.5);
+  EXPECT_NEAR(r.total_mbps,
+              r.per_client_mbps[0] + r.per_client_mbps[1] + r.per_client_mbps[2],
+              1e-9);
+}
+
+TEST(MuMimoSimTest, StaleFeedbackHurtsMobileClientMost) {
+  // Fig. 12(a): with a long fixed period, the macro client's share collapses
+  // relative to a short period, while static clients barely move.
+  auto run = [&](double period) {
+    Rng rng(9);
+    const auto opt = single_antenna_options();
+    Scenario a = make_scenario(MobilityClass::kStatic, rng, opt);
+    Scenario b = make_scenario(MobilityClass::kStatic, rng, opt);
+    Scenario c = make_scenario(MobilityClass::kMacro, rng, opt);
+    BeamformingSimConfig cfg;
+    cfg.duration_s = 5.0;
+    cfg.fixed_period_s = period;
+    Rng sim_rng(10);
+    return simulate_mu_mimo({&a, &b, &c}, cfg, sim_rng);
+  };
+  const auto fast = run(5e-3);
+  const auto slow = run(100e-3);
+  const double macro_ratio = slow.per_client_mbps[2] /
+                             std::max(fast.per_client_mbps[2], 1e-9);
+  EXPECT_LT(macro_ratio, 0.85);
+}
+
+TEST(MuMimoSimTest, AdaptivePeriodRuns) {
+  Rng rng(11);
+  const auto opt = single_antenna_options();
+  Scenario a = make_scenario(MobilityClass::kEnvironmental, rng, opt);
+  Scenario b = make_scenario(MobilityClass::kMicro, rng, opt);
+  Scenario c = make_scenario(MobilityClass::kMacro, rng, opt);
+  BeamformingSimConfig cfg = short_config();
+  cfg.adaptive_period = true;
+  Rng sim_rng(12);
+  const auto r = simulate_mu_mimo({&a, &b, &c}, cfg, sim_rng);
+  EXPECT_GT(r.total_mbps, 1.0);
+}
+
+TEST(MuMimoTraceTest, TraceReplayMatchesLiveShape) {
+  // The §6.2 record-then-replay path: record each client's channel at the
+  // slot cadence, then run the emulator purely from the traces.
+  Rng rng(20);
+  const auto opt = single_antenna_options();
+  Scenario a = make_scenario(MobilityClass::kStatic, rng, opt);
+  Scenario b = make_scenario(MobilityClass::kMacro, rng, opt);
+  BeamformingSimConfig cfg = short_config();
+
+  const CsiTrace ta = CsiTrace::record(*a.channel, cfg.duration_s, cfg.slot_s);
+  const CsiTrace tb = CsiTrace::record(*b.channel, cfg.duration_s, cfg.slot_s);
+
+  const auto r = simulate_mu_mimo_traces({&ta, &tb}, cfg);
+  ASSERT_EQ(r.per_client_mbps.size(), 2u);
+  for (double mbps : r.per_client_mbps) EXPECT_GT(mbps, 0.5);
+}
+
+TEST(MuMimoTraceTest, StalePeriodHurtsMobileClientInReplay) {
+  Rng rng(21);
+  const auto opt = single_antenna_options();
+  Scenario a = make_scenario(MobilityClass::kStatic, rng, opt);
+  Scenario b = make_scenario(MobilityClass::kMacro, rng, opt);
+  const CsiTrace ta = CsiTrace::record(*a.channel, 5.0, 2e-3);
+  const CsiTrace tb = CsiTrace::record(*b.channel, 5.0, 2e-3);
+
+  auto run = [&](double period) {
+    BeamformingSimConfig cfg = short_config();
+    cfg.fixed_period_s = period;
+    return simulate_mu_mimo_traces({&ta, &tb}, cfg);
+  };
+  const auto fast = run(5e-3);
+  const auto slow = run(100e-3);
+  EXPECT_LT(slow.per_client_mbps[1], fast.per_client_mbps[1]);
+}
+
+TEST(MuMimoTraceTest, EmptyClientListSafe) {
+  BeamformingSimConfig cfg = short_config();
+  const auto r = simulate_mu_mimo_traces({}, cfg);
+  EXPECT_TRUE(r.per_client_mbps.empty());
+  EXPECT_DOUBLE_EQ(r.total_mbps, 0.0);
+}
+
+TEST(MuMimoTraceTest, AdaptivePeriodFromTraceClassifier) {
+  Rng rng(22);
+  const auto opt = single_antenna_options();
+  Scenario a = make_scenario(MobilityClass::kStatic, rng, opt);
+  Scenario b = make_scenario(MobilityClass::kMacro, rng, opt);
+  const CsiTrace ta = CsiTrace::record(*a.channel, 5.0, 2e-3);
+  const CsiTrace tb = CsiTrace::record(*b.channel, 5.0, 2e-3);
+  BeamformingSimConfig cfg = short_config();
+  cfg.adaptive_period = true;
+  const auto r = simulate_mu_mimo_traces({&ta, &tb}, cfg);
+  EXPECT_GT(r.total_mbps, 1.0);
+}
+
+}  // namespace
+}  // namespace mobiwlan

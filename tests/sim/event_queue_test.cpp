@@ -1,0 +1,114 @@
+// Tests for the discrete-event scheduler.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(2.0, [&](double) { order.push_back(2); });
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(3.0, [&](double) { order.push_back(3); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(1.0, [&](double) { order.push_back(2); });
+  q.schedule(1.0, [&](double) { order.push_back(3); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&](double) { ++fired; });
+  q.schedule(5.0, [&](double) { ++fired; });
+  q.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, HandlerReceivesEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(4.5, [&](double t) { seen = t; });
+  q.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(EventQueueTest, RecurringEventRepeats) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_every(1.0, 2.0, [&](double) { ++count; });
+  q.run_until(9.0);  // fires at 1,3,5,7,9
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueueTest, CancelOneShot) {
+  EventQueue q;
+  int fired = 0;
+  const auto id = q.schedule(1.0, [&](double) { ++fired; });
+  q.cancel(id);
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, CancelRecurringMidStream) {
+  EventQueue q;
+  int count = 0;
+  std::uint64_t id = 0;
+  id = q.schedule_every(1.0, 1.0, [&](double t) {
+    ++count;
+    if (t >= 3.0) q.cancel(id);
+  });
+  q.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueueTest, CancelUnknownIdSafe) {
+  EventQueue q;
+  EXPECT_NO_THROW(q.cancel(9999));
+}
+
+TEST(EventQueueTest, EventsScheduledFromHandlersRun) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&](double t) {
+    times.push_back(t);
+    q.schedule(t + 0.5, [&](double t2) { times.push_back(t2); });
+  });
+  q.run_until(2.0);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueueTest, PastEventsClampToNow) {
+  EventQueue q;
+  q.run_until(5.0);
+  double seen = -1.0;
+  q.schedule(1.0, [&](double t) { seen = t; });  // in the past
+  q.run_until(6.0);
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(EventQueueTest, EmptyAndPending) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(1.0, [](double) {});
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_all();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,81 @@
+// Tests for the end-to-end system simulation (§7).
+#include "sim/overall_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+WlanDeployment walking_deployment(std::uint64_t seed) {
+  Rng rng(seed);
+  auto traj = WlanDeployment::corridor_walk(rng);
+  return WlanDeployment(WlanDeployment::corridor_layout(), traj, ChannelConfig{},
+                        rng);
+}
+
+OverallSimConfig short_config(bool aware) {
+  OverallSimConfig cfg;
+  cfg.duration_s = 20.0;
+  cfg.mobility_aware = aware;
+  return cfg;
+}
+
+TEST(OverallSimTest, BothStacksProduceTraffic) {
+  for (bool aware : {false, true}) {
+    WlanDeployment wlan = walking_deployment(1);
+    Rng rng(2);
+    const auto r = simulate_overall(wlan, short_config(aware), rng);
+    EXPECT_GT(r.throughput_mbps, 5.0) << "aware=" << aware;
+    EXPECT_FALSE(r.associations.empty());
+  }
+}
+
+TEST(OverallSimTest, DeterministicWithSameSeeds) {
+  auto run = [] {
+    WlanDeployment wlan = walking_deployment(3);
+    Rng rng(4);
+    return simulate_overall(wlan, short_config(true), rng).throughput_mbps;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(OverallSimTest, OutageAccountedPerHandoff) {
+  WlanDeployment wlan = walking_deployment(5);
+  OverallSimConfig cfg = short_config(true);
+  cfg.duration_s = 45.0;
+  Rng rng(6);
+  const auto r = simulate_overall(wlan, cfg, rng);
+  EXPECT_NEAR(r.outage_s, r.handoffs * cfg.handoff_outage_s, 1e-9);
+}
+
+TEST(OverallSimTest, MobilityAwareStackWinsOnAverage) {
+  // The paper's headline (§7): the combined mobility-aware stack beats the
+  // default stack on walking workloads.
+  double aware_total = 0.0;
+  double default_total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    for (bool aware : {false, true}) {
+      WlanDeployment wlan = walking_deployment(100 + i);
+      OverallSimConfig cfg = short_config(aware);
+      cfg.duration_s = 30.0;
+      Rng rng(200 + i);
+      const double tput = simulate_overall(wlan, cfg, rng).throughput_mbps;
+      (aware ? aware_total : default_total) += tput;
+    }
+  }
+  EXPECT_GT(aware_total, default_total * 1.05);
+}
+
+TEST(OverallSimTest, AssociationsChangeAlongTheWalk) {
+  WlanDeployment wlan = walking_deployment(7);
+  OverallSimConfig cfg = short_config(true);
+  cfg.duration_s = 60.0;
+  Rng rng(8);
+  const auto r = simulate_overall(wlan, cfg, rng);
+  EXPECT_GE(r.associations.size(), 1u);
+  for (std::size_t i = 1; i < r.associations.size(); ++i)
+    EXPECT_GE(r.associations[i].first, r.associations[i - 1].first);
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,188 @@
+// Tests for the complex matrix algebra behind the MIMO precoders.
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+namespace {
+
+CMatrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  CMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.complex_gaussian();
+  return m;
+}
+
+double max_abs_diff(const CMatrix& a, const CMatrix& b) {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      worst = std::max(worst, std::abs(a(r, c) - b(r, c)));
+  return worst;
+}
+
+TEST(CMatrixTest, IdentityDiagonal) {
+  const CMatrix i = CMatrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(i(r, c), (r == c ? cplx{1.0} : cplx{0.0}));
+}
+
+TEST(CMatrixTest, InitializerList) {
+  const CMatrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(1, 0), cplx{3.0});
+}
+
+TEST(CMatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((CMatrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(CMatrixTest, AdditionAndSubtraction) {
+  const CMatrix a{{1.0, 2.0}};
+  const CMatrix b{{3.0, 5.0}};
+  const CMatrix sum = a + b;
+  EXPECT_EQ(sum(0, 1), cplx{7.0});
+  const CMatrix diff = b - a;
+  EXPECT_EQ(diff(0, 0), cplx{2.0});
+}
+
+TEST(CMatrixTest, DimensionMismatchThrows) {
+  const CMatrix a(2, 2);
+  const CMatrix b(3, 2);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a - b, std::invalid_argument);
+  EXPECT_THROW(a * CMatrix(3, 1), std::invalid_argument);
+}
+
+TEST(CMatrixTest, MultiplyKnown) {
+  const CMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const CMatrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const CMatrix p = a * b;
+  EXPECT_EQ(p(0, 0), cplx{19.0});
+  EXPECT_EQ(p(1, 1), cplx{50.0});
+}
+
+TEST(CMatrixTest, ScalarMultiply) {
+  const CMatrix a{{1.0, cplx(0.0, 1.0)}};
+  const CMatrix s = a * cplx(0.0, 2.0);
+  EXPECT_EQ(s(0, 0), cplx(0.0, 2.0));
+  EXPECT_EQ(s(0, 1), cplx(-2.0, 0.0));
+}
+
+TEST(CMatrixTest, HermitianConjugates) {
+  const CMatrix a{{cplx(1.0, 2.0), cplx(3.0, -1.0)}};
+  const CMatrix h = a.hermitian();
+  EXPECT_EQ(h.rows(), 2u);
+  EXPECT_EQ(h.cols(), 1u);
+  EXPECT_EQ(h(0, 0), cplx(1.0, -2.0));
+  EXPECT_EQ(h(1, 0), cplx(3.0, 1.0));
+}
+
+TEST(CMatrixTest, InverseOfIdentityIsIdentity) {
+  const CMatrix i = CMatrix::identity(4);
+  EXPECT_LT(max_abs_diff(i.inverse(), i), 1e-12);
+}
+
+TEST(CMatrixTest, InverseRoundTrip) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CMatrix a = random_matrix(3, 3, rng);
+    const CMatrix prod = a * a.inverse();
+    EXPECT_LT(max_abs_diff(prod, CMatrix::identity(3)), 1e-9);
+  }
+}
+
+TEST(CMatrixTest, InverseNonSquareThrows) {
+  EXPECT_THROW(CMatrix(2, 3).inverse(), std::domain_error);
+}
+
+TEST(CMatrixTest, SingularThrows) {
+  CMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(a.inverse(), std::domain_error);
+}
+
+TEST(CMatrixTest, PseudoInverseIsRightInverse) {
+  // H * H^+ = I for full-row-rank H (the zero-forcing property).
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CMatrix h = random_matrix(2, 3, rng);
+    const CMatrix prod = h * h.pseudo_inverse();
+    EXPECT_LT(max_abs_diff(prod, CMatrix::identity(2)), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(CMatrixTest, PseudoInverseSquareMatchesInverse) {
+  Rng rng(7);
+  const CMatrix h = random_matrix(3, 3, rng);
+  EXPECT_LT(max_abs_diff(h.pseudo_inverse(), h.inverse()), 1e-8);
+}
+
+TEST(CMatrixTest, FrobeniusNorm) {
+  const CMatrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+}
+
+TEST(CMatrixTest, NormalizedHitsTarget) {
+  const CMatrix a{{3.0, 4.0}};
+  EXPECT_NEAR(a.normalized(2.0).frobenius_norm(), 2.0, 1e-12);
+}
+
+TEST(CMatrixTest, NormalizeZeroMatrixIsNoop) {
+  const CMatrix z(2, 2);
+  EXPECT_DOUBLE_EQ(z.normalized().frobenius_norm(), 0.0);
+}
+
+TEST(CMatrixTest, ColumnAndRowVectors) {
+  const CMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const auto col = a.col_vector(1);
+  EXPECT_EQ(col[0], cplx{2.0});
+  EXPECT_EQ(col[1], cplx{4.0});
+  const auto row = a.row_vector(1);
+  EXPECT_EQ(row[0], cplx{3.0});
+}
+
+TEST(CMatrixTest, ColumnFactory) {
+  const CMatrix c = CMatrix::column({1.0, 2.0, 3.0});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_EQ(c(2, 0), cplx{3.0});
+}
+
+TEST(VectorOpsTest, InnerProductConjugatesFirst) {
+  const std::vector<cplx> a{cplx(0.0, 1.0)};
+  const std::vector<cplx> b{cplx(0.0, 1.0)};
+  EXPECT_EQ(inner_product(a, b), cplx(1.0, 0.0));
+}
+
+TEST(VectorOpsTest, InnerProductSizeMismatchThrows) {
+  EXPECT_THROW(inner_product({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(VectorOpsTest, VectorNorm) {
+  EXPECT_DOUBLE_EQ(vector_norm({cplx(3.0, 0.0), cplx(0.0, 4.0)}), 5.0);
+}
+
+class PinvSizeSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(PinvSizeSweep, RightInverseAcrossShapes) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(100 + rows * 10 + cols);
+  const CMatrix h = random_matrix(rows, cols, rng);
+  const CMatrix prod = h * h.pseudo_inverse();
+  EXPECT_LT(max_abs_diff(prod, CMatrix::identity(rows)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PinvSizeSweep,
+                         ::testing::Values(std::make_pair(1u, 3u),
+                                           std::make_pair(2u, 3u),
+                                           std::make_pair(3u, 3u),
+                                           std::make_pair(2u, 4u),
+                                           std::make_pair(3u, 4u)));
+
+}  // namespace
+}  // namespace mobiwlan

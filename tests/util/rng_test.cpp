@@ -1,0 +1,185 @@
+// Tests for the xoshiro256++ RNG: determinism, distribution moments, and
+// stream independence — the properties every stochastic experiment relies on.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/stats.hpp"
+
+namespace mobiwlan {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(9);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(10);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  OnlineStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(12);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.gaussian(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(2.5));
+  EXPECT_NEAR(s.mean(), 2.5, 0.1);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, RayleighMean) {
+  // Rayleigh(sigma) has mean sigma*sqrt(pi/2).
+  Rng rng(15);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.rayleigh(1.0));
+  EXPECT_NEAR(s.mean(), std::sqrt(3.14159265 / 2.0), 0.02);
+}
+
+TEST(RngTest, ComplexGaussianPower) {
+  Rng rng(16);
+  OnlineStats s;
+  for (int i = 0; i < 50000; ++i) s.add(std::norm(rng.complex_gaussian(4.0)));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(RngTest, RicianUnitMeanPower) {
+  Rng rng(17);
+  for (double k : {0.5, 2.0, 10.0}) {
+    OnlineStats s;
+    for (int i = 0; i < 50000; ++i) s.add(std::norm(rng.rician(k)));
+    EXPECT_NEAR(s.mean(), 1.0, 0.05) << "K=" << k;
+  }
+}
+
+TEST(RngTest, PhaseInRange) {
+  Rng rng(18);
+  for (int i = 0; i < 1000; ++i) {
+    const double p = rng.phase();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, 2.0 * 3.14159266);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(20);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a1(22);
+  Rng a2(22);
+  Rng b1 = a1.split();
+  Rng b2 = a2.split();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(b1.next_u64(), b2.next_u64());
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanStableAcrossSeeds) {
+  Rng rng(GetParam());
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.0 / 12.0), 0.02);
+}
+
+TEST_P(RngSeedSweep, GaussianSymmetricAcrossSeeds) {
+  Rng rng(GetParam());
+  int positive = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.gaussian() > 0) ++positive;
+  EXPECT_NEAR(positive / static_cast<double>(n), 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,82 @@
+// Tests for bootstrap confidence intervals.
+#include "util/significance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+namespace {
+
+std::vector<double> gaussian_sample(double mean, double sd, int n,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) out.push_back(rng.gaussian(mean, sd));
+  return out;
+}
+
+TEST(BootstrapTest, CiContainsPointEstimate) {
+  const auto xs = gaussian_sample(10.0, 2.0, 40, 1);
+  const BootstrapInterval ci = bootstrap_median_ci(xs);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_NEAR(ci.point, 10.0, 1.0);
+}
+
+TEST(BootstrapTest, WiderConfidenceWiderInterval) {
+  const auto xs = gaussian_sample(5.0, 1.0, 30, 2);
+  const BootstrapInterval narrow = bootstrap_median_ci(xs, 0.80);
+  const BootstrapInterval wide = bootstrap_median_ci(xs, 0.99);
+  EXPECT_LE(wide.lo, narrow.lo);
+  EXPECT_GE(wide.hi, narrow.hi);
+}
+
+TEST(BootstrapTest, MoreSamplesTighterInterval) {
+  const auto small = gaussian_sample(0.0, 1.0, 10, 3);
+  const auto large = gaussian_sample(0.0, 1.0, 200, 4);
+  const auto ci_small = bootstrap_median_ci(small);
+  const auto ci_large = bootstrap_median_ci(large);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(BootstrapTest, EmptySampleThrows) {
+  EXPECT_THROW(bootstrap_median_ci({}), std::invalid_argument);
+  EXPECT_THROW(bootstrap_median_diff_ci({}, {1.0}), std::invalid_argument);
+}
+
+TEST(BootstrapTest, DeterministicGivenSeed) {
+  const auto xs = gaussian_sample(3.0, 1.0, 25, 5);
+  const auto a = bootstrap_median_ci(xs, 0.95, 500, 7);
+  const auto b = bootstrap_median_ci(xs, 0.95, 500, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, DiffCiSeparatesDistinctGroups) {
+  const auto a = gaussian_sample(12.0, 1.0, 30, 8);
+  const auto b = gaussian_sample(8.0, 1.0, 30, 9);
+  const BootstrapInterval ci = bootstrap_median_diff_ci(a, b);
+  EXPECT_GT(ci.lo, 0.0);
+  EXPECT_NEAR(ci.point, 4.0, 1.0);
+  EXPECT_TRUE(median_significantly_greater(a, b));
+}
+
+TEST(BootstrapTest, DiffCiStraddlesZeroForIdenticalGroups) {
+  const auto a = gaussian_sample(5.0, 2.0, 30, 10);
+  const auto b = gaussian_sample(5.0, 2.0, 30, 11);
+  const BootstrapInterval ci = bootstrap_median_diff_ci(a, b);
+  EXPECT_LT(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+  EXPECT_FALSE(median_significantly_greater(a, b));
+}
+
+TEST(BootstrapTest, SingleValueSampleDegenerates) {
+  const std::vector<double> one{4.2};
+  const BootstrapInterval ci = bootstrap_median_ci(one);
+  EXPECT_DOUBLE_EQ(ci.lo, 4.2);
+  EXPECT_DOUBLE_EQ(ci.hi, 4.2);
+}
+
+}  // namespace
+}  // namespace mobiwlan

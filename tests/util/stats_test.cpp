@@ -1,0 +1,149 @@
+// Tests for online statistics, quantiles and CDFs.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStatsTest, KnownSequence) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance (n-1): sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, NegativeValues) {
+  OnlineStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+}
+
+TEST(SampleSetTest, EmptyQuantiles) {
+  SampleSet s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.cdf_at(1.0), 0.0);
+  EXPECT_TRUE(s.cdf_points().empty());
+}
+
+TEST(SampleSetTest, MedianOfOddCount) {
+  SampleSet s({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(SampleSetTest, QuantileInterpolation) {
+  SampleSet s({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.5);
+}
+
+TEST(SampleSetTest, QuantileClampsOutOfRange) {
+  SampleSet s({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.5), 2.0);
+}
+
+TEST(SampleSetTest, CdfAt) {
+  SampleSet s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(SampleSetTest, CdfPointsMonotone) {
+  Rng rng(3);
+  SampleSet s;
+  for (int i = 0; i < 500; ++i) s.add(rng.gaussian());
+  const auto pts = s.cdf_points(25);
+  ASSERT_EQ(pts.size(), 25u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LE(pts[i - 1].second, pts[i].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(SampleSetTest, AddAfterQueryResorts) {
+  SampleSet s({5.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+}
+
+TEST(SampleSetTest, AddAllExtends) {
+  SampleSet s;
+  s.add_all({1.0, 2.0});
+  s.add_all({3.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(SampleSetTest, MinMaxMean) {
+  SampleSet s({2.0, 8.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(HelperTest, MedianOfEven) {
+  EXPECT_DOUBLE_EQ(median_of({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(HelperTest, MedianOfSingle) { EXPECT_DOUBLE_EQ(median_of({7.0}), 7.0); }
+
+TEST(HelperTest, MedianOfEmpty) { EXPECT_DOUBLE_EQ(median_of({}), 0.0); }
+
+TEST(HelperTest, MedianUnsorted) {
+  EXPECT_DOUBLE_EQ(median_of({9.0, 1.0, 5.0}), 5.0);
+}
+
+TEST(HelperTest, StddevOfConstant) {
+  EXPECT_DOUBLE_EQ(stddev_of({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(HelperTest, MeanOfEmpty) { EXPECT_DOUBLE_EQ(mean_of({}), 0.0); }
+
+class QuantileAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileAgreement, CdfInvertsQuantile) {
+  // cdf_at(quantile(q)) >= q for any q on a continuous sample.
+  Rng rng(77);
+  SampleSet s;
+  for (int i = 0; i < 2000; ++i) s.add(rng.gaussian());
+  const double q = GetParam();
+  EXPECT_GE(s.cdf_at(s.quantile(q)), q - 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileAgreement,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.75, 0.95));
+
+}  // namespace
+}  // namespace mobiwlan

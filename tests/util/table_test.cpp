@@ -1,0 +1,65 @@
+// Tests for the bench-output rendering helpers.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace mobiwlan {
+namespace {
+
+TEST(TablePrinterTest, RendersTitleHeaderAndRows) {
+  TablePrinter t("My Table");
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("My Table"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(TablePrinterTest, HandlesShortRows) {
+  TablePrinter t("t");
+  t.set_header({"x", "y", "z"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, PctFormats) { EXPECT_EQ(TablePrinter::pct(0.934), "93.4%"); }
+
+TEST(CdfTableTest, ContainsSeriesNames) {
+  SampleSet a({1.0, 2.0, 3.0});
+  SampleSet b({4.0, 5.0});
+  const std::string out =
+      render_cdf_table("dist", {{"alpha", &a}, {"beta", &b}});
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("p50"), std::string::npos);
+}
+
+TEST(AsciiCdfTest, EmptySamples) {
+  SampleSet s;
+  const std::string out = render_ascii_cdf("empty", s);
+  EXPECT_NE(out.find("no samples"), std::string::npos);
+}
+
+TEST(AsciiCdfTest, RendersCurve) {
+  SampleSet s;
+  for (int i = 0; i < 100; ++i) s.add(static_cast<double>(i));
+  const std::string out = render_ascii_cdf("curve", s, 40, 8);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  // 8 grid lines plus title and axis.
+  int lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_GE(lines, 9);
+}
+
+}  // namespace
+}  // namespace mobiwlan
