@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_aoa"
+  "../bench/bench_ablation_aoa.pdb"
+  "CMakeFiles/bench_ablation_aoa.dir/bench_ablation_aoa.cpp.o"
+  "CMakeFiles/bench_ablation_aoa.dir/bench_ablation_aoa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_aoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

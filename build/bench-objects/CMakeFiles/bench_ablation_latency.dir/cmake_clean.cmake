@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_latency"
+  "../bench/bench_ablation_latency.pdb"
+  "CMakeFiles/bench_ablation_latency.dir/bench_ablation_latency.cpp.o"
+  "CMakeFiles/bench_ablation_latency.dir/bench_ablation_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

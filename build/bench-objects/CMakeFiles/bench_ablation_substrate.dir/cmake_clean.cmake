@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_substrate"
+  "../bench/bench_ablation_substrate.pdb"
+  "CMakeFiles/bench_ablation_substrate.dir/bench_ablation_substrate.cpp.o"
+  "CMakeFiles/bench_ablation_substrate.dir/bench_ablation_substrate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_uplink"
+  "../bench/bench_ablation_uplink.pdb"
+  "CMakeFiles/bench_ablation_uplink.dir/bench_ablation_uplink.cpp.o"
+  "CMakeFiles/bench_ablation_uplink.dir/bench_ablation_uplink.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_uplink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

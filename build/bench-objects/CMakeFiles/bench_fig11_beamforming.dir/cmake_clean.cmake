@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_beamforming"
+  "../bench/bench_fig11_beamforming.pdb"
+  "CMakeFiles/bench_fig11_beamforming.dir/bench_fig11_beamforming.cpp.o"
+  "CMakeFiles/bench_fig11_beamforming.dir/bench_fig11_beamforming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_beamforming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

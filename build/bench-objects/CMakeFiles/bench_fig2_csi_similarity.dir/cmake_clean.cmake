@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_csi_similarity"
+  "../bench/bench_fig2_csi_similarity.pdb"
+  "CMakeFiles/bench_fig2_csi_similarity.dir/bench_fig2_csi_similarity.cpp.o"
+  "CMakeFiles/bench_fig2_csi_similarity.dir/bench_fig2_csi_similarity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_csi_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_tof"
+  "../bench/bench_fig4_tof.pdb"
+  "CMakeFiles/bench_fig4_tof.dir/bench_fig4_tof.cpp.o"
+  "CMakeFiles/bench_fig4_tof.dir/bench_fig4_tof.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_tof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

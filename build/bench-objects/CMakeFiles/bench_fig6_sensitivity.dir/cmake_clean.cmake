@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_sensitivity"
+  "../bench/bench_fig6_sensitivity.pdb"
+  "CMakeFiles/bench_fig6_sensitivity.dir/bench_fig6_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig6_sensitivity.dir/bench_fig6_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

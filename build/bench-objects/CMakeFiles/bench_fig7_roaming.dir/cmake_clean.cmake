@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_roaming"
+  "../bench/bench_fig7_roaming.pdb"
+  "CMakeFiles/bench_fig7_roaming.dir/bench_fig7_roaming.cpp.o"
+  "CMakeFiles/bench_fig7_roaming.dir/bench_fig7_roaming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_roaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_rate_adaptation"
+  "../bench/bench_fig9_rate_adaptation.pdb"
+  "CMakeFiles/bench_fig9_rate_adaptation.dir/bench_fig9_rate_adaptation.cpp.o"
+  "CMakeFiles/bench_fig9_rate_adaptation.dir/bench_fig9_rate_adaptation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_rate_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_microperf.cpp" "bench-objects/CMakeFiles/bench_microperf.dir/bench_microperf.cpp.o" "gcc" "bench-objects/CMakeFiles/bench_microperf.dir/bench_microperf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mobiwlan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mobiwlan_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/mobiwlan_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mobiwlan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/mobiwlan_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mobiwlan_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobiwlan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_microperf"
+  "../bench/bench_microperf.pdb"
+  "CMakeFiles/bench_microperf.dir/bench_microperf.cpp.o"
+  "CMakeFiles/bench_microperf.dir/bench_microperf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

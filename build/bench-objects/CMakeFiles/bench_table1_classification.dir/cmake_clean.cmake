@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_classification"
+  "../bench/bench_table1_classification.pdb"
+  "CMakeFiles/bench_table1_classification.dir/bench_table1_classification.cpp.o"
+  "CMakeFiles/bench_table1_classification.dir/bench_table1_classification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floor_sim.dir/floor_sim.cpp.o"
+  "CMakeFiles/floor_sim.dir/floor_sim.cpp.o.d"
+  "floor_sim"
+  "floor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_monitor.dir/mobility_monitor.cpp.o"
+  "CMakeFiles/mobility_monitor.dir/mobility_monitor.cpp.o.d"
+  "mobility_monitor"
+  "mobility_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_demo.dir/roaming_demo.cpp.o"
+  "CMakeFiles/roaming_demo.dir/roaming_demo.cpp.o.d"
+  "roaming_demo"
+  "roaming_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chan/channel.cpp" "src/chan/CMakeFiles/mobiwlan_chan.dir/channel.cpp.o" "gcc" "src/chan/CMakeFiles/mobiwlan_chan.dir/channel.cpp.o.d"
+  "/root/repo/src/chan/csi_trace.cpp" "src/chan/CMakeFiles/mobiwlan_chan.dir/csi_trace.cpp.o" "gcc" "src/chan/CMakeFiles/mobiwlan_chan.dir/csi_trace.cpp.o.d"
+  "/root/repo/src/chan/scenario.cpp" "src/chan/CMakeFiles/mobiwlan_chan.dir/scenario.cpp.o" "gcc" "src/chan/CMakeFiles/mobiwlan_chan.dir/scenario.cpp.o.d"
+  "/root/repo/src/chan/trajectory.cpp" "src/chan/CMakeFiles/mobiwlan_chan.dir/trajectory.cpp.o" "gcc" "src/chan/CMakeFiles/mobiwlan_chan.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mobiwlan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mobiwlan_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiwlan_chan.dir/channel.cpp.o"
+  "CMakeFiles/mobiwlan_chan.dir/channel.cpp.o.d"
+  "CMakeFiles/mobiwlan_chan.dir/csi_trace.cpp.o"
+  "CMakeFiles/mobiwlan_chan.dir/csi_trace.cpp.o.d"
+  "CMakeFiles/mobiwlan_chan.dir/scenario.cpp.o"
+  "CMakeFiles/mobiwlan_chan.dir/scenario.cpp.o.d"
+  "CMakeFiles/mobiwlan_chan.dir/trajectory.cpp.o"
+  "CMakeFiles/mobiwlan_chan.dir/trajectory.cpp.o.d"
+  "libmobiwlan_chan.a"
+  "libmobiwlan_chan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiwlan_chan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csi_similarity.cpp" "src/core/CMakeFiles/mobiwlan_core.dir/csi_similarity.cpp.o" "gcc" "src/core/CMakeFiles/mobiwlan_core.dir/csi_similarity.cpp.o.d"
+  "/root/repo/src/core/mobility_classifier.cpp" "src/core/CMakeFiles/mobiwlan_core.dir/mobility_classifier.cpp.o" "gcc" "src/core/CMakeFiles/mobiwlan_core.dir/mobility_classifier.cpp.o.d"
+  "/root/repo/src/core/tof_tracker.cpp" "src/core/CMakeFiles/mobiwlan_core.dir/tof_tracker.cpp.o" "gcc" "src/core/CMakeFiles/mobiwlan_core.dir/tof_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mobiwlan_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mobiwlan_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/mobiwlan_chan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

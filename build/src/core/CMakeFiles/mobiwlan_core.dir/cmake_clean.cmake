@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiwlan_core.dir/csi_similarity.cpp.o"
+  "CMakeFiles/mobiwlan_core.dir/csi_similarity.cpp.o.d"
+  "CMakeFiles/mobiwlan_core.dir/mobility_classifier.cpp.o"
+  "CMakeFiles/mobiwlan_core.dir/mobility_classifier.cpp.o.d"
+  "CMakeFiles/mobiwlan_core.dir/tof_tracker.cpp.o"
+  "CMakeFiles/mobiwlan_core.dir/tof_tracker.cpp.o.d"
+  "libmobiwlan_core.a"
+  "libmobiwlan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiwlan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/aggregation.cpp" "src/mac/CMakeFiles/mobiwlan_mac.dir/aggregation.cpp.o" "gcc" "src/mac/CMakeFiles/mobiwlan_mac.dir/aggregation.cpp.o.d"
+  "/root/repo/src/mac/atheros_ra.cpp" "src/mac/CMakeFiles/mobiwlan_mac.dir/atheros_ra.cpp.o" "gcc" "src/mac/CMakeFiles/mobiwlan_mac.dir/atheros_ra.cpp.o.d"
+  "/root/repo/src/mac/blockack.cpp" "src/mac/CMakeFiles/mobiwlan_mac.dir/blockack.cpp.o" "gcc" "src/mac/CMakeFiles/mobiwlan_mac.dir/blockack.cpp.o.d"
+  "/root/repo/src/mac/esnr_ra.cpp" "src/mac/CMakeFiles/mobiwlan_mac.dir/esnr_ra.cpp.o" "gcc" "src/mac/CMakeFiles/mobiwlan_mac.dir/esnr_ra.cpp.o.d"
+  "/root/repo/src/mac/latency_sim.cpp" "src/mac/CMakeFiles/mobiwlan_mac.dir/latency_sim.cpp.o" "gcc" "src/mac/CMakeFiles/mobiwlan_mac.dir/latency_sim.cpp.o.d"
+  "/root/repo/src/mac/link_sim.cpp" "src/mac/CMakeFiles/mobiwlan_mac.dir/link_sim.cpp.o" "gcc" "src/mac/CMakeFiles/mobiwlan_mac.dir/link_sim.cpp.o.d"
+  "/root/repo/src/mac/sensor_hint_ra.cpp" "src/mac/CMakeFiles/mobiwlan_mac.dir/sensor_hint_ra.cpp.o" "gcc" "src/mac/CMakeFiles/mobiwlan_mac.dir/sensor_hint_ra.cpp.o.d"
+  "/root/repo/src/mac/softrate_ra.cpp" "src/mac/CMakeFiles/mobiwlan_mac.dir/softrate_ra.cpp.o" "gcc" "src/mac/CMakeFiles/mobiwlan_mac.dir/softrate_ra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mobiwlan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/mobiwlan_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mobiwlan_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobiwlan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

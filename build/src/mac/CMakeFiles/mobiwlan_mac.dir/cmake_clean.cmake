@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiwlan_mac.dir/aggregation.cpp.o"
+  "CMakeFiles/mobiwlan_mac.dir/aggregation.cpp.o.d"
+  "CMakeFiles/mobiwlan_mac.dir/atheros_ra.cpp.o"
+  "CMakeFiles/mobiwlan_mac.dir/atheros_ra.cpp.o.d"
+  "CMakeFiles/mobiwlan_mac.dir/blockack.cpp.o"
+  "CMakeFiles/mobiwlan_mac.dir/blockack.cpp.o.d"
+  "CMakeFiles/mobiwlan_mac.dir/esnr_ra.cpp.o"
+  "CMakeFiles/mobiwlan_mac.dir/esnr_ra.cpp.o.d"
+  "CMakeFiles/mobiwlan_mac.dir/latency_sim.cpp.o"
+  "CMakeFiles/mobiwlan_mac.dir/latency_sim.cpp.o.d"
+  "CMakeFiles/mobiwlan_mac.dir/link_sim.cpp.o"
+  "CMakeFiles/mobiwlan_mac.dir/link_sim.cpp.o.d"
+  "CMakeFiles/mobiwlan_mac.dir/sensor_hint_ra.cpp.o"
+  "CMakeFiles/mobiwlan_mac.dir/sensor_hint_ra.cpp.o.d"
+  "CMakeFiles/mobiwlan_mac.dir/softrate_ra.cpp.o"
+  "CMakeFiles/mobiwlan_mac.dir/softrate_ra.cpp.o.d"
+  "libmobiwlan_mac.a"
+  "libmobiwlan_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiwlan_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/deployment.cpp" "src/net/CMakeFiles/mobiwlan_net.dir/deployment.cpp.o" "gcc" "src/net/CMakeFiles/mobiwlan_net.dir/deployment.cpp.o.d"
+  "/root/repo/src/net/roaming.cpp" "src/net/CMakeFiles/mobiwlan_net.dir/roaming.cpp.o" "gcc" "src/net/CMakeFiles/mobiwlan_net.dir/roaming.cpp.o.d"
+  "/root/repo/src/net/scheduler.cpp" "src/net/CMakeFiles/mobiwlan_net.dir/scheduler.cpp.o" "gcc" "src/net/CMakeFiles/mobiwlan_net.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mobiwlan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/mobiwlan_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mobiwlan_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mobiwlan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiwlan_net.dir/deployment.cpp.o"
+  "CMakeFiles/mobiwlan_net.dir/deployment.cpp.o.d"
+  "CMakeFiles/mobiwlan_net.dir/roaming.cpp.o"
+  "CMakeFiles/mobiwlan_net.dir/roaming.cpp.o.d"
+  "CMakeFiles/mobiwlan_net.dir/scheduler.cpp.o"
+  "CMakeFiles/mobiwlan_net.dir/scheduler.cpp.o.d"
+  "libmobiwlan_net.a"
+  "libmobiwlan_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiwlan_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

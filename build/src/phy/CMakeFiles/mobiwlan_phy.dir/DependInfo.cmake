@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/airtime.cpp" "src/phy/CMakeFiles/mobiwlan_phy.dir/airtime.cpp.o" "gcc" "src/phy/CMakeFiles/mobiwlan_phy.dir/airtime.cpp.o.d"
+  "/root/repo/src/phy/aoa.cpp" "src/phy/CMakeFiles/mobiwlan_phy.dir/aoa.cpp.o" "gcc" "src/phy/CMakeFiles/mobiwlan_phy.dir/aoa.cpp.o.d"
+  "/root/repo/src/phy/beamforming.cpp" "src/phy/CMakeFiles/mobiwlan_phy.dir/beamforming.cpp.o" "gcc" "src/phy/CMakeFiles/mobiwlan_phy.dir/beamforming.cpp.o.d"
+  "/root/repo/src/phy/csi.cpp" "src/phy/CMakeFiles/mobiwlan_phy.dir/csi.cpp.o" "gcc" "src/phy/CMakeFiles/mobiwlan_phy.dir/csi.cpp.o.d"
+  "/root/repo/src/phy/csi_feedback.cpp" "src/phy/CMakeFiles/mobiwlan_phy.dir/csi_feedback.cpp.o" "gcc" "src/phy/CMakeFiles/mobiwlan_phy.dir/csi_feedback.cpp.o.d"
+  "/root/repo/src/phy/error_model.cpp" "src/phy/CMakeFiles/mobiwlan_phy.dir/error_model.cpp.o" "gcc" "src/phy/CMakeFiles/mobiwlan_phy.dir/error_model.cpp.o.d"
+  "/root/repo/src/phy/mcs.cpp" "src/phy/CMakeFiles/mobiwlan_phy.dir/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/mobiwlan_phy.dir/mcs.cpp.o.d"
+  "/root/repo/src/phy/mimo.cpp" "src/phy/CMakeFiles/mobiwlan_phy.dir/mimo.cpp.o" "gcc" "src/phy/CMakeFiles/mobiwlan_phy.dir/mimo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mobiwlan_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

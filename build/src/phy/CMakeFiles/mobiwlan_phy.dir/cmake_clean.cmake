@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiwlan_phy.dir/airtime.cpp.o"
+  "CMakeFiles/mobiwlan_phy.dir/airtime.cpp.o.d"
+  "CMakeFiles/mobiwlan_phy.dir/aoa.cpp.o"
+  "CMakeFiles/mobiwlan_phy.dir/aoa.cpp.o.d"
+  "CMakeFiles/mobiwlan_phy.dir/beamforming.cpp.o"
+  "CMakeFiles/mobiwlan_phy.dir/beamforming.cpp.o.d"
+  "CMakeFiles/mobiwlan_phy.dir/csi.cpp.o"
+  "CMakeFiles/mobiwlan_phy.dir/csi.cpp.o.d"
+  "CMakeFiles/mobiwlan_phy.dir/csi_feedback.cpp.o"
+  "CMakeFiles/mobiwlan_phy.dir/csi_feedback.cpp.o.d"
+  "CMakeFiles/mobiwlan_phy.dir/error_model.cpp.o"
+  "CMakeFiles/mobiwlan_phy.dir/error_model.cpp.o.d"
+  "CMakeFiles/mobiwlan_phy.dir/mcs.cpp.o"
+  "CMakeFiles/mobiwlan_phy.dir/mcs.cpp.o.d"
+  "CMakeFiles/mobiwlan_phy.dir/mimo.cpp.o"
+  "CMakeFiles/mobiwlan_phy.dir/mimo.cpp.o.d"
+  "libmobiwlan_phy.a"
+  "libmobiwlan_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiwlan_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiwlan_sim.dir/beamforming_sim.cpp.o"
+  "CMakeFiles/mobiwlan_sim.dir/beamforming_sim.cpp.o.d"
+  "CMakeFiles/mobiwlan_sim.dir/evaluation.cpp.o"
+  "CMakeFiles/mobiwlan_sim.dir/evaluation.cpp.o.d"
+  "CMakeFiles/mobiwlan_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mobiwlan_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mobiwlan_sim.dir/overall_sim.cpp.o"
+  "CMakeFiles/mobiwlan_sim.dir/overall_sim.cpp.o.d"
+  "libmobiwlan_sim.a"
+  "libmobiwlan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiwlan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobiwlan_util.dir/filters.cpp.o"
+  "CMakeFiles/mobiwlan_util.dir/filters.cpp.o.d"
+  "CMakeFiles/mobiwlan_util.dir/matrix.cpp.o"
+  "CMakeFiles/mobiwlan_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/mobiwlan_util.dir/rng.cpp.o"
+  "CMakeFiles/mobiwlan_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mobiwlan_util.dir/significance.cpp.o"
+  "CMakeFiles/mobiwlan_util.dir/significance.cpp.o.d"
+  "CMakeFiles/mobiwlan_util.dir/stats.cpp.o"
+  "CMakeFiles/mobiwlan_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mobiwlan_util.dir/table.cpp.o"
+  "CMakeFiles/mobiwlan_util.dir/table.cpp.o.d"
+  "libmobiwlan_util.a"
+  "libmobiwlan_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobiwlan_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmobiwlan_util.a"
+)

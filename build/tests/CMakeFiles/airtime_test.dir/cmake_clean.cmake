@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airtime_test.dir/phy/airtime_test.cpp.o"
+  "CMakeFiles/airtime_test.dir/phy/airtime_test.cpp.o.d"
+  "airtime_test"
+  "airtime_test.pdb"
+  "airtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aoa_test.dir/phy/aoa_test.cpp.o"
+  "CMakeFiles/aoa_test.dir/phy/aoa_test.cpp.o.d"
+  "aoa_test"
+  "aoa_test.pdb"
+  "aoa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aoa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atheros_ra_test.dir/mac/atheros_ra_test.cpp.o"
+  "CMakeFiles/atheros_ra_test.dir/mac/atheros_ra_test.cpp.o.d"
+  "atheros_ra_test"
+  "atheros_ra_test.pdb"
+  "atheros_ra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atheros_ra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

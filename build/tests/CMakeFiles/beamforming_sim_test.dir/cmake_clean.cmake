@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beamforming_sim_test.dir/sim/beamforming_sim_test.cpp.o"
+  "CMakeFiles/beamforming_sim_test.dir/sim/beamforming_sim_test.cpp.o.d"
+  "beamforming_sim_test"
+  "beamforming_sim_test.pdb"
+  "beamforming_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beamforming_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

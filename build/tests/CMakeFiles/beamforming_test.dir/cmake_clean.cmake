@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beamforming_test.dir/phy/beamforming_test.cpp.o"
+  "CMakeFiles/beamforming_test.dir/phy/beamforming_test.cpp.o.d"
+  "beamforming_test"
+  "beamforming_test.pdb"
+  "beamforming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beamforming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockack_test.dir/mac/blockack_test.cpp.o"
+  "CMakeFiles/blockack_test.dir/mac/blockack_test.cpp.o.d"
+  "blockack_test"
+  "blockack_test.pdb"
+  "blockack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

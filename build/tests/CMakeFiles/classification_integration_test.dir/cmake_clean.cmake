@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classification_integration_test.dir/integration/classification_integration_test.cpp.o"
+  "CMakeFiles/classification_integration_test.dir/integration/classification_integration_test.cpp.o.d"
+  "classification_integration_test"
+  "classification_integration_test.pdb"
+  "classification_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classification_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

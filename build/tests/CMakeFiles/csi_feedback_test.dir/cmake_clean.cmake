@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_feedback_test.dir/phy/csi_feedback_test.cpp.o"
+  "CMakeFiles/csi_feedback_test.dir/phy/csi_feedback_test.cpp.o.d"
+  "csi_feedback_test"
+  "csi_feedback_test.pdb"
+  "csi_feedback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_similarity_test.dir/core/csi_similarity_test.cpp.o"
+  "CMakeFiles/csi_similarity_test.dir/core/csi_similarity_test.cpp.o.d"
+  "csi_similarity_test"
+  "csi_similarity_test.pdb"
+  "csi_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_trace_test.dir/chan/csi_trace_test.cpp.o"
+  "CMakeFiles/csi_trace_test.dir/chan/csi_trace_test.cpp.o.d"
+  "csi_trace_test"
+  "csi_trace_test.pdb"
+  "csi_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

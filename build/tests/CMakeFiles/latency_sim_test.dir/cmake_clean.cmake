@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_sim_test.dir/mac/latency_sim_test.cpp.o"
+  "CMakeFiles/latency_sim_test.dir/mac/latency_sim_test.cpp.o.d"
+  "latency_sim_test"
+  "latency_sim_test.pdb"
+  "latency_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_sim_test.dir/mac/link_sim_test.cpp.o"
+  "CMakeFiles/link_sim_test.dir/mac/link_sim_test.cpp.o.d"
+  "link_sim_test"
+  "link_sim_test.pdb"
+  "link_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

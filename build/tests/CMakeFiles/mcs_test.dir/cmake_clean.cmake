@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_test.dir/phy/mcs_test.cpp.o"
+  "CMakeFiles/mcs_test.dir/phy/mcs_test.cpp.o.d"
+  "mcs_test"
+  "mcs_test.pdb"
+  "mcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

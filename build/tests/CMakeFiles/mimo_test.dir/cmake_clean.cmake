@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimo_test.dir/phy/mimo_test.cpp.o"
+  "CMakeFiles/mimo_test.dir/phy/mimo_test.cpp.o.d"
+  "mimo_test"
+  "mimo_test.pdb"
+  "mimo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_classifier_test.dir/core/mobility_classifier_test.cpp.o"
+  "CMakeFiles/mobility_classifier_test.dir/core/mobility_classifier_test.cpp.o.d"
+  "mobility_classifier_test"
+  "mobility_classifier_test.pdb"
+  "mobility_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

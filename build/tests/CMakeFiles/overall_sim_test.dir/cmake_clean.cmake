@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overall_sim_test.dir/sim/overall_sim_test.cpp.o"
+  "CMakeFiles/overall_sim_test.dir/sim/overall_sim_test.cpp.o.d"
+  "overall_sim_test"
+  "overall_sim_test.pdb"
+  "overall_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overall_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

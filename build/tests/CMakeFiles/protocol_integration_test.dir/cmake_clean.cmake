@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_integration_test.dir/integration/protocol_integration_test.cpp.o"
+  "CMakeFiles/protocol_integration_test.dir/integration/protocol_integration_test.cpp.o.d"
+  "protocol_integration_test"
+  "protocol_integration_test.pdb"
+  "protocol_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

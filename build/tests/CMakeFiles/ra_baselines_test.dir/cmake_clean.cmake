@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_baselines_test.dir/mac/ra_baselines_test.cpp.o"
+  "CMakeFiles/ra_baselines_test.dir/mac/ra_baselines_test.cpp.o.d"
+  "ra_baselines_test"
+  "ra_baselines_test.pdb"
+  "ra_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

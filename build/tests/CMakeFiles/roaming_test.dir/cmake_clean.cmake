@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_test.dir/net/roaming_test.cpp.o"
+  "CMakeFiles/roaming_test.dir/net/roaming_test.cpp.o.d"
+  "roaming_test"
+  "roaming_test.pdb"
+  "roaming_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

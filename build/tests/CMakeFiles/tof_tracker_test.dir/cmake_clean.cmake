@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tof_tracker_test.dir/core/tof_tracker_test.cpp.o"
+  "CMakeFiles/tof_tracker_test.dir/core/tof_tracker_test.cpp.o.d"
+  "tof_tracker_test"
+  "tof_tracker_test.pdb"
+  "tof_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tof_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
