@@ -1,4 +1,8 @@
 // bench_common.hpp — shared helpers for the per-figure bench binaries.
+//
+// The trial cadence loop and the master seed live in src/runtime/ (shared
+// with the unified mobiwlan-bench driver); this header forwards to them so
+// the standalone binaries keep their historical spellings.
 #pragma once
 
 #include <cstdio>
@@ -6,14 +10,21 @@
 
 #include "chan/scenario.hpp"
 #include "core/mobility_classifier.hpp"
+#include "runtime/classifier_driver.hpp"
+#include "runtime/experiment.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace mobiwlan::bench {
 
-/// Master seed for all bench binaries; change to re-draw every "location".
-inline constexpr std::uint64_t kMasterSeed = 20140204;  // CoNEXT'14
+/// Master seed for all bench binaries (defined once, in the runtime layer).
+using runtime::kMasterSeed;
+
+/// Drives a classifier over a scenario at the standard measurement cadences
+/// and invokes `on_second(t, mode)` once per second after the warmup.
+/// (Defined once in runtime/classifier_driver.*; forwarded here.)
+using runtime::run_classifier;
 
 /// Print a figure banner with the paper's headline expectation.
 inline void banner(const std::string& figure, const std::string& expectation) {
@@ -21,30 +32,6 @@ inline void banner(const std::string& figure, const std::string& expectation) {
   std::printf("%s\n", figure.c_str());
   std::printf("Paper: %s\n", expectation.c_str());
   std::printf("================================================================\n");
-}
-
-/// Drives a classifier over a scenario at the standard measurement cadences
-/// and invokes `on_second(t, mode)` once per second after the warmup.
-template <typename PerSecond>
-void run_classifier(const Scenario& s, double duration_s, double warmup_s,
-                    PerSecond on_second,
-                    MobilityClassifier::Config cfg = {}) {
-  MobilityClassifier clf(cfg);
-  double next_csi = 0.0;
-  double next_tof = 0.0;
-  double next_second = warmup_s;
-  for (double t = 0.0; t < duration_s; t += cfg.tof_period_s) {
-    if (t >= next_csi - 1e-9) {
-      clf.on_csi(t, s.channel->csi_at(t));
-      next_csi += cfg.csi_period_s;
-    }
-    clf.on_tof(t, s.channel->tof_cycles(t));
-    (void)next_tof;
-    if (t >= next_second) {
-      on_second(t, clf.mode());
-      next_second += 1.0;
-    }
-  }
 }
 
 /// The four coarse classes in display order.

@@ -1,71 +1,7 @@
-// Figure 13: the end-to-end system experiment (§7). A client walks through
-// the 6-AP floor while the AP stack runs either the complete mobility-aware
-// suite (controller roaming + Table-2 RA + adaptive aggregation + adaptive
-// beamforming feedback) or the stock mobility-oblivious defaults.
-// Paper: the mobility-aware system wins in all 9 tests, ~2x median.
-#include "sim/overall_sim.hpp"
-#include "util/significance.hpp"
+// Figure 13 standalone binary. The trial code now lives in suite/fig13.cpp,
+// registered with the unified mobiwlan-bench driver and sharded across a
+// runtime::ThreadPool; this wrapper keeps the historical one-binary-per-
+// figure entry point.
+#include "suite/suite.hpp"
 
-#include "bench_common.hpp"
-
-namespace mobiwlan {
-namespace {
-
-using bench::kMasterSeed;
-
-}  // namespace
-}  // namespace mobiwlan
-
-int main() {
-  using namespace mobiwlan;
-  bench::banner("Figure 13(b) — end-to-end throughput, all four optimizations",
-                "mobility-aware beats the default stack in every walk; "
-                "~2x median overall in the paper");
-
-  SampleSet aware;
-  SampleSet stock;
-  int wins = 0;
-  const int walks = 9;  // the paper ran 9 tests
-
-  TablePrinter t("per-walk UDP throughput (Mbps)");
-  t.set_header({"walk", "default stack", "mobility-aware", "gain"});
-  for (int walk = 0; walk < walks; ++walk) {
-    double results[2];
-    for (int mode = 0; mode < 2; ++mode) {
-      // Identical walk and deployment per stack.
-      Rng rng(kMasterSeed + 4000 + walk);
-      auto traj = WlanDeployment::corridor_walk(rng);
-      WlanDeployment wlan(WlanDeployment::corridor_layout(), traj,
-                          ChannelConfig{}, rng);
-      OverallSimConfig cfg;
-      cfg.duration_s = 60.0;
-      cfg.mobility_aware = mode == 1;
-      Rng sim_rng(kMasterSeed + 4100 + walk);
-      results[mode] = simulate_overall(wlan, cfg, sim_rng).throughput_mbps;
-    }
-    stock.add(results[0]);
-    aware.add(results[1]);
-    if (results[1] > results[0]) ++wins;
-    t.add_row({std::to_string(walk + 1), TablePrinter::num(results[0], 1),
-               TablePrinter::num(results[1], 1),
-               TablePrinter::pct(results[1] / results[0] - 1.0)});
-  }
-  t.print();
-
-  std::fputs(render_cdf_table("end-to-end throughput (Mbps)",
-                              {{"802.11n default", &stock},
-                               {"motion-aware", &aware}})
-                 .c_str(),
-             stdout);
-  std::printf("\nwins: %d/%d (paper: all); median gain %+.1f%% "
-              "(paper: ~+100%%)\n",
-              wins, walks, 100.0 * (aware.median() / stock.median() - 1.0));
-
-  const BootstrapInterval ci =
-      bootstrap_median_diff_ci(aware.samples(), stock.samples());
-  std::printf("bootstrap 95%% CI on the median difference: [%.1f, %.1f] Mbps "
-              "(point %.1f) -> %s\n",
-              ci.lo, ci.hi, ci.point,
-              ci.lo > 0.0 ? "significant" : "NOT significant at 95%");
-  return 0;
-}
+int main() { return mobiwlan::benchsuite::run_standalone("fig13"); }

@@ -1,124 +1,7 @@
-// Figure 9: mobility-aware rate adaptation (§4.3).
-//  (a) per-link TCP throughput: stock Atheros RA vs the motion-aware variant
-//      on device-mobility links (paper: +23% median);
-//  (b) identical-channel comparison of five schemes — stock, motion-aware,
-//      RapidSample (sensor hints), SoftRate, ESNR (paper: motion-aware beats
-//      RapidSample, matches SoftRate, reaches ~90% of ESNR).
-#include "mac/atheros_ra.hpp"
-#include "mac/esnr_ra.hpp"
-#include "mac/link_sim.hpp"
-#include "mac/sensor_hint_ra.hpp"
-#include "mac/softrate_ra.hpp"
+// Figure 9 standalone binary. The trial code now lives in suite/fig9.cpp,
+// registered with the unified mobiwlan-bench driver and sharded across a
+// runtime::ThreadPool; this wrapper keeps the historical one-binary-per-
+// figure entry point.
+#include "suite/suite.hpp"
 
-#include "bench_common.hpp"
-
-namespace mobiwlan {
-namespace {
-
-using bench::kMasterSeed;
-
-LinkSimConfig tcp_config() {
-  LinkSimConfig cfg;
-  cfg.duration_s = 15.0;
-  cfg.tcp_stall_s = 0.025;  // download TCP per the paper's §4.3 setup
-  return cfg;
-}
-
-/// Run one scheme over the identical channel realization (same seed).
-double run_scheme(const std::string& scheme, std::uint64_t seed,
-                  MobilityClass cls) {
-  Rng rng(seed);
-  Scenario s = make_scenario(cls, rng);
-  LinkSimConfig cfg = tcp_config();
-  Rng frame_rng(seed + 77777);
-
-  if (scheme == "atheros") {
-    AtherosRa ra;
-    return simulate_link(s, ra, cfg, frame_rng).goodput_mbps;
-  }
-  if (scheme == "motion-aware") {
-    AtherosRa ra = make_mobility_aware_atheros_ra();
-    return simulate_link(s, ra, cfg, frame_rng).goodput_mbps;
-  }
-  if (scheme == "rapidsample") {
-    SensorHintRa ra;
-    cfg.run_classifier = false;
-    cfg.provide_sensor_hint = true;
-    return simulate_link(s, ra, cfg, frame_rng).goodput_mbps;
-  }
-  if (scheme == "softrate") {
-    SoftRateRa ra;
-    cfg.run_classifier = false;
-    cfg.provide_phy_feedback = true;
-    return simulate_link(s, ra, cfg, frame_rng).goodput_mbps;
-  }
-  EsnrRa ra;
-  cfg.run_classifier = false;
-  cfg.provide_phy_feedback = true;
-  return simulate_link(s, ra, cfg, frame_rng).goodput_mbps;
-}
-
-}  // namespace
-}  // namespace mobiwlan
-
-int main() {
-  using namespace mobiwlan;
-
-  bench::banner("Figure 9(a) — stock vs motion-aware Atheros RA, per link",
-                "motion-aware wins on nearly every device-mobility link; "
-                "+23% median TCP throughput in the paper");
-  {
-    SampleSet stock;
-    SampleSet aware;
-    int wins = 0;
-    const int links = 15;
-    TablePrinter t("per-link throughput (Mbps), device-mobility links, TCP");
-    t.set_header({"link", "mode", "stock", "motion-aware", "gain"});
-    for (int link = 0; link < links; ++link) {
-      const MobilityClass cls =
-          link % 2 == 0 ? MobilityClass::kMacro : MobilityClass::kMicro;
-      const std::uint64_t seed = kMasterSeed + 100 + link;
-      const double s = run_scheme("atheros", seed, cls);
-      const double a = run_scheme("motion-aware", seed, cls);
-      stock.add(s);
-      aware.add(a);
-      if (a > s) ++wins;
-      t.add_row({std::to_string(link), std::string(to_string(cls)),
-                 TablePrinter::num(s, 1), TablePrinter::num(a, 1),
-                 TablePrinter::pct(a / s - 1.0)});
-    }
-    t.print();
-    std::printf("\nmedian: stock %.1f vs motion-aware %.1f Mbps -> %+.1f%% "
-                "(paper: +23%%); wins: %d/%d\n",
-                stock.median(), aware.median(),
-                100.0 * (aware.median() / stock.median() - 1.0), wins, links);
-  }
-
-  bench::banner("Figure 9(b) — five schemes over identical walking channels",
-                "ESNR > SoftRate ~ motion-aware > RapidSample > stock; "
-                "motion-aware ~90% of ESNR without client changes");
-  {
-    const char* schemes[] = {"atheros", "motion-aware", "rapidsample", "softrate",
-                             "esnr"};
-    SampleSet results[5];
-    const int traces = 10;
-    for (int trace = 0; trace < traces; ++trace) {
-      for (int si = 0; si < 5; ++si) {
-        results[si].add(
-            run_scheme(schemes[si], kMasterSeed + 500 + trace, MobilityClass::kMacro));
-      }
-    }
-    TablePrinter t("walking-trace throughput (Mbps), identical channels");
-    t.set_header({"scheme", "p25", "median", "p75", "vs stock"});
-    for (int si = 0; si < 5; ++si) {
-      t.add_row({schemes[si], TablePrinter::num(results[si].quantile(0.25), 1),
-                 TablePrinter::num(results[si].median(), 1),
-                 TablePrinter::num(results[si].quantile(0.75), 1),
-                 TablePrinter::pct(results[si].median() / results[0].median() - 1.0)});
-    }
-    t.print();
-    std::printf("\nmotion-aware / ESNR ratio: %.2f (paper: ~0.90)\n",
-                results[1].median() / results[4].median());
-  }
-  return 0;
-}
+int main() { return mobiwlan::benchsuite::run_standalone("fig9"); }

@@ -1,89 +1,7 @@
-// Table 1: the full mobility-classification confusion matrix over randomized
-// locations, plus macro heading (toward/away) accuracy on controlled walks.
-// Paper: >92% accuracy in all scenarios (static 97%, environmental 95%,
-// micro 96%, macro 93% — approximate readings of Table 1).
-#include <cmath>
-#include <map>
+// Table 1 standalone binary. The trial code now lives in suite/table1.cpp,
+// registered with the unified mobiwlan-bench driver and sharded across a
+// runtime::ThreadPool; this wrapper keeps the historical one-binary-per-
+// figure entry point.
+#include "suite/suite.hpp"
 
-#include "bench_common.hpp"
-
-namespace mobiwlan {
-namespace {
-
-using bench::kMasterSeed;
-
-struct Row {
-  std::map<MobilityClass, int> counts;
-  int total = 0;
-};
-
-Row evaluate(MobilityClass cls, int trials, Rng& master) {
-  Row row;
-  for (int trial = 0; trial < trials; ++trial) {
-    const Scenario s = make_scenario(cls, master);
-    bench::run_classifier(s, 40.0, 10.0, [&](double, MobilityMode mode) {
-      ++row.total;
-      ++row.counts[to_class(mode)];
-    });
-  }
-  return row;
-}
-
-}  // namespace
-}  // namespace mobiwlan
-
-int main() {
-  using namespace mobiwlan;
-  bench::banner("Table 1 — mobility classification accuracy",
-                "diagonal > 92% everywhere (paper: static 97 / env 95 / "
-                "micro 96 / macro 93)");
-
-  Rng master(kMasterSeed);
-  const int trials = 30;  // "locations" per class
-
-  TablePrinter t("confusion matrix (rows = ground truth)");
-  t.set_header({"truth \\ detected", "static", "environmental", "micro", "macro"});
-  for (MobilityClass cls : bench::kClasses) {
-    Row row = evaluate(cls, trials, master);
-    std::vector<std::string> cells{std::string(to_string(cls))};
-    for (MobilityClass det : bench::kClasses)
-      cells.push_back(TablePrinter::pct(static_cast<double>(row.counts[det]) /
-                                        row.total));
-    t.add_row(cells);
-  }
-  t.print();
-
-  // Heading accuracy on controlled toward/away walks (§2.4's direction claim).
-  int heading_correct = 0;
-  int heading_total = 0;
-  for (int trial = 0; trial < 16; ++trial) {
-    const bool toward = trial % 2 == 0;
-    const Scenario s = make_radial_scenario(toward, toward ? 30.0 : 8.0, master);
-    bench::run_classifier(s, 18.0, 8.0, [&](double, MobilityMode mode) {
-      if (!is_macro(mode)) return;
-      ++heading_total;
-      const MobilityMode want =
-          toward ? MobilityMode::kMacroToward : MobilityMode::kMacroAway;
-      if (mode == want) ++heading_correct;
-    });
-  }
-  std::printf("\nHeading (toward vs away) accuracy on radial walks: %.1f%% "
-              "(%d/%d classified-macro seconds)\n",
-              100.0 * heading_correct / std::max(1, heading_total),
-              heading_correct, heading_total);
-
-  // §9 limitation: a circular walk around the AP must classify as micro.
-  int circular_micro = 0;
-  int circular_total = 0;
-  for (int trial = 0; trial < 6; ++trial) {
-    const Scenario s = make_circular_scenario(10.0 + trial, master);
-    bench::run_classifier(s, 30.0, 10.0, [&](double, MobilityMode mode) {
-      ++circular_total;
-      if (mode == MobilityMode::kMicro) ++circular_micro;
-    });
-  }
-  std::printf("Limitation check (§9): circular walk classified micro %.1f%% "
-              "of the time (paper predicts misclassification as micro)\n",
-              100.0 * circular_micro / std::max(1, circular_total));
-  return 0;
-}
+int main() { return mobiwlan::benchsuite::run_standalone("table1"); }

@@ -1,0 +1,157 @@
+// mobiwlan-bench — unified driver for the benches ported onto src/runtime/.
+//
+//   mobiwlan-bench --list                 enumerate registered benches
+//   mobiwlan-bench                        run everything (default seed/jobs)
+//   mobiwlan-bench --filter fig9          run benches whose name contains it
+//   mobiwlan-bench --jobs 8 --seed 42     worker count / master seed
+//   mobiwlan-bench --json out.json        write the structured run report
+//   mobiwlan-bench --no-job-timing        omit per-job arrays from the JSON
+//
+// Determinism contract: for a fixed --seed, the printed tables and every
+// non-"timing" byte of the JSON are identical for --jobs 1 and --jobs N.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/experiment.hpp"
+#include "runtime/report.hpp"
+#include "runtime/thread_pool.hpp"
+#include "suite/suite.hpp"
+
+namespace {
+
+using mobiwlan::benchsuite::BenchDef;
+using mobiwlan::benchsuite::registry;
+namespace runtime = mobiwlan::runtime;
+
+void print_usage() {
+  std::printf(
+      "usage: mobiwlan-bench [--list] [--filter SUBSTR] [--jobs N]\n"
+      "                      [--seed S] [--json PATH] [--no-job-timing]\n");
+}
+
+struct Options {
+  bool list = false;
+  bool job_timing = true;
+  std::string filter;
+  std::string json_path;
+  std::size_t jobs = 0;  // 0 = one worker per hardware thread
+  std::uint64_t seed = runtime::kMasterSeed;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mobiwlan-bench: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--no-job-timing") {
+      opt.job_timing = false;
+    } else if (arg == "--filter") {
+      const char* v = value("--filter");
+      if (!v) return false;
+      opt.filter = v;
+    } else if (arg == "--json") {
+      const char* v = value("--json");
+      if (!v) return false;
+      opt.json_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = value("--jobs");
+      if (!v) return false;
+      opt.jobs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* v = value("--seed");
+      if (!v) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "mobiwlan-bench: unknown flag %s\n", arg.c_str());
+      print_usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  if (opt.list) {
+    for (const BenchDef& def : registry())
+      std::printf("%-10s %s\n", def.name.c_str(), def.description.c_str());
+    return 0;
+  }
+
+  std::vector<const BenchDef*> selected;
+  for (const BenchDef& def : registry())
+    if (def.name.find(opt.filter) != std::string::npos)
+      selected.push_back(&def);
+  if (selected.empty()) {
+    std::fprintf(stderr, "mobiwlan-bench: no bench matches --filter '%s'\n",
+                 opt.filter.c_str());
+    return 1;
+  }
+
+  std::size_t jobs = opt.jobs;
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw ? hw : 1;
+  }
+
+  runtime::ThreadPool pool(jobs);
+  runtime::RunReport run;
+  run.master_seed = opt.seed;
+  run.workers = pool.size();
+
+  const auto run_start = std::chrono::steady_clock::now();
+  for (const BenchDef* def : selected) {
+    runtime::BenchReport report;
+    report.name = def->name;
+    report.description = def->description;
+    runtime::Experiment exp(pool, opt.seed, &report);
+    const auto start = std::chrono::steady_clock::now();
+    def->run(exp, report);
+    report.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::fputs(report.text.c_str(), stdout);
+    std::printf("\n[%s: %zu jobs on %zu workers, %.2fs wall, %.0f%% "
+                "utilization, mean queue wait %.1f ms]\n",
+                report.name.c_str(), report.jobs.size(), report.workers,
+                report.wall_s, 100.0 * report.worker_utilization(),
+                1e3 * report.mean_queue_wait_s());
+    run.benches.push_back(std::move(report));
+  }
+  run.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             run_start)
+                   .count();
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "mobiwlan-bench: cannot write %s\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    out << run.to_json(opt.job_timing);
+    std::printf("\nwrote %s (%zu benches)\n", opt.json_path.c_str(),
+                run.benches.size());
+  }
+  return 0;
+}

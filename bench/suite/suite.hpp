@@ -1,0 +1,47 @@
+// suite.hpp — the benches registered with the unified mobiwlan-bench driver.
+//
+// Each ported bench is a BenchDef: a name the CLI filters on and a run
+// function that fans trials out through a runtime::Experiment and records
+// metrics/text into a runtime::BenchReport. The standalone per-figure
+// binaries forward to run_standalone() so both entry points execute the
+// exact same trial code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/experiment.hpp"
+#include "runtime/report.hpp"
+
+namespace mobiwlan::benchsuite {
+
+/// One bench registered with the driver.
+struct BenchDef {
+  std::string name;         ///< CLI name, e.g. "table1"
+  std::string description;  ///< one-line summary shown by --list
+  std::function<void(runtime::Experiment&, runtime::BenchReport&)> run;
+};
+
+/// All benches ported onto the runtime runner, in registration order.
+const std::vector<BenchDef>& registry();
+
+/// Runs one registered bench with the default seed and one worker per
+/// hardware thread, printing its text output — the compatibility entry
+/// point for the historical per-figure binaries. Returns a process exit
+/// code (1 if `name` is not registered).
+int run_standalone(const std::string& name);
+
+/// printf-style formatting into a std::string (bench text assembly).
+std::string strf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// The banner every bench opens its text output with.
+std::string banner_text(const std::string& figure,
+                        const std::string& expectation);
+
+// The registered benches (one definition per suite/*.cpp file).
+BenchDef table1_bench();
+BenchDef fig9_bench();
+BenchDef fig13_bench();
+
+}  // namespace mobiwlan::benchsuite

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# ci/check.sh — the full pre-merge gate:
+#   1. plain build + entire ctest suite;
+#   2. runtime determinism check: mobiwlan-bench at --jobs 1 vs --jobs 8
+#      must produce byte-identical JSON outside the "timing" lines;
+#   3. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
+#      runtime thread-pool and experiment tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+echo "== build (RelWithDebInfo) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+
+echo "== ctest =="
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+echo "== determinism: --jobs 1 vs --jobs 8 =="
+./build/bench/mobiwlan-bench --filter table1 --jobs 8 --json /tmp/mobiwlan_a.json >/dev/null
+./build/bench/mobiwlan-bench --filter table1 --jobs 1 --json /tmp/mobiwlan_b.json >/dev/null
+if ! diff <(grep -v '"timing":' /tmp/mobiwlan_a.json) \
+          <(grep -v '"timing":' /tmp/mobiwlan_b.json); then
+  echo "FAIL: bench results differ between --jobs 8 and --jobs 1" >&2
+  exit 1
+fi
+echo "ok: results byte-identical modulo timing"
+
+echo "== ThreadSanitizer: runtime tests =="
+cmake -B build-tsan -S . -DMOBIWLAN_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j"${JOBS}" --target thread_pool_test experiment_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/experiment_test
+
+echo "== all checks passed =="

@@ -1,0 +1,24 @@
+#include "runtime/classifier_driver.hpp"
+
+namespace mobiwlan::runtime {
+
+void run_classifier(const Scenario& s, double duration_s, double warmup_s,
+                    const std::function<void(double, MobilityMode)>& on_second,
+                    MobilityClassifier::Config cfg) {
+  MobilityClassifier clf(cfg);
+  double next_csi = 0.0;
+  double next_second = warmup_s;
+  for (double t = 0.0; t < duration_s; t += cfg.tof_period_s) {
+    if (t >= next_csi - 1e-9) {
+      clf.on_csi(t, s.channel->csi_at(t));
+      next_csi += cfg.csi_period_s;
+    }
+    clf.on_tof(t, s.channel->tof_cycles(t));
+    if (t >= next_second) {
+      on_second(t, clf.mode());
+      next_second += 1.0;
+    }
+  }
+}
+
+}  // namespace mobiwlan::runtime

@@ -1,0 +1,24 @@
+// classifier_driver.hpp — the standard classifier-over-scenario trial loop.
+//
+// Every classification bench drives a MobilityClassifier over a scenario at
+// the paper's measurement cadences (CSI every cfg.csi_period_s, ToF every
+// cfg.tof_period_s) and samples the decision once per second. That cadence
+// logic used to be duplicated inline in every bench binary via
+// bench_common.hpp; it lives here, once, so benches and the unified driver
+// share a single definition of what "one trial" means.
+#pragma once
+
+#include <functional>
+
+#include "chan/scenario.hpp"
+#include "core/mobility_classifier.hpp"
+
+namespace mobiwlan::runtime {
+
+/// Drives a classifier over `s` for `duration_s`, invoking
+/// `on_second(t, mode)` once per second after `warmup_s`.
+void run_classifier(const Scenario& s, double duration_s, double warmup_s,
+                    const std::function<void(double, MobilityMode)>& on_second,
+                    MobilityClassifier::Config cfg = {});
+
+}  // namespace mobiwlan::runtime

@@ -1,0 +1,78 @@
+#include "runtime/experiment.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace mobiwlan::runtime {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+Experiment::Experiment(ThreadPool& pool, std::uint64_t master_seed,
+                       BenchReport* report)
+    : pool_(pool), master_(master_seed), report_(report) {
+  if (report_) report_->workers = pool_.size();
+}
+
+std::vector<std::uint64_t> Experiment::reserve_seeds(std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    seeds.push_back(master_.stream(next_stream_++).seed());
+  return seeds;
+}
+
+void Experiment::run_indexed(std::size_t count,
+                             const std::function<void(Trial&)>& body) {
+  const std::uint64_t base_stream = next_stream_;
+  next_stream_ += count;
+  if (count == 0) return;
+
+  // Each job writes only its own slot; no lock needed for timings.
+  std::vector<JobTiming> timings(count);
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = count;
+  std::exception_ptr first_error;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t stream = base_stream + i;
+    const Clock::time_point submitted = Clock::now();
+    pool_.post([&, i, stream, submitted] {
+      const Clock::time_point started = Clock::now();
+      Trial trial{i, stream, master_.stream(stream)};
+      std::exception_ptr error;
+      try {
+        body(trial);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const Clock::time_point finished = Clock::now();
+      timings[i] = JobTiming{i, stream, seconds_between(submitted, started),
+                             seconds_between(started, finished),
+                             ThreadPool::current_worker()};
+      std::lock_guard<std::mutex> lock(mu);
+      if (error && !first_error) first_error = error;
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+
+  if (report_)
+    report_->jobs.insert(report_->jobs.end(), timings.begin(), timings.end());
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace mobiwlan::runtime

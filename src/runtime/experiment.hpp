@@ -1,0 +1,84 @@
+// experiment.hpp — deterministic parallel trial runner.
+//
+// A bench is a sequence of map() calls, each fanning `count` independent
+// trials out over a ThreadPool. Determinism is a construction property, not
+// a scheduling one:
+//
+//   * every trial draws from Rng(splitmix64(master_seed ^ stream_id)) where
+//     stream_id is a counter assigned in submission order — never from
+//     thread identity, pool size, or execution order;
+//   * results land in a slot indexed by trial id and are aggregated in that
+//     order after all trials complete.
+//
+// Together these make bench output bit-identical for --jobs 1 and --jobs N.
+// See DESIGN.md ("Runtime layer: the determinism contract").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "runtime/report.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace mobiwlan::runtime {
+
+/// Master seed shared by every bench; change to re-draw every "location".
+inline constexpr std::uint64_t kMasterSeed = 20140204;  // CoNEXT'14
+
+/// Handed to each trial body: its position and its private generator.
+struct Trial {
+  std::size_t index;     ///< position within this map() call
+  std::uint64_t stream;  ///< global stream id (unique across the experiment)
+  Rng rng;               ///< master.stream(stream): order-independent seed
+};
+
+/// Shards independent trials across a thread pool, deterministically.
+class Experiment {
+ public:
+  /// `report`, when given, accrues per-job timing and the worker count.
+  Experiment(ThreadPool& pool, std::uint64_t master_seed,
+             BenchReport* report = nullptr);
+
+  std::uint64_t master_seed() const { return master_.seed(); }
+  ThreadPool& pool() { return pool_; }
+
+  /// Runs `count` independent trials of `fn` on the pool and returns their
+  /// results in trial-index order. Blocks until all trials finish; the first
+  /// exception a trial throws is rethrown here (after every trial has been
+  /// given the chance to run to completion).
+  template <typename Result>
+  std::vector<Result> map(std::size_t count,
+                          const std::function<Result(Trial&)>& fn) {
+    std::vector<std::optional<Result>> slots(count);
+    run_indexed(count,
+                [&](Trial& trial) { slots[trial.index].emplace(fn(trial)); });
+    std::vector<Result> out;
+    out.reserve(count);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+  /// Reserves `count` stream ids and returns their derived seeds. Use when
+  /// several trials must replay the *identical* stochastic world (e.g. five
+  /// RA schemes over the same channel realization): derive one seed per
+  /// world here, then pass it to each trial through the closure.
+  std::vector<std::uint64_t> reserve_seeds(std::size_t count);
+
+  /// Stream ids consumed so far (next map() starts here).
+  std::uint64_t next_stream() const { return next_stream_; }
+
+ private:
+  void run_indexed(std::size_t count, const std::function<void(Trial&)>& body);
+
+  ThreadPool& pool_;
+  Rng master_;
+  std::uint64_t next_stream_ = 0;
+  BenchReport* report_;
+};
+
+}  // namespace mobiwlan::runtime

@@ -1,0 +1,143 @@
+#include "runtime/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mobiwlan::runtime {
+
+void BenchReport::add_metadata(std::string key, std::string value) {
+  metadata.emplace_back(std::move(key), std::move(value));
+}
+
+void BenchReport::add_metric(std::string key, double value) {
+  metrics.emplace_back(std::move(key), value);
+}
+
+double BenchReport::total_cpu_s() const {
+  double sum = 0.0;
+  for (const auto& j : jobs) sum += j.run_s;
+  return sum;
+}
+
+double BenchReport::mean_queue_wait_s() const {
+  if (jobs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& j : jobs) sum += j.queue_wait_s;
+  return sum / static_cast<double>(jobs.size());
+}
+
+double BenchReport::worker_utilization() const {
+  if (wall_s <= 0.0 || workers == 0) return 0.0;
+  return total_cpu_s() / (wall_s * static_cast<double>(workers));
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Shortest %g form that round-trips: equal doubles -> identical bytes.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+namespace {
+
+void append_string_map(
+    std::ostringstream& os, const char* indent,
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  os << "{";
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    os << (i ? "," : "") << "\n" << indent << "  \"" << json_escape(kv[i].first)
+       << "\": \"" << json_escape(kv[i].second) << "\"";
+  }
+  if (!kv.empty()) os << "\n" << indent;
+  os << "}";
+}
+
+void append_metric_map(std::ostringstream& os, const char* indent,
+                       const std::vector<std::pair<std::string, double>>& kv) {
+  os << "{";
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    os << (i ? "," : "") << "\n" << indent << "  \"" << json_escape(kv[i].first)
+       << "\": " << json_double(kv[i].second);
+  }
+  if (!kv.empty()) os << "\n" << indent;
+  os << "}";
+}
+
+// The whole timing object goes on ONE line so `grep -v '"timing":'` strips
+// every nondeterministic byte of the document.
+void append_bench_timing(std::ostringstream& os, const BenchReport& b,
+                         bool include_job_timing) {
+  os << "\"timing\": {\"workers\": " << b.workers
+     << ", \"wall_s\": " << json_double(b.wall_s)
+     << ", \"cpu_s\": " << json_double(b.total_cpu_s())
+     << ", \"utilization\": " << json_double(b.worker_utilization())
+     << ", \"mean_queue_wait_s\": " << json_double(b.mean_queue_wait_s())
+     << ", \"jobs\": " << b.jobs.size();
+  if (include_job_timing) {
+    os << ", \"per_job\": [";
+    for (std::size_t i = 0; i < b.jobs.size(); ++i) {
+      const JobTiming& j = b.jobs[i];
+      os << (i ? ", " : "") << "{\"id\": " << j.job_id << ", \"stream\": "
+         << j.stream << ", \"queue_wait_s\": " << json_double(j.queue_wait_s)
+         << ", \"run_s\": " << json_double(j.run_s) << ", \"worker\": "
+         << j.worker << "}";
+    }
+    os << "]";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string RunReport::to_json(bool include_job_timing) const {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"mobiwlan-bench/1\",\n  \"seed\": " << master_seed
+     << ",\n  \"benches\": [";
+  for (std::size_t bi = 0; bi < benches.size(); ++bi) {
+    const BenchReport& b = benches[bi];
+    os << (bi ? "," : "") << "\n    {\n      \"name\": \""
+       << json_escape(b.name) << "\",\n      \"description\": \""
+       << json_escape(b.description) << "\",\n      \"metadata\": ";
+    append_string_map(os, "      ", b.metadata);
+    os << ",\n      \"metrics\": ";
+    append_metric_map(os, "      ", b.metrics);
+    os << ",\n      \"text\": \"" << json_escape(b.text) << "\",\n      ";
+    append_bench_timing(os, b, include_job_timing);
+    os << "\n    }";
+  }
+  if (!benches.empty()) os << "\n  ";
+  os << "],\n  \"timing\": {\"workers\": " << workers
+     << ", \"wall_s\": " << json_double(wall_s) << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace mobiwlan::runtime

@@ -1,0 +1,76 @@
+// report.hpp — structured run reports for the unified bench driver.
+//
+// Every mobiwlan-bench invocation produces a RunReport: per-bench metrics
+// (the numbers a figure is made of), the rendered ASCII tables, scenario
+// metadata, and per-job scheduling telemetry (queue wait, run time, worker).
+// The JSON serialization keeps all nondeterministic timing under `"timing"`
+// keys, each emitted on a single line, so two runs of the same seed can be
+// compared byte-for-byte with `grep -v '"timing":'` regardless of worker
+// count — the check `ci/check.sh` and the determinism tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mobiwlan::runtime {
+
+/// Scheduling telemetry for one experiment job.
+struct JobTiming {
+  std::size_t job_id = 0;       ///< index in submission (= aggregation) order
+  std::uint64_t stream = 0;     ///< rng stream id the job was seeded from
+  double queue_wait_s = 0.0;    ///< submit -> first instruction on a worker
+  double run_s = 0.0;           ///< job body wall time
+  int worker = -1;              ///< pool worker that ran it
+};
+
+/// Everything one bench produced: deterministic results plus timing.
+struct BenchReport {
+  std::string name;
+  std::string description;
+
+  /// Scenario metadata, in insertion order (trial counts, durations, ...).
+  std::vector<std::pair<std::string, std::string>> metadata;
+  /// Named result values in insertion order — the deterministic payload.
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Rendered ASCII tables, as the standalone binaries printed them.
+  std::string text;
+
+  /// Per-job telemetry in job-id order.
+  std::vector<JobTiming> jobs;
+  double wall_s = 0.0;
+  std::size_t workers = 0;
+
+  void add_metadata(std::string key, std::string value);
+  void add_metric(std::string key, double value);
+
+  /// Sum of per-job run times (the work the pool actually executed).
+  double total_cpu_s() const;
+  double mean_queue_wait_s() const;
+  /// total_cpu / (wall * workers): 1.0 means every worker was busy the
+  /// whole bench; low values mean jobs were too few or too uneven.
+  double worker_utilization() const;
+};
+
+/// A whole driver invocation: shared seed, per-bench reports, run timing.
+struct RunReport {
+  std::uint64_t master_seed = 0;
+  std::vector<BenchReport> benches;
+  double wall_s = 0.0;
+  std::size_t workers = 0;
+
+  /// Serializes to JSON. Set `include_job_timing` false to drop the per-job
+  /// arrays (the rest of the timing summary is always emitted).
+  std::string to_json(bool include_job_timing = true) const;
+};
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Shortest round-trip decimal form of a double ("%.17g" trimmed), so equal
+/// doubles always serialize to identical bytes.
+std::string json_double(double v);
+
+}  // namespace mobiwlan::runtime

@@ -1,0 +1,54 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mobiwlan::runtime {
+
+namespace {
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int ThreadPool::current_worker() { return tl_worker_index; }
+
+void ThreadPool::worker_loop(int index) {
+  tl_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even while stopping so a destroyed pool still runs
+      // everything that was posted before shutdown.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace mobiwlan::runtime

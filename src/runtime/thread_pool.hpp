@@ -1,0 +1,68 @@
+// thread_pool.hpp — fixed-size worker pool for the experiment runner.
+//
+// A deliberately small pool: a mutex+condvar task queue, N workers created at
+// construction, and a destructor that drains the queue and joins. Scheduling
+// is work-conserving but unordered — callers that need deterministic output
+// (every bench does) must make determinism a property of the *tasks*, which
+// is what runtime::Experiment provides on top of this pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mobiwlan::runtime {
+
+/// Fixed-size thread pool with a FIFO task queue and clean shutdown.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least one).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Signals shutdown, finishes every already-queued task, and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task. The task must not throw; use submit()
+  /// when exceptions need to reach the caller.
+  void post(std::function<void()> task);
+
+  /// Enqueues a callable and returns a future for its result; an exception
+  /// thrown by the callable is rethrown from future::get().
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    post([task] { (*task)(); });
+    return task->get_future();
+  }
+
+  /// Index in [0, size()) of the pool worker executing the current thread,
+  /// or -1 when called from a thread the pool does not own. Used by the run
+  /// report to attribute per-job timing to workers.
+  static int current_worker();
+
+ private:
+  void worker_loop(int index);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mobiwlan::runtime

@@ -19,7 +19,7 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
   // A state of all zeros is the one invalid xoshiro state; splitmix64 cannot
@@ -90,5 +90,10 @@ double Rng::phase() { return uniform(0.0, 2.0 * std::numbers::pi); }
 bool Rng::chance(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
+
+Rng Rng::stream(std::uint64_t stream_id) const {
+  std::uint64_t x = seed_ ^ stream_id;
+  return Rng(splitmix64(x));
+}
 
 }  // namespace mobiwlan

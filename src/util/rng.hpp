@@ -62,7 +62,21 @@ class Rng {
   /// Forks an independently-seeded generator from this stream.
   Rng split();
 
+  /// Derives the generator for numbered substream `stream_id`.
+  ///
+  /// The substream seed is `splitmix64(seed ^ stream_id)` — a pure function
+  /// of the construction seed and the id, never of generator state — so
+  /// `stream(i)` yields the same generator no matter how many draws have been
+  /// taken or in which order streams are derived. This is the counter-based
+  /// derivation the runtime experiment runner uses to give every parallel
+  /// job an execution-order-independent Rng.
+  Rng stream(std::uint64_t stream_id) const;
+
+  /// The seed this generator was constructed with.
+  std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_;
   std::uint64_t s_[4];
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;

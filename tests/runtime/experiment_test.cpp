@@ -1,0 +1,157 @@
+// Tests for the deterministic experiment runner: the same master seed must
+// produce bit-identical aggregated results at 1, 2, and 8 workers, stream
+// ids must be counter-based, and job failures must propagate.
+#include "runtime/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/report.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace mobiwlan::runtime {
+namespace {
+
+/// A stand-in for a simulation trial: result depends on the trial's rng and
+/// index, with enough draws that any cross-trial state sharing would show.
+double fake_trial(Trial& t) {
+  double acc = static_cast<double>(t.index) * 1e-3;
+  for (int i = 0; i < 1000; ++i) acc += t.rng.uniform();
+  return acc + t.rng.gaussian();
+}
+
+std::vector<double> run_with_workers(std::size_t workers,
+                                     std::uint64_t seed = kMasterSeed) {
+  ThreadPool pool(workers);
+  Experiment exp(pool, seed);
+  return exp.map<double>(40, fake_trial);
+}
+
+TEST(ExperimentTest, BitIdenticalAcrossWorkerCounts) {
+  const std::vector<double> serial = run_with_workers(1);
+  const std::vector<double> two = run_with_workers(2);
+  const std::vector<double> eight = run_with_workers(8);
+  ASSERT_EQ(serial.size(), two.size());
+  ASSERT_EQ(serial.size(), eight.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // EXPECT_EQ on doubles: bit-identical, not approximately equal.
+    EXPECT_EQ(serial[i], two[i]) << "trial " << i;
+    EXPECT_EQ(serial[i], eight[i]) << "trial " << i;
+  }
+}
+
+TEST(ExperimentTest, DifferentSeedsDifferentResults) {
+  const std::vector<double> a = run_with_workers(2, 1);
+  const std::vector<double> b = run_with_workers(2, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(ExperimentTest, TrialRngMatchesCounterBasedDerivation) {
+  ThreadPool pool(4);
+  Experiment exp(pool, 987654321);
+  const auto firsts = exp.map<std::uint64_t>(
+      16, [](Trial& t) { return t.rng.next_u64(); });
+  // Each trial's generator must be master.stream(stream_id) with stream ids
+  // assigned 0..n-1 in submission order, independent of execution order.
+  const Rng master(987654321);
+  for (std::size_t i = 0; i < firsts.size(); ++i)
+    EXPECT_EQ(firsts[i], master.stream(i).next_u64()) << "trial " << i;
+}
+
+TEST(ExperimentTest, StreamIdsContinueAcrossMapCalls) {
+  ThreadPool pool(2);
+  Experiment exp(pool, 5);
+  const auto first = exp.map<std::uint64_t>(10, [](Trial& t) { return t.stream; });
+  const auto second = exp.map<std::uint64_t>(5, [](Trial& t) { return t.stream; });
+  for (std::size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], i);
+  for (std::size_t i = 0; i < second.size(); ++i) EXPECT_EQ(second[i], 10 + i);
+  EXPECT_EQ(exp.next_stream(), 15u);
+}
+
+TEST(ExperimentTest, ReserveSeedsConsumesStreamIdsAndIsDeterministic) {
+  ThreadPool pool(2);
+  Experiment exp_a(pool, 77);
+  Experiment exp_b(pool, 77);
+  const auto seeds_a = exp_a.reserve_seeds(6);
+  const auto seeds_b = exp_b.reserve_seeds(6);
+  EXPECT_EQ(seeds_a, seeds_b);
+  EXPECT_EQ(exp_a.next_stream(), 6u);
+  // Reserved ids must match what trials would have been seeded with.
+  const Rng master(77);
+  for (std::size_t i = 0; i < seeds_a.size(); ++i)
+    EXPECT_EQ(seeds_a[i], master.stream(i).seed());
+}
+
+TEST(ExperimentTest, ExceptionFromTrialPropagates) {
+  ThreadPool pool(4);
+  Experiment exp(pool, 1);
+  EXPECT_THROW(exp.map<int>(20,
+                            [](Trial& t) -> int {
+                              if (t.index == 13)
+                                throw std::runtime_error("bad trial");
+                              return 0;
+                            }),
+               std::runtime_error);
+  // The experiment (and pool) stay usable afterwards.
+  const auto ok = exp.map<int>(4, [](Trial&) { return 1; });
+  EXPECT_EQ(ok.size(), 4u);
+}
+
+TEST(ExperimentTest, ReportCollectsOrderedJobTimings) {
+  ThreadPool pool(3);
+  BenchReport report;
+  Experiment exp(pool, kMasterSeed, &report);
+  (void)exp.map<double>(25, fake_trial);
+  EXPECT_EQ(report.workers, 3u);
+  ASSERT_EQ(report.jobs.size(), 25u);
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    EXPECT_EQ(report.jobs[i].job_id, i);
+    EXPECT_EQ(report.jobs[i].stream, i);
+    EXPECT_GE(report.jobs[i].run_s, 0.0);
+    EXPECT_GE(report.jobs[i].queue_wait_s, 0.0);
+    EXPECT_GE(report.jobs[i].worker, 0);
+    EXPECT_LT(report.jobs[i].worker, 3);
+  }
+  EXPECT_GT(report.total_cpu_s(), 0.0);
+}
+
+TEST(ExperimentTest, JsonReportIsDeterministicModuloTimingLines) {
+  auto make_json = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    RunReport run;
+    run.master_seed = 99;
+    run.workers = pool.size();
+    BenchReport bench;
+    bench.name = "demo";
+    Experiment exp(pool, 99, &bench);
+    const auto vals = exp.map<double>(12, fake_trial);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      bench.add_metric("trial_" + std::to_string(i), vals[i]);
+    bench.text = "demo text\n";
+    run.benches.push_back(std::move(bench));
+    return run.to_json();
+  };
+  auto strip_timing = [](const std::string& json) {
+    std::string out;
+    std::size_t pos = 0;
+    while (pos < json.size()) {
+      const std::size_t eol = json.find('\n', pos);
+      const std::string line = json.substr(pos, eol - pos);
+      if (line.find("\"timing\":") == std::string::npos) out += line + "\n";
+      pos = eol == std::string::npos ? json.size() : eol + 1;
+    }
+    return out;
+  };
+  const std::string one = make_json(1);
+  const std::string eight = make_json(8);
+  EXPECT_NE(one, eight);  // timing genuinely differs...
+  EXPECT_EQ(strip_timing(one), strip_timing(eight));  // ...results do not
+}
+
+}  // namespace
+}  // namespace mobiwlan::runtime

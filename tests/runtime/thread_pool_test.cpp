@@ -1,0 +1,81 @@
+// Tests for the runtime thread pool: every queued task runs, exceptions
+// surface through submit() futures, and the destructor drains and joins.
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mobiwlan::runtime {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&count] { ++count; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit(
+      []() -> int { throw std::runtime_error("trial exploded"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool stays usable after a task threw.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueueAndJoins) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.post([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    // Destructor runs here: it must wait for all 100, not drop the queue.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexIsValidInsideTasksOnly) {
+  EXPECT_EQ(ThreadPool::current_worker(), -1);
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<int> seen;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([&] {
+      const int w = ThreadPool::current_worker();
+      ASSERT_GE(w, 0);
+      ASSERT_LT(w, 3);
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(w);
+    }));
+  for (auto& f : futures) f.get();
+  EXPECT_GE(seen.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+}  // namespace
+}  // namespace mobiwlan::runtime

@@ -158,6 +158,63 @@ TEST(RngTest, SplitIsDeterministic) {
   for (int i = 0; i < 50; ++i) EXPECT_EQ(b1.next_u64(), b2.next_u64());
 }
 
+TEST(RngTest, StreamIsDeterministic) {
+  Rng a(31);
+  Rng b(31);
+  Rng s1 = a.stream(7);
+  Rng s2 = b.stream(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s1.next_u64(), s2.next_u64());
+}
+
+TEST(RngTest, StreamDerivationIsOrderIndependent) {
+  // Deriving streams in a different order, or after consuming generator
+  // state, must not change what each stream produces — the property the
+  // parallel experiment runner's determinism contract rests on.
+  Rng a(32);
+  Rng s5_first = a.stream(5);
+  Rng s3_after = a.stream(3);
+  for (int i = 0; i < 1000; ++i) (void)a.next_u64();  // burn parent state
+  Rng b(32);
+  Rng s3_first = b.stream(3);
+  Rng s5_after = b.stream(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s3_first.next_u64(), s3_after.next_u64());
+    EXPECT_EQ(s5_first.next_u64(), s5_after.next_u64());
+  }
+}
+
+TEST(RngTest, DistinctStreamsAreUncorrelated) {
+  // Adjacent stream ids must give streams with no visible correlation:
+  // no shared outputs and an uncorrelated sign pattern.
+  Rng master(33);
+  Rng s0 = master.stream(0);
+  Rng s1 = master.stream(1);
+  int equal = 0;
+  int sign_agree = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t u = s0.next_u64();
+    const std::uint64_t v = s1.next_u64();
+    if (u == v) ++equal;
+    if ((u >> 63) == (v >> 63)) ++sign_agree;
+  }
+  EXPECT_EQ(equal, 0);
+  EXPECT_NEAR(sign_agree / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(RngTest, StreamSeedMatchesSplitmixFormula) {
+  // The contract documented in rng.hpp: substream seed = splitmix64(seed ^ id).
+  // Reproduce splitmix64 inline so the formula itself is pinned by a test.
+  const std::uint64_t seed = 20140204;
+  const std::uint64_t id = 42;
+  std::uint64_t x = (seed ^ id) + 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  EXPECT_EQ(Rng(seed).stream(id).seed(), z);
+}
+
 class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RngSeedSweep, UniformMeanStableAcrossSeeds) {
