@@ -6,14 +6,23 @@
 //   mobiwlan-bench --jobs 8 --seed 42     worker count / master seed
 //   mobiwlan-bench --json out.json        write the structured run report
 //   mobiwlan-bench --no-job-timing        omit per-job arrays from the JSON
+//   mobiwlan-bench --perf                 run the hot-path perf cases and
+//                                         write BENCH_channel.json
+//   mobiwlan-bench --perf --perf-check    also gate against the committed
+//                                         baseline (ci/perf_baseline.json)
 //
 // Determinism contract: for a fixed --seed, the printed tables and every
 // non-"timing" byte of the JSON are identical for --jobs 1 and --jobs N.
+// Perf cases are timing-based and therefore live entirely behind --perf;
+// they never contribute to the deterministic JSON above.
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,24 +31,36 @@
 #include "runtime/report.hpp"
 #include "runtime/thread_pool.hpp"
 #include "suite/suite.hpp"
+#include "util/alloc_count.hpp"
 
 namespace {
 
 using mobiwlan::benchsuite::BenchDef;
+using mobiwlan::benchsuite::PerfCaseDef;
+using mobiwlan::benchsuite::PerfResult;
+using mobiwlan::benchsuite::perf_registry;
 using mobiwlan::benchsuite::registry;
 namespace runtime = mobiwlan::runtime;
 
 void print_usage() {
   std::printf(
       "usage: mobiwlan-bench [--list] [--filter SUBSTR] [--jobs N]\n"
-      "                      [--seed S] [--json PATH] [--no-job-timing]\n");
+      "                      [--seed S] [--json PATH] [--no-job-timing]\n"
+      "                      [--perf] [--perf-out PATH] [--perf-baseline "
+      "PATH]\n"
+      "                      [--perf-check] [--perf-min-time SECONDS]\n");
 }
 
 struct Options {
   bool list = false;
   bool job_timing = true;
+  bool perf = false;
+  bool perf_check = false;
   std::string filter;
   std::string json_path;
+  std::string perf_out = "BENCH_channel.json";
+  std::string perf_baseline = "ci/perf_baseline.json";
+  double perf_min_time = 1.0;
   std::size_t jobs = 0;  // 0 = one worker per hardware thread
   std::uint64_t seed = runtime::kMasterSeed;
 };
@@ -58,6 +79,22 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.list = true;
     } else if (arg == "--no-job-timing") {
       opt.job_timing = false;
+    } else if (arg == "--perf") {
+      opt.perf = true;
+    } else if (arg == "--perf-check") {
+      opt.perf_check = true;
+    } else if (arg == "--perf-out") {
+      const char* v = value("--perf-out");
+      if (!v) return false;
+      opt.perf_out = v;
+    } else if (arg == "--perf-baseline") {
+      const char* v = value("--perf-baseline");
+      if (!v) return false;
+      opt.perf_baseline = v;
+    } else if (arg == "--perf-min-time") {
+      const char* v = value("--perf-min-time");
+      if (!v) return false;
+      opt.perf_min_time = std::strtod(v, nullptr);
     } else if (arg == "--filter") {
       const char* v = value("--filter");
       if (!v) return false;
@@ -86,6 +123,149 @@ bool parse_args(int argc, char** argv, Options& opt) {
   return true;
 }
 
+/// Reads every `"key": number` pair out of a flat JSON object. Good enough
+/// for ci/perf_baseline.json and BENCH_channel.json, which are written with
+/// exactly that shape; avoids dragging in a JSON dependency.
+std::map<std::string, double> parse_flat_json_numbers(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  while ((i = text.find('"', i)) != std::string::npos) {
+    const std::size_t key_end = text.find('"', i + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(i + 1, key_end - i - 1);
+    std::size_t j = key_end + 1;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j])))
+      ++j;
+    if (j < text.size() && text[j] == ':') {
+      ++j;
+      while (j < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[j])))
+        ++j;
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str() + j, &end);
+      if (end && end != text.c_str() + j) out[key] = v;
+    }
+    i = key_end + 1;
+  }
+  return out;
+}
+
+std::map<std::string, double> load_flat_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_flat_json_numbers(ss.str());
+}
+
+/// Runs the perf cases, writes the flat BENCH report (with pre-PR baseline
+/// numbers and speedups folded in when the baseline file provides them), and
+/// optionally gates against the baseline's gate_* values.
+int run_perf(const Options& opt) {
+  const auto baseline = load_flat_json(opt.perf_baseline);
+  if (!baseline.empty())
+    std::printf("perf: baseline %s (%zu keys)\n", opt.perf_baseline.c_str(),
+                baseline.size());
+  else
+    std::printf("perf: no baseline at %s (measuring only)\n",
+                opt.perf_baseline.c_str());
+  if (!mobiwlan::alloc_hook_active())
+    std::printf("perf: warning: alloc hook not linked, allocs/op will read 0\n");
+
+  std::vector<PerfResult> results;
+  for (const PerfCaseDef& def : perf_registry()) {
+    PerfResult r = def.run(opt.perf_min_time);
+    std::printf("  %-20s %12.1f ns/op  %12.0f ops/s  %6.2f allocs/op\n",
+                r.name.c_str(), r.ns_per_op, r.ops_per_sec, r.allocs_per_op);
+    results.push_back(std::move(r));
+  }
+
+  std::ofstream out(opt.perf_out, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "mobiwlan-bench: cannot write %s\n",
+                 opt.perf_out.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"channel_perf\",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "  \"min_time_s\": %g,\n", opt.perf_min_time);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"alloc_hook_active\": %d,\n",
+                mobiwlan::alloc_hook_active() ? 1 : 0);
+  out << buf;
+  for (const PerfResult& r : results) {
+    std::snprintf(buf, sizeof buf, "  \"%s_ns\": %.1f,\n", r.name.c_str(),
+                  r.ns_per_op);
+    out << buf;
+    std::snprintf(buf, sizeof buf, "  \"%s_ops_per_sec\": %.0f,\n",
+                  r.name.c_str(), r.ops_per_sec);
+    out << buf;
+    std::snprintf(buf, sizeof buf, "  \"%s_allocs\": %.2f,\n", r.name.c_str(),
+                  r.allocs_per_op);
+    out << buf;
+    const auto pre_ns = baseline.find("pre_pr_" + r.name + "_ns");
+    if (pre_ns != baseline.end()) {
+      std::snprintf(buf, sizeof buf, "  \"pre_pr_%s_ns\": %.1f,\n",
+                    r.name.c_str(), pre_ns->second);
+      out << buf;
+      const auto pre_allocs = baseline.find("pre_pr_" + r.name + "_allocs");
+      if (pre_allocs != baseline.end()) {
+        std::snprintf(buf, sizeof buf, "  \"pre_pr_%s_allocs\": %.2f,\n",
+                      r.name.c_str(), pre_allocs->second);
+        out << buf;
+      }
+      std::snprintf(buf, sizeof buf, "  \"%s_speedup_vs_pre_pr\": %.2f,\n",
+                    r.name.c_str(), pre_ns->second / r.ns_per_op);
+      out << buf;
+    }
+  }
+  out << "  \"end\": 0\n}\n";
+  out.close();
+  std::printf("wrote %s (%zu cases)\n", opt.perf_out.c_str(), results.size());
+
+  if (!opt.perf_check) return 0;
+
+  // Gate: each case must stay within (1 + tolerance) of its committed
+  // gate_*_ns and must not allocate more than gate_*_allocs (+0.5 slack for
+  // amortized one-off growth). Missing gate keys are reported, not fatal,
+  // so new cases can land before the baseline is refreshed.
+  const auto tol_it = baseline.find("tolerance");
+  const double tol = tol_it != baseline.end() ? tol_it->second : 0.25;
+  bool ok = true;
+  for (const PerfResult& r : results) {
+    const auto gate_ns = baseline.find("gate_" + r.name + "_ns");
+    if (gate_ns == baseline.end()) {
+      std::printf("perf-check: %-20s no gate_%s_ns in baseline, skipped\n",
+                  r.name.c_str(), r.name.c_str());
+      continue;
+    }
+    const double limit = gate_ns->second * (1.0 + tol);
+    const bool time_ok = r.ns_per_op <= limit;
+    bool allocs_ok = true;
+    const auto gate_allocs = baseline.find("gate_" + r.name + "_allocs");
+    if (gate_allocs != baseline.end() && mobiwlan::alloc_hook_active())
+      allocs_ok = r.allocs_per_op <= gate_allocs->second + 0.5;
+    std::printf("perf-check: %-20s %s  (%.1f ns/op vs limit %.1f",
+                r.name.c_str(), time_ok && allocs_ok ? "ok" : "REGRESSION",
+                r.ns_per_op, limit);
+    if (gate_allocs != baseline.end())
+      std::printf(", %.2f allocs/op vs gate %.2f", r.allocs_per_op,
+                  gate_allocs->second);
+    std::printf(")\n");
+    ok = ok && time_ok && allocs_ok;
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "mobiwlan-bench: perf regression past %.0f%% tolerance "
+                 "(baseline %s)\n",
+                 100.0 * tol, opt.perf_baseline.c_str());
+    return 1;
+  }
+  std::printf("perf-check: all cases within %.0f%% of baseline\n", 100.0 * tol);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,8 +275,13 @@ int main(int argc, char** argv) {
   if (opt.list) {
     for (const BenchDef& def : registry())
       std::printf("%-10s %s\n", def.name.c_str(), def.description.c_str());
+    for (const PerfCaseDef& def : perf_registry())
+      std::printf("%-10s [perf] %s\n", def.name.c_str(),
+                  def.description.c_str());
     return 0;
   }
+
+  if (opt.perf) return run_perf(opt);
 
   std::vector<const BenchDef*> selected;
   for (const BenchDef& def : registry())

@@ -1,0 +1,141 @@
+// perf.cpp — hot-path microbenchmarks for `mobiwlan-bench --perf`.
+//
+// Four cases cover the per-packet pipeline the runtime loops execute
+// millions of times per study: full channel sampling, bare CSI synthesis,
+// CSI similarity, and one classifier CSI step. Each case exercises the
+// scratch-buffer (zero-allocation) API that the steady-state loops use, so
+// allocs_per_op doubles as a regression check on the allocation-free
+// contract whenever the counting hook is linked (it is, in mobiwlan-bench).
+//
+// The workload construction is deliberately simple and self-contained so
+// the numbers stay comparable across refactors: a strong-activity channel
+// with a walking client, sampled at 1 kHz. ci/perf_baseline.json stores the
+// gate values; ci/perf_gate.sh fails the build when a case regresses past
+// the tolerance band.
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "chan/channel.hpp"
+#include "chan/trajectory.hpp"
+#include "core/csi_similarity.hpp"
+#include "core/mobility_classifier.hpp"
+#include "suite/suite.hpp"
+#include "util/alloc_count.hpp"
+#include "util/rng.hpp"
+
+namespace mobiwlan::benchsuite {
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+/// The shared perf workload: strong environmental activity plus a client
+/// walking away from the AP at 1.2 m/s — every mobility signal active, so no
+/// hot branch is skipped. Seeded off a dedicated stream, independent of the
+/// experiment runner's job streams.
+std::unique_ptr<WirelessChannel> perf_channel() {
+  Rng master(20140204);
+  Rng rng = master.stream(2001);
+  ChannelConfig cfg;
+  cfg.activity = EnvironmentalActivity::kStrong;
+  auto traj =
+      std::make_shared<LinearTrajectory>(Vec2{9.0, 0.0}, Vec2{1.0, 0.4}, 1.2);
+  return std::make_unique<WirelessChannel>(cfg, Vec2{0.0, 0.0},
+                                           std::move(traj), rng.split());
+}
+
+/// Repeats `body` in 256-op batches until `min_time_s` elapses (after a
+/// 64-op warmup that also populates any scratch buffers), then reports
+/// mean ns/op and allocs/op over the timed region.
+template <typename Body>
+PerfResult measure(const char* name, double min_time_s, Body body) {
+  for (int i = 0; i < 64; ++i) body();
+  std::uint64_t iters = 0;
+  const std::uint64_t allocs0 = alloc_count();
+  const auto t0 = clock_type::now();
+  double elapsed = 0.0;
+  do {
+    for (int i = 0; i < 256; ++i) body();
+    iters += 256;
+    elapsed = std::chrono::duration<double>(clock_type::now() - t0).count();
+  } while (elapsed < min_time_s);
+  const std::uint64_t allocs1 = alloc_count();
+
+  PerfResult r;
+  r.name = name;
+  r.ns_per_op = 1e9 * elapsed / static_cast<double>(iters);
+  r.ops_per_sec = static_cast<double>(iters) / elapsed;
+  r.allocs_per_op =
+      static_cast<double>(allocs1 - allocs0) / static_cast<double>(iters);
+  return r;
+}
+
+PerfResult run_channel_sample(double min_time_s) {
+  auto ch = perf_channel();
+  WirelessChannel::PathScratch scratch;
+  ChannelSample s;
+  double t = 0.0;
+  return measure("channel_sample", min_time_s, [&] {
+    ch->sample_into(t, s, scratch);
+    t += 0.001;
+    asm volatile("" : : "r"(&s) : "memory");
+  });
+}
+
+PerfResult run_channel_synthesis(double min_time_s) {
+  auto ch = perf_channel();
+  WirelessChannel::PathScratch scratch;
+  CsiMatrix m;
+  double t = 0.0;
+  return measure("channel_synthesis", min_time_s, [&] {
+    ch->csi_true_into(t, m, scratch);
+    t += 0.001;
+    asm volatile("" : : "r"(&m) : "memory");
+  });
+}
+
+PerfResult run_csi_similarity(double min_time_s) {
+  auto ch = perf_channel();
+  const CsiMatrix a = ch->csi_at(0.0);
+  const CsiMatrix b = ch->csi_at(0.5);
+  CsiSimilarityScratch scratch;
+  return measure("csi_similarity", min_time_s, [&] {
+    double s = csi_similarity(a, b, scratch);
+    asm volatile("" : : "r"(&s) : "memory");
+  });
+}
+
+PerfResult run_classifier_csi_step(double min_time_s) {
+  auto ch = perf_channel();
+  std::vector<CsiMatrix> samples;
+  samples.reserve(64);
+  for (int i = 0; i < 64; ++i) samples.push_back(ch->csi_at(i * 0.5));
+  MobilityClassifier clf;
+  double t = 0.0;
+  std::size_t i = 0;
+  return measure("classifier_csi_step", min_time_s, [&] {
+    clf.on_csi(t, samples[i % samples.size()]);
+    t += 0.5;
+    ++i;
+  });
+}
+
+}  // namespace
+
+const std::vector<PerfCaseDef>& perf_registry() {
+  static const std::vector<PerfCaseDef> cases = {
+      {"channel_sample",
+       "full ChannelSample (geometry+CSI+noise) via sample_into",
+       run_channel_sample},
+      {"channel_synthesis", "noiseless 3x2x52 CSI synthesis via csi_true_into",
+       run_channel_synthesis},
+      {"csi_similarity", "4-pair Pearson CSI similarity with scratch buffers",
+       run_csi_similarity},
+      {"classifier_csi_step", "MobilityClassifier::on_csi steady-state step",
+       run_classifier_csi_step},
+  };
+  return cases;
+}
+
+}  // namespace mobiwlan::benchsuite

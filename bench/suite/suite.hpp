@@ -25,6 +25,28 @@ struct BenchDef {
 /// All benches ported onto the runtime runner, in registration order.
 const std::vector<BenchDef>& registry();
 
+/// One timed measurement from a perf case.
+struct PerfResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  double ops_per_sec = 0.0;
+  double allocs_per_op = 0.0;  ///< 0 unless the counting hook is linked
+};
+
+/// One hot-path microbenchmark run by `mobiwlan-bench --perf`.
+///
+/// Perf cases are timing-based by nature, so they live in a separate
+/// registry: the deterministic benches above must stay byte-identical across
+/// worker counts, and perf numbers never appear in their JSON.
+struct PerfCaseDef {
+  std::string name;         ///< key used in BENCH_channel.json and the gate
+  std::string description;  ///< one-line summary shown by --list
+  std::function<PerfResult(double min_time_s)> run;
+};
+
+/// The registered perf cases (bench/suite/perf.cpp), in registration order.
+const std::vector<PerfCaseDef>& perf_registry();
+
 /// Runs one registered bench with the default seed and one worker per
 /// hardware thread, printing its text output — the compatibility entry
 /// point for the historical per-figure binaries. Returns a process exit

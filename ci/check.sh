@@ -3,7 +3,9 @@
 #   1. plain build + entire ctest suite;
 #   2. runtime determinism check: mobiwlan-bench at --jobs 1 vs --jobs 8
 #      must produce byte-identical JSON outside the "timing" lines;
-#   3. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
+#   3. perf-regression smoke gate: ci/perf_gate.sh with a short per-case
+#      budget and the baseline's 25% tolerance band;
+#   4. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
 #      runtime thread-pool and experiment tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +28,9 @@ if ! diff <(grep -v '"timing":' /tmp/mobiwlan_a.json) \
   exit 1
 fi
 echo "ok: results byte-identical modulo timing"
+
+echo "== perf gate: channel hot loops =="
+PERF_MIN_TIME="${PERF_MIN_TIME:-0.2}" ./ci/perf_gate.sh
 
 echo "== ThreadSanitizer: runtime tests =="
 cmake -B build-tsan -S . -DMOBIWLAN_SANITIZE=thread \

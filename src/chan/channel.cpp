@@ -1,15 +1,78 @@
 #include "chan/channel.hpp"
 
+#include <immintrin.h>
+
 #include <cmath>
 #include <numbers>
 
+#include "util/fastmath.hpp"
 #include "util/units.hpp"
 
 namespace mobiwlan {
 
 namespace {
 constexpr double kPi = std::numbers::pi;
+
+// Unit phasor via the inline fdlibm kernel where the argument is small
+// (subcarrier steps and array steering angles); falls back to libm for the
+// rare out-of-range argument so callers never need to range-check.
+cplx unit_polar(double phase) {
+  if (std::abs(phase) > fastmath::kSincosMaxArg) [[unlikely]]
+    return std::polar(1.0, phase);
+  double s, c;
+  fastmath::sincos(phase, s, c);
+  return {c, s};
 }
+
+// Accumulate steer * base into one antenna pair's planes:
+//   acc_re += sr * bre - si * bim;  acc_im += sr * bim + si * bre.
+// This multiply-accumulate over subcarriers is the flop core of synthesis
+// (pairs x subcarriers x paths), so it gets an AVX2+FMA variant selected at
+// runtime — the build stays baseline x86-64 for portability. FMA contraction
+// perturbs each term by ~1 ulp, far inside the 1e-12 equivalence budget, and
+// the per-accumulator path summation order is unchanged.
+__attribute__((target("avx2,fma"))) void mac_pair_avx2(
+    double* acc_re, double* acc_im, const double* bre, const double* bim,
+    double sr, double si, std::size_t n) {
+  const __m256d vsr = _mm256_set1_pd(sr);
+  const __m256d vsi = _mm256_set1_pd(si);
+  std::size_t sc = 0;
+  for (; sc + 4 <= n; sc += 4) {
+    const __m256d b_re = _mm256_loadu_pd(bre + sc);
+    const __m256d b_im = _mm256_loadu_pd(bim + sc);
+    const __m256d a_re = _mm256_loadu_pd(acc_re + sc);
+    const __m256d a_im = _mm256_loadu_pd(acc_im + sc);
+    _mm256_storeu_pd(acc_re + sc,
+                     _mm256_fmadd_pd(vsr, b_re, _mm256_fnmadd_pd(vsi, b_im, a_re)));
+    _mm256_storeu_pd(acc_im + sc,
+                     _mm256_fmadd_pd(vsr, b_im, _mm256_fmadd_pd(vsi, b_re, a_im)));
+  }
+  for (; sc < n; ++sc) {
+    acc_re[sc] += sr * bre[sc] - si * bim[sc];
+    acc_im[sc] += sr * bim[sc] + si * bre[sc];
+  }
+}
+
+void mac_pair_scalar(double* __restrict acc_re, double* __restrict acc_im,
+                     const double* __restrict bre, const double* __restrict bim,
+                     double sr, double si, std::size_t n) {
+  for (std::size_t sc = 0; sc < n; ++sc) {
+    acc_re[sc] += sr * bre[sc] - si * bim[sc];
+    acc_im[sc] += sr * bim[sc] + si * bre[sc];
+  }
+}
+
+using MacPairFn = void (*)(double*, double*, const double*, const double*,
+                           double, double, std::size_t);
+
+MacPairFn resolve_mac_pair() {
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return mac_pair_avx2;
+  return mac_pair_scalar;
+}
+
+const MacPairFn mac_pair = resolve_mac_pair();
+}  // namespace
 
 Vec2 WirelessChannel::Scatterer::position(double t) const {
   if (motion_amplitude_m == 0.0) return home;
@@ -116,9 +179,9 @@ double WirelessChannel::path_amplitude(double length_m, double extra_loss_db) co
   return std::sqrt(dbm_to_mw(config_.tx_power_dbm - loss_db));
 }
 
-std::vector<WirelessChannel::PathGeometry>
-WirelessChannel::path_geometries(double t) const {
-  std::vector<PathGeometry> paths;
+void WirelessChannel::path_geometries_into(double t, PathScratch& scratch) const {
+  std::vector<PathGeometry>& paths = scratch.paths;
+  paths.clear();
   paths.reserve(scatterers_.size() + 1);
 
   const Vec2 client = trajectory_->position(t);
@@ -138,8 +201,10 @@ WirelessChannel::path_geometries(double t) const {
     los.amplitude = path_amplitude(los.length_m, shadow + obstruction + blockage);
     los.phase0 = 0.0;
     const Vec2 d = client - ap_pos_;
-    los.aod_rad = std::atan2(d.y, d.x);
-    los.aoa_rad = std::atan2(-d.y, -d.x);
+    // cos(atan2(y, x)) == x / hypot(x, y); the zero-length guard matches
+    // cos(atan2(0, 0)) == 1.
+    los.cos_aod = los.length_m > 0.0 ? d.x / los.length_m : 1.0;
+    los.cos_aoa = los.length_m > 0.0 ? -d.x / los.length_m : 1.0;
     paths.push_back(los);
   }
 
@@ -147,49 +212,97 @@ WirelessChannel::path_geometries(double t) const {
   for (const auto& s : scatterers_) {
     const Vec2 sp = s.position(t);
     PathGeometry p;
-    p.length_m = distance(ap_pos_, sp) + distance(sp, client);
+    const double out_len = distance(ap_pos_, sp);
+    const double in_len = distance(sp, client);
+    p.length_m = out_len + in_len;
     p.amplitude = path_amplitude(p.length_m, s.reflection_loss_db + shadow);
     p.phase0 = s.reflection_phase;
     const Vec2 out = sp - ap_pos_;
     const Vec2 in = sp - client;
-    p.aod_rad = std::atan2(out.y, out.x);
-    p.aoa_rad = std::atan2(in.y, in.x);
+    p.cos_aod = out_len > 0.0 ? out.x / out_len : 1.0;
+    p.cos_aoa = in_len > 0.0 ? in.x / in_len : 1.0;
     paths.push_back(p);
   }
-  return paths;
 }
 
-CsiMatrix WirelessChannel::synthesize(const std::vector<PathGeometry>& paths) const {
-  CsiMatrix csi(config_.n_tx, config_.n_rx, config_.n_subcarriers);
-  const double lambda = wavelength(config_.carrier_hz);
-  const double half = static_cast<double>(config_.n_subcarriers - 1) / 2.0;
+void WirelessChannel::synthesize_into(PathScratch& scratch, CsiMatrix& out) const {
+  const std::size_t n_sc = config_.n_subcarriers;
+  const std::size_t n_entries = config_.n_tx * config_.n_rx * n_sc;
+  out.resize(config_.n_tx, config_.n_rx, n_sc);
+  scratch.base_re.resize(n_sc);
+  scratch.base_im.resize(n_sc);
+  scratch.acc_re.assign(n_entries, 0.0);
+  scratch.acc_im.assign(n_entries, 0.0);
+  const double half = static_cast<double>(n_sc - 1) / 2.0;
 
-  for (const auto& p : paths) {
+  for (const auto& p : scratch.paths) {
     const double tau = p.length_m / kSpeedOfLight;
     // Phase at the band centre, including the carrier term: this is what
     // makes centimetre-scale motion rotate the phase by radians.
     const double centre_phase = -2.0 * kPi * config_.carrier_hz * tau + p.phase0;
-    // Per-subcarrier increment across the band.
-    const cplx step = std::polar(1.0, -2.0 * kPi * config_.subcarrier_spacing_hz * tau);
+    // Per-subcarrier increment across the band (a fraction of a radian for
+    // indoor path delays — inside the fast-sincos range).
+    const cplx step = unit_polar(-2.0 * kPi * config_.subcarrier_spacing_hz * tau);
     const cplx start = std::polar(p.amplitude,
                                   centre_phase +
                                       2.0 * kPi * config_.subcarrier_spacing_hz * tau * half);
 
-    for (std::size_t tx = 0; tx < config_.n_tx; ++tx) {
-      // Uniform linear array at λ/2 spacing at both ends.
-      const double tx_phase = -kPi * static_cast<double>(tx) * std::cos(p.aod_rad);
-      for (std::size_t rx = 0; rx < config_.n_rx; ++rx) {
-        const double rx_phase = -kPi * static_cast<double>(rx) * std::cos(p.aoa_rad);
-        cplx acc = start * std::polar(1.0, tx_phase + rx_phase);
-        for (std::size_t sc = 0; sc < config_.n_subcarriers; ++sc) {
-          csi.at(tx, rx, sc) += acc;
-          acc *= step;
-        }
+    // The per-subcarrier phasor chain depends only on the path, so run the
+    // recurrence once and let every antenna pair scale it — the old kernel
+    // re-ran it per (tx, rx). Four interleaved chains (each stepping by
+    // step^4) break the serial complex-multiply dependency that otherwise
+    // bounds this loop by multiply latency, at ~1e-15 relative phase drift.
+    double br[4], bi[4];
+    br[0] = start.real();
+    bi[0] = start.imag();
+    const double sr1 = step.real();
+    const double si1 = step.imag();
+    for (int j = 1; j < 4; ++j) {
+      br[j] = br[j - 1] * sr1 - bi[j - 1] * si1;
+      bi[j] = br[j - 1] * si1 + bi[j - 1] * sr1;
+    }
+    const double s2r = sr1 * sr1 - si1 * si1;
+    const double s2i = 2.0 * sr1 * si1;
+    const double s4r = s2r * s2r - s2i * s2i;
+    const double s4i = 2.0 * s2r * s2i;
+    std::size_t sc = 0;
+    for (; sc + 4 <= n_sc; sc += 4) {
+      for (int j = 0; j < 4; ++j) {
+        scratch.base_re[sc + j] = br[j];
+        scratch.base_im[sc + j] = bi[j];
+        const double nr = br[j] * s4r - bi[j] * s4i;
+        bi[j] = br[j] * s4i + bi[j] * s4r;
+        br[j] = nr;
       }
     }
-    (void)lambda;
+    for (int j = 0; sc < n_sc; ++sc, ++j) {
+      scratch.base_re[sc] = br[j];
+      scratch.base_im[sc] = bi[j];
+    }
+
+    // Uniform linear array at λ/2 spacing at both ends: the steering phase is
+    // linear in the antenna index, so each side is a phasor power chain —
+    // one sincos per side per path instead of one per (tx, rx).
+    const cplx w_tx = unit_polar(-kPi * p.cos_aod);
+    const cplx w_rx = unit_polar(-kPi * p.cos_aoa);
+    cplx steer_tx{1.0, 0.0};
+    for (std::size_t tx = 0; tx < config_.n_tx; ++tx) {
+      cplx steer = steer_tx;
+      for (std::size_t rx = 0; rx < config_.n_rx; ++rx) {
+        const double sr = steer.real();
+        const double si = steer.imag();
+        mac_pair(scratch.acc_re.data() + (tx * config_.n_rx + rx) * n_sc,
+                 scratch.acc_im.data() + (tx * config_.n_rx + rx) * n_sc,
+                 scratch.base_re.data(), scratch.base_im.data(), sr, si, n_sc);
+        steer *= w_rx;
+      }
+      steer_tx *= w_tx;
+    }
   }
-  return csi;
+
+  cplx* raw = out.raw().data();
+  for (std::size_t i = 0; i < n_entries; ++i)
+    raw[i] = cplx{scratch.acc_re[i], scratch.acc_im[i]};
 }
 
 double WirelessChannel::total_power_mw(const std::vector<PathGeometry>& paths) {
@@ -204,30 +317,51 @@ double WirelessChannel::noise_floor_dbm() const {
 }
 
 CsiMatrix WirelessChannel::csi_true(double t) const {
-  return synthesize(path_geometries(t));
-}
-
-CsiMatrix WirelessChannel::csi_at(double t) {
-  const auto paths = path_geometries(t);
-  CsiMatrix csi = synthesize(paths);
-  // Measurement noise: the ACK is received at the link SNR, but the CSI
-  // estimator saturates around csi_snr_cap_db even at high signal levels.
-  const double snr = std::min(snr_db(t) + config_.csi_processing_gain_db,
-                              config_.csi_snr_cap_db);
-  const double mean_pow = csi.mean_power();
-  const double noise_var = mean_pow / db_to_linear(snr);
-  for (auto& v : csi.raw()) v += rng_.complex_gaussian(noise_var);
+  PathScratch scratch;
+  CsiMatrix csi;
+  csi_true_into(t, csi, scratch);
   return csi;
 }
 
+void WirelessChannel::csi_true_into(double t, CsiMatrix& out,
+                                    PathScratch& scratch) const {
+  path_geometries_into(t, scratch);
+  synthesize_into(scratch, out);
+}
+
+void WirelessChannel::add_csi_noise(CsiMatrix& csi, double link_snr_db) {
+  // Measurement noise: the ACK is received at the link SNR, but the CSI
+  // estimator saturates around csi_snr_cap_db even at high signal levels.
+  const double snr = std::min(link_snr_db + config_.csi_processing_gain_db,
+                              config_.csi_snr_cap_db);
+  const double mean_pow = csi.mean_power();
+  const double noise_var = mean_pow / db_to_linear(snr);
+  rng_.add_complex_gaussian(csi.raw().data(), csi.raw().size(), noise_var);
+}
+
+CsiMatrix WirelessChannel::csi_at(double t) {
+  CsiMatrix csi;
+  csi_at_into(t, csi, scratch_);
+  return csi;
+}
+
+void WirelessChannel::csi_at_into(double t, CsiMatrix& out, PathScratch& scratch) {
+  path_geometries_into(t, scratch);
+  synthesize_into(scratch, out);
+  const double link_snr =
+      mw_to_dbm(total_power_mw(scratch.paths)) - noise_floor_dbm();
+  add_csi_noise(out, link_snr);
+}
+
 double WirelessChannel::snr_db(double t) const {
-  const auto paths = path_geometries(t);
-  return mw_to_dbm(total_power_mw(paths)) - noise_floor_dbm();
+  PathScratch scratch;
+  path_geometries_into(t, scratch);
+  return mw_to_dbm(total_power_mw(scratch.paths)) - noise_floor_dbm();
 }
 
 double WirelessChannel::rssi_dbm(double t) {
-  const auto paths = path_geometries(t);
-  const double raw = mw_to_dbm(total_power_mw(paths)) +
+  path_geometries_into(t, scratch_);
+  const double raw = mw_to_dbm(total_power_mw(scratch_.paths)) +
                      rng_.gaussian(0.0, config_.rssi_noise_db);
   const double q = config_.rssi_quantum_db;
   return std::round(raw / q) * q;
@@ -247,19 +381,45 @@ double WirelessChannel::true_distance(double t) const {
 
 double WirelessChannel::radial_velocity(double t) const {
   const double dt = 1e-2;
-  const double t0 = t > dt ? t - dt : 0.0;
-  return (true_distance(t0 + 2 * dt) - true_distance(t0)) / (2 * dt);
+  // A central difference at t < dt would need a sample before t = 0;
+  // shifting the window (the old behaviour) reports the velocity at dt, not
+  // t, biasing the first 10 ms. Use a forward difference there instead.
+  if (t < dt) return (true_distance(t + dt) - true_distance(t)) / dt;
+  return (true_distance(t + dt) - true_distance(t - dt)) / (2.0 * dt);
 }
 
 ChannelSample WirelessChannel::sample(double t) {
   ChannelSample s;
-  s.t = t;
-  s.csi = csi_at(t);
-  s.rssi_dbm = rssi_dbm(t);
-  s.snr_db = snr_db(t);
-  s.tof_cycles = tof_cycles(t);
-  s.true_distance_m = true_distance(t);
+  sample_into(t, s, scratch_);
   return s;
+}
+
+void WirelessChannel::sample_into(double t, ChannelSample& out,
+                                  PathScratch& scratch) {
+  out.t = t;
+  // The one geometry pass: CSI, SNR, RSSI and ToF all derive from it. The
+  // RNG draw order (CSI noise, then RSSI jitter, then ToF jitter) matches
+  // the historical multi-pass implementation, so sampled values are
+  // unchanged.
+  path_geometries_into(t, scratch);
+  synthesize_into(scratch, out.csi);
+  const double signal_dbm = mw_to_dbm(total_power_mw(scratch.paths));
+  const double link_snr = signal_dbm - noise_floor_dbm();
+  add_csi_noise(out.csi, link_snr);
+
+  const double raw_rssi =
+      signal_dbm + rng_.gaussian(0.0, config_.rssi_noise_db);
+  const double q = config_.rssi_quantum_db;
+  out.rssi_dbm = std::round(raw_rssi / q) * q;
+  out.snr_db = link_snr;
+
+  // The LOS entry's length is exactly the AP-client distance.
+  const double d = scratch.paths.front().length_m;
+  const double rt_ns = 2.0 * d / kSpeedOfLight * 1e9;
+  const double measured_ns =
+      rt_ns + config_.tof_bias_ns + rng_.gaussian(0.0, config_.tof_noise_ns);
+  out.tof_cycles = std::round(measured_ns * 1e-9 * config_.tof_clock_hz);
+  out.true_distance_m = d;
 }
 
 }  // namespace mobiwlan

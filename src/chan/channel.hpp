@@ -125,19 +125,53 @@ struct ChannelSample {
 /// The radio link between one AP and one client following a trajectory.
 class WirelessChannel {
  public:
+  /// Geometry of one propagation path at a time instant. Steering angles are
+  /// carried as cosines (the only form the ULA phase terms need), computed as
+  /// coordinate ratios instead of cos(atan2(...)).
+  struct PathGeometry {
+    double length_m;      // total propagation length
+    double amplitude;     // sqrt(mW) received amplitude
+    double phase0;        // reflection phase offset
+    double cos_aod;       // cos(departure angle at the AP array)
+    double cos_aoa;       // cos(arrival angle at the client array)
+  };
+
+  /// Reusable workspace for the single-pass hot path. One `sample_into` /
+  /// `csi_*_into` call fills `paths` and the SoA synthesis planes; a caller
+  /// that keeps a PathScratch (and a ChannelSample / CsiMatrix) alive across
+  /// a sampling loop performs zero heap allocations in steady state — the
+  /// vectors grow once and are reused thereafter.
+  struct PathScratch {
+    std::vector<PathGeometry> paths;
+    std::vector<double> base_re, base_im;  ///< per-subcarrier phasor, one path
+    std::vector<double> acc_re, acc_im;    ///< CSI accumulation planes (SoA)
+  };
+
   WirelessChannel(const ChannelConfig& config, Vec2 ap_pos,
                   std::shared_ptr<const Trajectory> trajectory, Rng rng);
 
   /// Full observation (CSI + RSSI + SNR + ToF) at time t.
   ChannelSample sample(double t);
 
+  /// Single-pass full observation: path geometry is computed once and CSI,
+  /// SNR, RSSI and ToF are all derived from that one pass (the convenience
+  /// overloads above recompute nothing either — they share this core).
+  /// Allocation-free in steady state when `out` and `scratch` are reused.
+  void sample_into(double t, ChannelSample& out, PathScratch& scratch);
+
   /// Measured (noisy) CSI only.
   CsiMatrix csi_at(double t);
+
+  /// Measured CSI into a reusable matrix; allocation-free in steady state.
+  void csi_at_into(double t, CsiMatrix& out, PathScratch& scratch);
 
   /// Noiseless CSI — the channel's ground truth, used by the trace-based
   /// emulators to apply a precoder computed from stale *measured* CSI to the
   /// *actual* channel at transmit time.
   CsiMatrix csi_true(double t) const;
+
+  /// Noiseless CSI into a reusable matrix; allocation-free in steady state.
+  void csi_true_into(double t, CsiMatrix& out, PathScratch& scratch) const;
 
   /// True wideband SNR in dB at time t (no measurement noise).
   double snr_db(double t) const;
@@ -181,19 +215,15 @@ class WirelessChannel {
     double blockage_db(double t) const;
   };
 
-  struct PathGeometry {
-    double length_m;      // total propagation length
-    double amplitude;     // sqrt(mW) received amplitude
-    double phase0;        // reflection phase offset
-    double aod_rad;       // departure angle at the AP array
-    double aoa_rad;       // arrival angle at the client array
-  };
+  /// Geometry of all paths (LOS first) at time t, into scratch.paths.
+  void path_geometries_into(double t, PathScratch& scratch) const;
 
-  /// Geometry of all paths (LOS first) at time t.
-  std::vector<PathGeometry> path_geometries(double t) const;
+  /// Synthesize noiseless CSI from scratch.paths into `out` (SoA kernel).
+  void synthesize_into(PathScratch& scratch, CsiMatrix& out) const;
 
-  /// Synthesize noiseless CSI from path geometry.
-  CsiMatrix synthesize(const std::vector<PathGeometry>& paths) const;
+  /// Measurement-noise + RSSI + ToF tail shared by the sampling entry points;
+  /// `link_snr_db` and `true_distance_m` come from the single geometry pass.
+  void add_csi_noise(CsiMatrix& csi, double link_snr_db);
 
   /// Total received power (mW) across paths.
   static double total_power_mw(const std::vector<PathGeometry>& paths);
@@ -212,6 +242,10 @@ class WirelessChannel {
   std::vector<Scatterer> scatterers_;
   std::vector<ShadowWave> shadow_waves_;
   mutable Rng rng_;
+  // Workspace for the by-value convenience overloads (sample, csi_at, ...).
+  // Shares the same thread-safety contract as rng_: non-const entry points
+  // are single-caller.
+  PathScratch scratch_;
 };
 
 }  // namespace mobiwlan

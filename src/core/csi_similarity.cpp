@@ -32,21 +32,33 @@ double pearson_correlation(std::span<const double> a, std::span<const double> b)
 }
 
 double csi_similarity(const CsiMatrix& a, const CsiMatrix& b, std::size_t tx,
-                      std::size_t rx) {
-  const auto ma = a.magnitudes(tx, rx);
-  const auto mb = b.magnitudes(tx, rx);
-  return pearson_correlation(ma, mb);
+                      std::size_t rx, CsiSimilarityScratch& scratch) {
+  a.magnitudes_into(tx, rx, scratch.mag_a);
+  b.magnitudes_into(tx, rx, scratch.mag_b);
+  return pearson_correlation(scratch.mag_a, scratch.mag_b);
 }
 
-double csi_similarity(const CsiMatrix& a, const CsiMatrix& b) {
+double csi_similarity(const CsiMatrix& a, const CsiMatrix& b, std::size_t tx,
+                      std::size_t rx) {
+  CsiSimilarityScratch scratch;
+  return csi_similarity(a, b, tx, rx, scratch);
+}
+
+double csi_similarity(const CsiMatrix& a, const CsiMatrix& b,
+                      CsiSimilarityScratch& scratch) {
   if (a.n_tx() != b.n_tx() || a.n_rx() != b.n_rx() ||
       a.n_subcarriers() != b.n_subcarriers())
     throw std::invalid_argument("csi_similarity: dimension mismatch");
   double sum = 0.0;
   for (std::size_t tx = 0; tx < a.n_tx(); ++tx)
     for (std::size_t rx = 0; rx < a.n_rx(); ++rx)
-      sum += csi_similarity(a, b, tx, rx);
+      sum += csi_similarity(a, b, tx, rx, scratch);
   return sum / static_cast<double>(a.n_tx() * a.n_rx());
+}
+
+double csi_similarity(const CsiMatrix& a, const CsiMatrix& b) {
+  CsiSimilarityScratch scratch;
+  return csi_similarity(a, b, scratch);
 }
 
 }  // namespace mobiwlan

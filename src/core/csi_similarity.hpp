@@ -16,13 +16,25 @@ namespace mobiwlan {
 /// Returns 0 when either vector is (numerically) constant.
 double pearson_correlation(std::span<const double> a, std::span<const double> b);
 
+/// Reusable magnitude buffers for the scratch overloads below: a caller that
+/// keeps one of these across a sliding-window loop (as MobilityClassifier
+/// does per packet) computes similarities with zero heap allocation.
+struct CsiSimilarityScratch {
+  std::vector<double> mag_a;
+  std::vector<double> mag_b;
+};
+
 /// Eq. (1) for one transmit-receive antenna pair: correlation of channel gain
 /// magnitudes across the 52 subcarriers.
 double csi_similarity(const CsiMatrix& a, const CsiMatrix& b, std::size_t tx,
                       std::size_t rx);
+double csi_similarity(const CsiMatrix& a, const CsiMatrix& b, std::size_t tx,
+                      std::size_t rx, CsiSimilarityScratch& scratch);
 
 /// Similarity averaged over all antenna pairs — the value S(csi_t, csi_{t+τ})
 /// the classifier thresholds. Requires matching dimensions.
 double csi_similarity(const CsiMatrix& a, const CsiMatrix& b);
+double csi_similarity(const CsiMatrix& a, const CsiMatrix& b,
+                      CsiSimilarityScratch& scratch);
 
 }  // namespace mobiwlan

@@ -23,7 +23,7 @@ void MobilityClassifier::on_csi(double t, const CsiMatrix& csi) {
   // Decimate to the configured sampling period (allow 1% early jitter).
   if (t - last_csi_t_ < config_.csi_period_s * 0.99) return;
 
-  const double s = csi_similarity(*last_csi_, csi);
+  const double s = csi_similarity(*last_csi_, csi, sim_scratch_);
   similarity_avg_.add(s);
   have_similarity_ = true;
   last_csi_ = csi;

@@ -16,6 +16,7 @@
 
 #include <optional>
 
+#include "core/csi_similarity.hpp"
 #include "core/mobility_mode.hpp"
 #include "core/tof_tracker.hpp"
 #include "phy/csi.hpp"
@@ -93,6 +94,10 @@ class MobilityClassifier {
   std::optional<CsiMatrix> last_csi_;
   double last_csi_t_ = 0.0;
   bool have_similarity_ = false;
+  // Reused magnitude buffers: the per-packet similarity computation performs
+  // no heap allocation in steady state (last_csi_ assignment reuses its
+  // storage too, since dimensions never change mid-stream).
+  CsiSimilarityScratch sim_scratch_;
 
   TofTracker tof_tracker_;
   bool tof_active_ = false;

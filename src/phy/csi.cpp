@@ -5,10 +5,24 @@ namespace mobiwlan {
 CsiMatrix::CsiMatrix(std::size_t n_tx, std::size_t n_rx, std::size_t n_subcarriers)
     : n_tx_(n_tx), n_rx_(n_rx), n_sc_(n_subcarriers), data_(n_tx * n_rx * n_subcarriers) {}
 
+void CsiMatrix::resize(std::size_t n_tx, std::size_t n_rx,
+                       std::size_t n_subcarriers) {
+  n_tx_ = n_tx;
+  n_rx_ = n_rx;
+  n_sc_ = n_subcarriers;
+  data_.assign(n_tx * n_rx * n_subcarriers, cplx{});
+}
+
 std::vector<double> CsiMatrix::magnitudes(std::size_t tx, std::size_t rx) const {
-  std::vector<double> out(n_sc_);
-  for (std::size_t sc = 0; sc < n_sc_; ++sc) out[sc] = std::abs(at(tx, rx, sc));
+  std::vector<double> out;
+  magnitudes_into(tx, rx, out);
   return out;
+}
+
+void CsiMatrix::magnitudes_into(std::size_t tx, std::size_t rx,
+                                std::vector<double>& out) const {
+  out.resize(n_sc_);
+  for (std::size_t sc = 0; sc < n_sc_; ++sc) out[sc] = std::abs(at(tx, rx, sc));
 }
 
 double CsiMatrix::mean_power() const {

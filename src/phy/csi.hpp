@@ -26,6 +26,11 @@ class CsiMatrix {
   CsiMatrix() = default;
   CsiMatrix(std::size_t n_tx, std::size_t n_rx, std::size_t n_subcarriers);
 
+  /// Re-dimensions the matrix and zero-fills it, reusing the existing
+  /// storage when it is large enough (no allocation in steady-state loops
+  /// that recycle one matrix).
+  void resize(std::size_t n_tx, std::size_t n_rx, std::size_t n_subcarriers);
+
   std::size_t n_tx() const { return n_tx_; }
   std::size_t n_rx() const { return n_rx_; }
   std::size_t n_subcarriers() const { return n_sc_; }
@@ -40,6 +45,12 @@ class CsiMatrix {
 
   /// Channel gain magnitudes for one antenna pair across subcarriers.
   std::vector<double> magnitudes(std::size_t tx, std::size_t rx) const;
+
+  /// Same, into a reusable buffer (resized to n_subcarriers): allocation-free
+  /// in steady state. The scratch-buffer form the per-packet similarity
+  /// pipeline uses.
+  void magnitudes_into(std::size_t tx, std::size_t rx,
+                       std::vector<double>& out) const;
 
   /// Mean |H|^2 over all entries — the wideband channel power, i.e. what RSSI
   /// aggregates over (up to the noise floor and quantization).

@@ -6,11 +6,16 @@ void run_classifier(const Scenario& s, double duration_s, double warmup_s,
                     const std::function<void(double, MobilityMode)>& on_second,
                     MobilityClassifier::Config cfg) {
   MobilityClassifier clf(cfg);
+  // Reused across the whole run: after the first CSI sample the loop performs
+  // no heap allocation (same draw order as the csi_at() convenience wrapper).
+  WirelessChannel::PathScratch scratch;
+  CsiMatrix csi;
   double next_csi = 0.0;
   double next_second = warmup_s;
   for (double t = 0.0; t < duration_s; t += cfg.tof_period_s) {
     if (t >= next_csi - 1e-9) {
-      clf.on_csi(t, s.channel->csi_at(t));
+      s.channel->csi_at_into(t, csi, scratch);
+      clf.on_csi(t, csi);
       next_csi += cfg.csi_period_s;
     }
     clf.on_tof(t, s.channel->tof_cycles(t));

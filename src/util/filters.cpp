@@ -1,66 +1,87 @@
 #include "util/filters.hpp"
 
-#include "util/stats.hpp"
+#include <algorithm>
 
 namespace mobiwlan {
 
-MovingAverage::MovingAverage(std::size_t window) : window_(window == 0 ? 1 : window) {}
+MovingAverage::MovingAverage(std::size_t window)
+    : window_(window == 0 ? 1 : window), ring_(window_) {}
 
 void MovingAverage::add(double x) {
-  buffer_.push_back(x);
   sum_ += x;
-  if (buffer_.size() > window_) {
-    sum_ -= buffer_.front();
-    buffer_.pop_front();
+  if (count_ < window_) {
+    ring_[(head_ + count_) % window_] = x;
+    ++count_;
+  } else {
+    sum_ -= ring_[head_];
+    ring_[head_] = x;
+    head_ = (head_ + 1) % window_;
   }
 }
 
 double MovingAverage::value() const {
-  if (buffer_.empty()) return 0.0;
-  return sum_ / static_cast<double>(buffer_.size());
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
 }
 
 void MovingAverage::reset() {
-  buffer_.clear();
+  head_ = 0;
+  count_ = 0;
   sum_ = 0.0;
 }
 
 std::optional<double> MedianAggregator::flush() {
   if (pending_.empty()) return std::nullopt;
-  const double m = median_of(pending_);
+  // Same arithmetic as stats.hpp's median_of, but selecting in place: the
+  // buffer is about to be cleared, so there is no reason to copy it.
+  const auto mid = pending_.size() / 2;
+  std::nth_element(pending_.begin(), pending_.begin() + mid, pending_.end());
+  double m = pending_[mid];
+  if (pending_.size() % 2 == 0) {
+    const auto lower = std::max_element(pending_.begin(), pending_.begin() + mid);
+    m = (m + *lower) / 2.0;
+  }
   pending_.clear();
   return m;
 }
 
 TrendWindow::TrendWindow(std::size_t window, double slack)
-    : window_(window < 2 ? 2 : window), slack_(slack) {}
+    : window_(window < 2 ? 2 : window), slack_(slack), ring_(window_) {}
 
 void TrendWindow::add(double x) {
-  values_.push_back(x);
-  if (values_.size() > window_) values_.pop_front();
+  if (count_ < window_) {
+    ring_[(head_ + count_) % window_] = x;
+    ++count_;
+  } else {
+    ring_[head_] = x;
+    head_ = (head_ + 1) % window_;
+  }
 }
 
 bool TrendWindow::increasing(double min_change) const {
-  if (values_.size() < window_) return false;
-  for (std::size_t i = 1; i < values_.size(); ++i) {
-    if (values_[i] < values_[i - 1] - slack_) return false;
+  if (count_ < window_) return false;
+  for (std::size_t i = 1; i < count_; ++i) {
+    if (value(i) < value(i - 1) - slack_) return false;
   }
   return net_change() > min_change;
 }
 
 bool TrendWindow::decreasing(double min_change) const {
-  if (values_.size() < window_) return false;
-  for (std::size_t i = 1; i < values_.size(); ++i) {
-    if (values_[i] > values_[i - 1] + slack_) return false;
+  if (count_ < window_) return false;
+  for (std::size_t i = 1; i < count_; ++i) {
+    if (value(i) > value(i - 1) + slack_) return false;
   }
   return -net_change() > min_change;
 }
 
 double TrendWindow::net_change() const {
-  if (values_.size() < 2) return 0.0;
-  return values_.back() - values_.front();
+  if (count_ < 2) return 0.0;
+  return value(count_ - 1) - value(0);
 }
 
-void TrendWindow::reset() { values_.clear(); }
+void TrendWindow::reset() {
+  head_ = 0;
+  count_ = 0;
+}
 
 }  // namespace mobiwlan

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -48,6 +47,10 @@ class Ewma {
 };
 
 /// Fixed-capacity moving average over the last `window` samples.
+///
+/// Backed by a preallocated ring buffer: add() never allocates, so the
+/// per-packet similarity pipeline that feeds it stays allocation-free (a
+/// deque-backed window allocates a fresh block every ~64 pushes).
 class MovingAverage {
  public:
   explicit MovingAverage(std::size_t window);
@@ -55,19 +58,23 @@ class MovingAverage {
   void add(double x);
   /// Mean of the retained samples; 0 when empty.
   double value() const;
-  std::size_t count() const { return buffer_.size(); }
-  bool full() const { return buffer_.size() == window_; }
+  std::size_t count() const { return count_; }
+  bool full() const { return count_ == window_; }
   void reset();
 
  private:
   std::size_t window_;
-  std::deque<double> buffer_;
+  std::vector<double> ring_;  // capacity fixed at window_
+  std::size_t head_ = 0;      // index of the oldest retained sample
+  std::size_t count_ = 0;
   double sum_ = 0.0;
 };
 
 /// Collects samples and emits their median when asked, then clears.
 ///
 /// Models the per-second median aggregation of raw 20 ms ToF readings.
+/// flush() selects the median in place (the buffer is discarded anyway), so
+/// after the first full period the aggregator stops allocating.
 class MedianAggregator {
  public:
   void add(double x) { pending_.push_back(x); }
@@ -92,8 +99,8 @@ class TrendWindow {
   explicit TrendWindow(std::size_t window, double slack = 0.0);
 
   void add(double x);
-  bool full() const { return values_.size() == window_; }
-  std::size_t count() const { return values_.size(); }
+  bool full() const { return count_ == window_; }
+  std::size_t count() const { return count_; }
 
   /// True if the window is full and values are non-decreasing (within slack)
   /// with a strictly positive overall rise greater than `min_change`.
@@ -104,12 +111,15 @@ class TrendWindow {
   double net_change() const;
   void reset();
 
-  const std::deque<double>& values() const { return values_; }
+  /// i-th retained value, oldest first (i < count()).
+  double value(std::size_t i) const { return ring_[(head_ + i) % window_]; }
 
  private:
   std::size_t window_;
   double slack_;
-  std::deque<double> values_;
+  std::vector<double> ring_;  // capacity fixed at window_; add() never allocates
+  std::size_t head_ = 0;      // index of the oldest retained value
+  std::size_t count_ = 0;
 };
 
 }  // namespace mobiwlan

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <complex>
+#include <cstddef>
 #include <cstdint>
 
 namespace mobiwlan {
@@ -47,6 +48,15 @@ class Rng {
 
   /// Circularly-symmetric complex Gaussian with E[|z|^2] = variance.
   std::complex<double> complex_gaussian(double variance = 1.0);
+
+  /// Adds an independent complex Gaussian draw to each of dst[0..n):
+  /// value-for-value identical to `for i: dst[i] += complex_gaussian(v)`
+  /// (same uniforms, same Box-Muller arithmetic, same cached-deviate
+  /// handling), but with the transform inlined in one tight loop — the
+  /// channel sampler adds noise to hundreds of CSI entries per sample, and
+  /// the per-call overhead of gaussian() dominates otherwise.
+  void add_complex_gaussian(std::complex<double>* dst, std::size_t n,
+                            double variance = 1.0);
 
   /// Complex sample with Rician statistics: a deterministic (LOS) component of
   /// power k/(k+1) plus scattered power 1/(k+1), unit total mean power.
