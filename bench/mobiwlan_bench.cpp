@@ -10,11 +10,18 @@
 //                                         write BENCH_channel.json
 //   mobiwlan-bench --perf --perf-check    also gate against the committed
 //                                         baseline (ci/perf_baseline.json)
+//   mobiwlan-bench --fidelity             run the paper-fidelity experiments
+//                                         and write BENCH_fidelity.json
+//   mobiwlan-bench --fidelity-check       also gate against the committed
+//                                         baseline (ci/fidelity_baseline.json)
+//   mobiwlan-bench --fidelity-check-only F  re-check an existing
+//                                         BENCH_fidelity.json, no re-run
 //
 // Determinism contract: for a fixed --seed, the printed tables and every
 // non-"timing" byte of the JSON are identical for --jobs 1 and --jobs N.
-// Perf cases are timing-based and therefore live entirely behind --perf;
-// they never contribute to the deterministic JSON above.
+// The fidelity JSON follows the same contract. Perf cases are timing-based
+// and therefore live entirely behind --perf; they never contribute to the
+// deterministic JSON above.
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -27,11 +34,13 @@
 #include <thread>
 #include <vector>
 
+#include "fidelity/fidelity.hpp"
 #include "runtime/experiment.hpp"
 #include "runtime/report.hpp"
 #include "runtime/thread_pool.hpp"
 #include "suite/suite.hpp"
 #include "util/alloc_count.hpp"
+#include "util/flatjson.hpp"
 
 namespace {
 
@@ -48,7 +57,11 @@ void print_usage() {
       "                      [--seed S] [--json PATH] [--no-job-timing]\n"
       "                      [--perf] [--perf-out PATH] [--perf-baseline "
       "PATH]\n"
-      "                      [--perf-check] [--perf-min-time SECONDS]\n");
+      "                      [--perf-check] [--perf-min-time SECONDS]\n"
+      "                      [--fidelity] [--fidelity-check]\n"
+      "                      [--fidelity-check-only PATH] [--fidelity-out "
+      "PATH]\n"
+      "                      [--fidelity-baseline PATH]\n");
 }
 
 struct Options {
@@ -56,10 +69,15 @@ struct Options {
   bool job_timing = true;
   bool perf = false;
   bool perf_check = false;
+  bool fidelity = false;
+  bool fidelity_check = false;
   std::string filter;
   std::string json_path;
   std::string perf_out = "BENCH_channel.json";
   std::string perf_baseline = "ci/perf_baseline.json";
+  std::string fidelity_check_only;  // path to an existing BENCH_fidelity.json
+  std::string fidelity_out = "BENCH_fidelity.json";
+  std::string fidelity_baseline = "ci/fidelity_baseline.json";
   double perf_min_time = 1.0;
   std::size_t jobs = 0;  // 0 = one worker per hardware thread
   std::uint64_t seed = runtime::kMasterSeed;
@@ -91,6 +109,23 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = value("--perf-baseline");
       if (!v) return false;
       opt.perf_baseline = v;
+    } else if (arg == "--fidelity") {
+      opt.fidelity = true;
+    } else if (arg == "--fidelity-check") {
+      opt.fidelity = true;
+      opt.fidelity_check = true;
+    } else if (arg == "--fidelity-check-only") {
+      const char* v = value("--fidelity-check-only");
+      if (!v) return false;
+      opt.fidelity_check_only = v;
+    } else if (arg == "--fidelity-out") {
+      const char* v = value("--fidelity-out");
+      if (!v) return false;
+      opt.fidelity_out = v;
+    } else if (arg == "--fidelity-baseline") {
+      const char* v = value("--fidelity-baseline");
+      if (!v) return false;
+      opt.fidelity_baseline = v;
     } else if (arg == "--perf-min-time") {
       const char* v = value("--perf-min-time");
       if (!v) return false;
@@ -123,40 +158,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
   return true;
 }
 
-/// Reads every `"key": number` pair out of a flat JSON object. Good enough
-/// for ci/perf_baseline.json and BENCH_channel.json, which are written with
-/// exactly that shape; avoids dragging in a JSON dependency.
-std::map<std::string, double> parse_flat_json_numbers(const std::string& text) {
-  std::map<std::string, double> out;
-  std::size_t i = 0;
-  while ((i = text.find('"', i)) != std::string::npos) {
-    const std::size_t key_end = text.find('"', i + 1);
-    if (key_end == std::string::npos) break;
-    const std::string key = text.substr(i + 1, key_end - i - 1);
-    std::size_t j = key_end + 1;
-    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j])))
-      ++j;
-    if (j < text.size() && text[j] == ':') {
-      ++j;
-      while (j < text.size() &&
-             std::isspace(static_cast<unsigned char>(text[j])))
-        ++j;
-      char* end = nullptr;
-      const double v = std::strtod(text.c_str() + j, &end);
-      if (end && end != text.c_str() + j) out[key] = v;
-    }
-    i = key_end + 1;
-  }
-  return out;
-}
-
-std::map<std::string, double> load_flat_json(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return {};
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return parse_flat_json_numbers(ss.str());
-}
+using mobiwlan::load_flat_json;  // util/flatjson.hpp
 
 /// Runs the perf cases, writes the flat BENCH report (with pre-PR baseline
 /// numbers and speedups folded in when the baseline file provides them), and
@@ -266,6 +268,98 @@ int run_perf(const Options& opt) {
   return 0;
 }
 
+namespace fidelity = mobiwlan::fidelity;
+
+/// Checks a fidelity report against the committed baseline and prints the
+/// verdict table. Returns the process exit code.
+int check_fidelity_report(const fidelity::FidelityReport& report,
+                          std::uint64_t run_seed, const Options& opt,
+                          fidelity::CheckResult& check) {
+  const auto baseline = load_flat_json(opt.fidelity_baseline);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "mobiwlan-bench: no fidelity baseline at %s\n",
+                 opt.fidelity_baseline.c_str());
+    return 1;
+  }
+  check = report.check(baseline, run_seed);
+  std::printf("\nfidelity-check against %s (seed %llu):\n",
+              opt.fidelity_baseline.c_str(),
+              static_cast<unsigned long long>(run_seed));
+  std::fputs(fidelity::render_check(check).c_str(), stdout);
+  if (!check.pass()) {
+    std::fprintf(stderr,
+                 "mobiwlan-bench: paper-fidelity gate FAILED (baseline %s)\n",
+                 opt.fidelity_baseline.c_str());
+    return 1;
+  }
+  std::printf("fidelity-check: all bounds hold\n");
+  return 0;
+}
+
+/// `--fidelity` / `--fidelity-check`: run the experiments, write
+/// BENCH_fidelity.json, optionally gate. `--fidelity-check-only` skips the
+/// run and re-checks an existing report file instead.
+int run_fidelity_mode(const Options& opt) {
+  if (!opt.fidelity_check_only.empty()) {
+    const auto doc = load_flat_json(opt.fidelity_check_only);
+    if (doc.empty()) {
+      std::fprintf(stderr, "mobiwlan-bench: cannot read fidelity report %s\n",
+                   opt.fidelity_check_only.c_str());
+      return 1;
+    }
+    std::uint64_t seed = 0;
+    const fidelity::FidelityReport report =
+        fidelity::report_from_flat_json(doc, seed);
+    fidelity::CheckResult check;
+    return check_fidelity_report(report, seed, opt, check);
+  }
+
+  std::size_t jobs = opt.jobs;
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw ? hw : 1;
+  }
+  runtime::ThreadPool pool(jobs);
+  runtime::BenchReport bench_report;
+  bench_report.name = "fidelity";
+  runtime::Experiment exp(pool, opt.seed, &bench_report);
+
+  std::printf("fidelity: re-running Table 1 / Fig 2 / Fig 4 / Fig 9 "
+              "(seed %llu, %zu workers)\n",
+              static_cast<unsigned long long>(opt.seed), pool.size());
+  const auto start = std::chrono::steady_clock::now();
+  const fidelity::FidelityReport report =
+      mobiwlan::benchsuite::run_fidelity(exp);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  for (const auto& [key, v] : report.metrics())
+    std::printf("  %-44s %.6g\n", key.c_str(), v);
+  std::printf("[fidelity: %zu jobs on %zu workers, %.2fs wall]\n",
+              bench_report.jobs.size(), pool.size(), wall_s);
+
+  fidelity::CheckResult check;
+  int rc = 0;
+  const fidelity::CheckResult* check_ptr = nullptr;
+  if (opt.fidelity_check) {
+    rc = check_fidelity_report(report, opt.seed, opt, check);
+    check_ptr = &check;
+  }
+
+  std::ofstream out(opt.fidelity_out, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "mobiwlan-bench: cannot write %s\n",
+                 opt.fidelity_out.c_str());
+    return 1;
+  }
+  out << report.to_json(opt.seed, wall_s, check_ptr);
+  out.close();
+  std::printf("wrote %s (%zu metrics)\n", opt.fidelity_out.c_str(),
+              report.metrics().size());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -282,6 +376,8 @@ int main(int argc, char** argv) {
   }
 
   if (opt.perf) return run_perf(opt);
+  if (opt.fidelity || !opt.fidelity_check_only.empty())
+    return run_fidelity_mode(opt);
 
   std::vector<const BenchDef*> selected;
   for (const BenchDef& def : registry())

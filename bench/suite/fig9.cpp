@@ -27,9 +27,11 @@ LinkSimConfig tcp_config() {
   return cfg;
 }
 
+}  // namespace
+
 /// Run one scheme over the identical channel realization (same seed).
-double run_scheme(const std::string& scheme, std::uint64_t seed,
-                  MobilityClass cls) {
+double fig9_run_scheme(const std::string& scheme, std::uint64_t seed,
+                       MobilityClass cls) {
   Rng rng(seed);
   Scenario s = make_scenario(cls, rng);
   LinkSimConfig cfg = tcp_config();
@@ -61,8 +63,6 @@ double run_scheme(const std::string& scheme, std::uint64_t seed,
   return simulate_link(s, ra, cfg, frame_rng).goodput_mbps;
 }
 
-}  // namespace
-
 BenchDef fig9_bench() {
   BenchDef def;
   def.name = "fig9";
@@ -87,7 +87,8 @@ BenchDef fig9_bench() {
           const std::size_t link = trial.index / 2;
           const MobilityClass cls =
               link % 2 == 0 ? MobilityClass::kMacro : MobilityClass::kMicro;
-          return run_scheme(variants[trial.index % 2], link_seeds[link], cls);
+          return fig9_run_scheme(variants[trial.index % 2], link_seeds[link],
+                                 cls);
         });
     {
       SampleSet stock;
@@ -135,9 +136,9 @@ BenchDef fig9_bench() {
     const auto per_scheme = exp.map<double>(
         static_cast<std::size_t>(traces) * 5,
         [&trace_seeds, &schemes](runtime::Trial& trial) {
-          return run_scheme(schemes[trial.index % 5],
-                            trace_seeds[trial.index / 5],
-                            MobilityClass::kMacro);
+          return fig9_run_scheme(schemes[trial.index % 5],
+                                 trace_seeds[trial.index / 5],
+                                 MobilityClass::kMacro);
         });
     {
       SampleSet results[5];

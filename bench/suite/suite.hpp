@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "core/mobility_mode.hpp"
+#include "fidelity/fidelity.hpp"
 #include "runtime/experiment.hpp"
 #include "runtime/report.hpp"
 
@@ -65,5 +67,15 @@ std::string banner_text(const std::string& figure,
 BenchDef table1_bench();
 BenchDef fig9_bench();
 BenchDef fig13_bench();
+
+/// One RA scheme over one channel seed (fig9.cpp) — shared with the
+/// fidelity suite so the gate replays exactly the bench's trial code.
+double fig9_run_scheme(const std::string& scheme, std::uint64_t seed,
+                       MobilityClass cls);
+
+/// Re-runs the core experiments (Table 1, Fig 2, Fig 4, Fig 9) through the
+/// sharder and records the statistics the paper-fidelity gate asserts on.
+/// Deterministic for a fixed Experiment seed at any worker count.
+fidelity::FidelityReport run_fidelity(runtime::Experiment& exp);
 
 }  // namespace mobiwlan::benchsuite

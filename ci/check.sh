@@ -5,7 +5,10 @@
 #      must produce byte-identical JSON outside the "timing" lines;
 #   3. perf-regression smoke gate: ci/perf_gate.sh with a short per-case
 #      budget and the baseline's 25% tolerance band;
-#   4. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
+#   4. statistical paper-fidelity gate: ci/fidelity_gate.sh checks the core
+#      experiment statistics against ci/fidelity_baseline.json and diffs the
+#      --jobs 1 vs --jobs 8 reports;
+#   5. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
 #      runtime thread-pool and experiment tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,6 +34,9 @@ echo "ok: results byte-identical modulo timing"
 
 echo "== perf gate: channel hot loops =="
 PERF_MIN_TIME="${PERF_MIN_TIME:-0.2}" ./ci/perf_gate.sh
+
+echo "== fidelity gate: paper-shape statistics =="
+./ci/fidelity_gate.sh
 
 echo "== ThreadSanitizer: runtime tests =="
 cmake -B build-tsan -S . -DMOBIWLAN_SANITIZE=thread \

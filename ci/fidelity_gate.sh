@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# ci/fidelity_gate.sh — statistical paper-fidelity gate.
+#
+# Re-runs the core paper experiments (Table 1 confusion matrix, Fig. 2
+# threshold separation, Fig. 4 ramp detection, Fig. 9 rate-adaptation
+# ordering) through the Experiment sharder and checks the measured
+# statistics against the bounds in ci/fidelity_baseline.json. A second run
+# at --jobs 1 must reproduce the --jobs 8 report byte-for-byte outside the
+# "timing" lines — the same determinism contract as the bench suite.
+#
+# The baseline encodes paper-shape claims (per-class accuracy with Wilson CI
+# width, similarity quantiles, monotone-run counts, throughput ratios), not
+# exact values; bounds carry calibration slack so only a real behavior change
+# trips them. Refresh after an intentional model change with:
+#   ./build/bench/mobiwlan-bench --fidelity
+# and re-derive the bounds from the printed metrics per EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-./build/bench/mobiwlan-bench}"
+OUT="${FIDELITY_OUT:-/tmp/mobiwlan_fidelity.json}"
+OUT_J1="${OUT%.json}_j1.json"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "FAIL: ${BENCH} not built (run cmake --build build first)" >&2
+  exit 1
+fi
+
+"${BENCH}" --fidelity-check --jobs 8 \
+  --fidelity-out "${OUT}" \
+  --fidelity-baseline ci/fidelity_baseline.json
+
+echo "-- fidelity determinism: --jobs 1 vs --jobs 8 --"
+"${BENCH}" --fidelity-check --jobs 1 \
+  --fidelity-out "${OUT_J1}" \
+  --fidelity-baseline ci/fidelity_baseline.json >/dev/null
+if ! diff <(grep -v '"timing":' "${OUT}") \
+          <(grep -v '"timing":' "${OUT_J1}"); then
+  echo "FAIL: fidelity report differs between --jobs 8 and --jobs 1" >&2
+  exit 1
+fi
+echo "ok: fidelity report byte-identical modulo timing"

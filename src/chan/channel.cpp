@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "util/fastmath.hpp"
+#include "util/simd.hpp"
 #include "util/units.hpp"
 
 namespace mobiwlan {
@@ -65,13 +66,12 @@ void mac_pair_scalar(double* __restrict acc_re, double* __restrict acc_im,
 using MacPairFn = void (*)(double*, double*, const double*, const double*,
                            double, double, std::size_t);
 
+// Re-resolved per synthesize_into call (not cached at static init) so
+// MOBIWLAN_FORCE_SCALAR and the simd::set_force_scalar test hook can steer
+// the untaken variant through the golden-fixture agreement tests.
 MacPairFn resolve_mac_pair() {
-  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
-    return mac_pair_avx2;
-  return mac_pair_scalar;
+  return simd::use_avx2fma() ? mac_pair_avx2 : mac_pair_scalar;
 }
-
-const MacPairFn mac_pair = resolve_mac_pair();
 }  // namespace
 
 Vec2 WirelessChannel::Scatterer::position(double t) const {
@@ -234,6 +234,7 @@ void WirelessChannel::synthesize_into(PathScratch& scratch, CsiMatrix& out) cons
   scratch.acc_re.assign(n_entries, 0.0);
   scratch.acc_im.assign(n_entries, 0.0);
   const double half = static_cast<double>(n_sc - 1) / 2.0;
+  const MacPairFn mac_pair = resolve_mac_pair();
 
   for (const auto& p : scratch.paths) {
     const double tau = p.length_m / kSpeedOfLight;

@@ -1,0 +1,42 @@
+#include "util/flatjson.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mobiwlan {
+
+std::map<std::string, double> parse_flat_json_numbers(const std::string& text) {
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  while ((i = text.find('"', i)) != std::string::npos) {
+    const std::size_t key_end = text.find('"', i + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(i + 1, key_end - i - 1);
+    std::size_t j = key_end + 1;
+    while (j < text.size() && std::isspace(static_cast<unsigned char>(text[j])))
+      ++j;
+    if (j < text.size() && text[j] == ':') {
+      ++j;
+      while (j < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[j])))
+        ++j;
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str() + j, &end);
+      if (end && end != text.c_str() + j) out[key] = v;
+    }
+    i = key_end + 1;
+  }
+  return out;
+}
+
+std::map<std::string, double> load_flat_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_flat_json_numbers(ss.str());
+}
+
+}  // namespace mobiwlan

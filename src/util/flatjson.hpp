@@ -1,0 +1,25 @@
+// flatjson.hpp — reader for the flat `"key": number` JSON documents the
+// bench and CI tooling exchange.
+//
+// BENCH_channel.json, BENCH_fidelity.json, ci/perf_baseline.json and
+// ci/fidelity_baseline.json are all written as a single JSON object whose
+// values are numbers (strings are permitted but ignored). Parsing exactly
+// that shape takes thirty lines and avoids dragging a JSON dependency into
+// the build; anything nested is flattened by the writers before it lands in
+// these files.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace mobiwlan {
+
+/// Extracts every `"key": number` pair from `text`, in key-sorted order.
+/// Non-numeric values are skipped; duplicate keys keep the last value.
+std::map<std::string, double> parse_flat_json_numbers(const std::string& text);
+
+/// parse_flat_json_numbers over the contents of `path`; empty map if the
+/// file cannot be read.
+std::map<std::string, double> load_flat_json(const std::string& path);
+
+}  // namespace mobiwlan

@@ -8,6 +8,7 @@
 #include <numbers>
 
 #include "util/fastmath.hpp"
+#include "util/simd.hpp"
 
 namespace mobiwlan {
 
@@ -147,9 +148,6 @@ __attribute__((target("avx2,fma"))) void box_muller4(const double* u1,
   _mm256_storeu_pd(comp + 4, _mm256_add_pd(_mm256_loadu_pd(comp + 4), p1));
 }
 
-const bool kHaveAvx2Fma =
-    __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
-
 #endif  // __x86_64__
 
 }  // namespace
@@ -229,10 +227,12 @@ void Rng::add_complex_gaussian(std::complex<double>* dst, std::size_t n,
     comp[k++] += per * cached_gaussian_;
   }
 #if defined(__x86_64__)
-  // Four transforms per iteration on AVX2+FMA hosts. The uniforms are drawn
-  // scalar in the canonical order (u1 then u2 per transform), so the stream
-  // position after the block matches the scalar path exactly.
-  if (kHaveAvx2Fma) {
+  // Four transforms per iteration on AVX2+FMA hosts (checked per call so
+  // MOBIWLAN_FORCE_SCALAR and the simd test hook reach this path). The
+  // uniforms are drawn scalar in the canonical order (u1 then u2 per
+  // transform), so the stream position after the block matches the scalar
+  // path exactly.
+  if (simd::use_avx2fma()) {
     double u1[4], u2[4];
     while (total - k >= 8) {
       for (int j = 0; j < 4; ++j) {

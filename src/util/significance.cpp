@@ -1,6 +1,7 @@
 #include "util/significance.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "util/stats.hpp"
@@ -58,6 +59,19 @@ bool median_significantly_greater(const std::vector<double>& a,
                                   const std::vector<double>& b,
                                   double confidence) {
   return bootstrap_median_diff_ci(a, b, confidence).lo > 0.0;
+}
+
+WilsonInterval wilson_interval(std::size_t successes, std::size_t total,
+                               double z) {
+  if (total == 0 || successes > total)
+    throw std::invalid_argument("wilson_interval: bad counts");
+  const double n = static_cast<double>(total);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {(centre - margin) / denom, (centre + margin) / denom, p};
 }
 
 }  // namespace mobiwlan

@@ -1,11 +1,15 @@
-// significance.hpp — bootstrap confidence intervals for bench results.
+// significance.hpp — confidence intervals for bench and fidelity results.
 //
 // Several benches claim "scheme A's median beats scheme B's" from a dozen
 // trials; a bootstrap interval on the median difference says whether that
-// survives resampling. Kept deliberately simple: percentile bootstrap with
-// a deterministic seed so bench output is reproducible.
+// survives resampling. The fidelity gate additionally reports Wilson score
+// intervals on classification accuracies, which behave sensibly near 0% and
+// 100% where the normal approximation collapses. Kept deliberately simple:
+// percentile bootstrap with a deterministic seed so bench output is
+// reproducible, and a closed-form Wilson interval.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -37,5 +41,16 @@ BootstrapInterval bootstrap_median_diff_ci(const std::vector<double>& a,
 bool median_significantly_greater(const std::vector<double>& a,
                                   const std::vector<double>& b,
                                   double confidence = 0.95);
+
+struct WilsonInterval {
+  double lo = 0.0;     ///< lower bound of the score interval
+  double hi = 0.0;     ///< upper bound
+  double point = 0.0;  ///< the raw proportion successes / total
+};
+
+/// Wilson score interval for a binomial proportion at the given z value
+/// (default 1.96 ~ 95%). Requires total >= 1; successes <= total.
+WilsonInterval wilson_interval(std::size_t successes, std::size_t total,
+                               double z = 1.96);
 
 }  // namespace mobiwlan

@@ -1,0 +1,44 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mobiwlan::simd {
+
+namespace {
+
+bool env_force_scalar() {
+  const char* v = std::getenv("MOBIWLAN_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+// -1 = defer to the environment; 0/1 = test-hook override.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+bool avx2fma_supported() {
+#if defined(__x86_64__)
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool force_scalar() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = env_force_scalar();
+  return from_env;
+}
+
+void set_force_scalar(int forced) {
+  g_forced.store(forced < 0 ? -1 : (forced != 0), std::memory_order_relaxed);
+}
+
+bool use_avx2fma() { return avx2fma_supported() && !force_scalar(); }
+
+}  // namespace mobiwlan::simd

@@ -1,0 +1,36 @@
+// simd.hpp — one switch for every runtime-dispatched SIMD kernel.
+//
+// The channel synthesis MAC (chan/channel.cpp) and the Box-Muller noise fill
+// (util/rng.cpp) each carry an AVX2+FMA variant selected at runtime so the
+// build stays baseline x86-64. Selection used to be a static-init cpuid
+// check per translation unit, which left the scalar fallback unreachable on
+// AVX2 hosts — i.e. never exercised in CI. This header centralizes the
+// decision and adds two overrides:
+//
+//   * MOBIWLAN_FORCE_SCALAR=1 in the environment pins every kernel to its
+//     scalar variant for the whole process (read once, at first query);
+//   * set_force_scalar() overrides both the environment and cpuid from test
+//     code, so one binary can run both variants and compare them.
+//
+// Kernels must consult use_avx2fma() per call (not cache it in a static):
+// that is what makes the test hook effective.
+#pragma once
+
+namespace mobiwlan::simd {
+
+/// True if the host CPU supports AVX2 and FMA (cpuid; cached).
+bool avx2fma_supported();
+
+/// True if scalar kernels are forced — by set_force_scalar(), or else by
+/// MOBIWLAN_FORCE_SCALAR being set to anything but "0" or empty.
+bool force_scalar();
+
+/// Test hook: -1 defers to the environment (the default), 0 un-forces, and
+/// 1 forces scalar kernels. Takes effect on the next use_avx2fma() query.
+void set_force_scalar(int forced);
+
+/// The one question dispatch sites ask: AVX2+FMA available and not forced
+/// off.
+bool use_avx2fma();
+
+}  // namespace mobiwlan::simd

@@ -1,0 +1,142 @@
+// Adversarial ToF traces: quantization plateaus, measurement spikes, and
+// runs sitting exactly on the detector's thresholds.
+//
+// The tracker's contract (§2.4): macro-mobility is declared only when ALL
+// per-second medians in the window trend one way, with two escape hatches —
+// per-pair slack for quantization plateaus and a strict minimum net change
+// to reject monotone-by-luck noise. These tests drive each hatch to its
+// exact boundary; the basic happy paths live in tof_tracker_test.cpp.
+#include "core/tof_tracker.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan {
+namespace {
+
+/// Feeds one aggregation period (50 readings at 20 ms) of a constant value,
+/// so the epoch's median is exactly `value`. Returns the next epoch start.
+double feed_epoch(TofTracker& tracker, double t0, double value) {
+  for (int i = 0; i < 50; ++i) tracker.add(t0 + 0.02 * i, value);
+  return t0 + 1.0;
+}
+
+/// Feeds a sequence of per-second medians (one constant epoch each).
+void feed_medians(TofTracker& tracker, const std::vector<double>& medians,
+                  double t0 = 0.0) {
+  double t = t0;
+  for (const double m : medians) t = feed_epoch(tracker, t, m);
+  // One reading past the final boundary flushes the last epoch's median.
+  tracker.add(t, medians.empty() ? 0.0 : medians.back());
+}
+
+TEST(TofTrackerAdversarialTest, FlatPlateauIsNotATrend) {
+  // Perfectly quantized standstill: every median identical. All pairwise
+  // moves are within slack, but net change 0 fails the min-change gate.
+  TofTracker tracker;
+  feed_medians(tracker, {100.0, 100.0, 100.0, 100.0, 100.0});
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);
+}
+
+TEST(TofTrackerAdversarialTest, PlateausInsideARampDoNotBreakIt) {
+  // A walking ramp whose quantized medians stall for a step mid-window:
+  // the stall (0 change) is within slack, the net change is well past the
+  // gate, so the trend must survive the plateau.
+  TofTracker tracker;
+  feed_medians(tracker, {100.0, 101.0, 101.0, 102.5});
+  EXPECT_EQ(tracker.trend(), TofTrend::kIncreasing);
+}
+
+TEST(TofTrackerAdversarialTest, CounterTrendStepBeyondSlackBreaksTheRun) {
+  // Default slack is 0.45 cycles: a 0.5-cycle dip against an otherwise
+  // clean ramp must break it, and an identical dip of 0.4 must not.
+  TofTracker broken;
+  feed_medians(broken, {100.0, 101.5, 101.0, 103.0});  // dip 0.5 > slack
+  EXPECT_EQ(broken.trend(), TofTrend::kNone);
+
+  TofTracker intact;
+  feed_medians(intact, {100.0, 101.5, 101.1, 103.0});  // dip 0.4 < slack
+  EXPECT_EQ(intact.trend(), TofTrend::kIncreasing);
+}
+
+TEST(TofTrackerAdversarialTest, ExactThresholdNetChangeIsRejected) {
+  // The min-change gate is strict (>). Binary-exact values (quarter cycles,
+  // gate 1.25) make "net change == gate" exact rather than rounded, so this
+  // pins the comparison operator, not double formatting.
+  TofTracker::Config config;
+  config.min_change_cycles = 1.25;
+
+  TofTracker at_threshold(config);
+  feed_medians(at_threshold, {100.0, 100.5, 100.75, 101.25});  // net == 1.25
+  EXPECT_EQ(at_threshold.trend(), TofTrend::kNone);
+
+  TofTracker past_threshold(config);
+  feed_medians(past_threshold, {100.0, 100.5, 100.75, 101.5});  // net 1.5
+  EXPECT_EQ(past_threshold.trend(), TofTrend::kIncreasing);
+}
+
+TEST(TofTrackerAdversarialTest, SpikeRollsOutOfTheWindow) {
+  // A single spiked median poisons every window containing it; once it
+  // slides out (window = 4 medians), a clean ongoing ramp is re-detected.
+  TofTracker tracker;
+  double t = 0.0;
+  t = feed_epoch(tracker, t, 100.0);
+  t = feed_epoch(tracker, t, 101.0);
+  t = feed_epoch(tracker, t, 140.0);  // spike (e.g. a multipath flip)
+  t = feed_epoch(tracker, t, 102.0);
+  tracker.add(t, 102.0);
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);  // window holds the spike
+
+  t = feed_epoch(tracker, t, 103.0);
+  t = feed_epoch(tracker, t, 104.5);
+  t = feed_epoch(tracker, t, 106.0);
+  tracker.add(t, 106.0);  // window is now {102, 103, 104.5, 106}
+  EXPECT_EQ(tracker.trend(), TofTrend::kIncreasing);
+}
+
+TEST(TofTrackerAdversarialTest, DecreasingMirrorsIncreasing) {
+  TofTracker walk_toward;
+  feed_medians(walk_toward, {106.0, 104.5, 104.6, 103.0});  // rise 0.1 ok
+  EXPECT_EQ(walk_toward.trend(), TofTrend::kDecreasing);
+
+  TofTracker::Config config;
+  config.min_change_cycles = 1.25;
+  TofTracker at_threshold(config);
+  feed_medians(at_threshold, {101.25, 100.75, 100.5, 100.0});  // net == -1.25
+  EXPECT_EQ(at_threshold.trend(), TofTrend::kNone);
+}
+
+TEST(TofTrackerAdversarialTest, SparseReadingsSkipEmptyEpochs) {
+  // Readings 3 s apart: the two empty epochs in between produce no median
+  // (flush of an empty aggregator), so the window must not fill with stale
+  // or zero values.
+  TofTracker tracker;
+  tracker.add(0.0, 100.0);
+  tracker.add(3.0, 101.0);   // flushes epoch 0's median only
+  tracker.add(6.0, 102.0);   // flushes epoch 3's median only
+  tracker.add(9.0, 103.0);
+  EXPECT_EQ(tracker.median_count(), 3u);
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);  // window (4) not yet full
+  tracker.add(12.0, 104.0);
+  EXPECT_EQ(tracker.median_count(), 4u);
+  EXPECT_EQ(tracker.trend(), TofTrend::kIncreasing);
+}
+
+TEST(TofTrackerAdversarialTest, ResetDropsHistoryMidRamp) {
+  // Fig. 5: leaving device mobility stops ToF measurement and clears state.
+  // A ramp split across a reset must not be stitched back together.
+  TofTracker tracker;
+  feed_medians(tracker, {100.0, 101.0, 102.0, 103.0});
+  EXPECT_EQ(tracker.trend(), TofTrend::kIncreasing);
+  tracker.reset();
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);
+  EXPECT_EQ(tracker.median_count(), 0u);
+  EXPECT_FALSE(tracker.last_median().has_value());
+  // Two more ramp medians: window (4) is far from full again.
+  feed_medians(tracker, {104.0, 105.0}, 100.0);
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,171 @@
+// Property suite: the allocation-free ring-buffer filters agree with naive
+// deque/sort reference implementations on random streams.
+//
+// The ring buffers (MovingAverage, TrendWindow) and the in-place selection
+// median (MedianAggregator) replaced straightforward deque/sort code for the
+// hot classification path; these properties keep them semantically pinned to
+// the simple versions across random windows, stream lengths, and value
+// scales — including plateau-heavy quantized streams like real ToF cycles.
+#include "util/filters.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proptest.hpp"
+
+namespace mobiwlan {
+namespace {
+
+using proptest::run_cases;
+
+/// Reference moving average: a deque of the last `window` values.
+class DequeAverage {
+ public:
+  explicit DequeAverage(std::size_t window) : window_(window == 0 ? 1 : window) {}
+  void add(double x) {
+    values_.push_back(x);
+    if (values_.size() > window_) values_.pop_front();
+  }
+  double value() const {
+    if (values_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double v : values_) sum += v;
+    return sum / static_cast<double>(values_.size());
+  }
+  std::size_t count() const { return values_.size(); }
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+};
+
+/// Reference trend window mirroring TrendWindow's documented semantics.
+class DequeTrend {
+ public:
+  DequeTrend(std::size_t window, double slack)
+      : window_(window < 2 ? 2 : window), slack_(slack) {}
+  void add(double x) {
+    values_.push_back(x);
+    if (values_.size() > window_) values_.pop_front();
+  }
+  bool increasing(double min_change) const {
+    if (values_.size() < window_) return false;
+    for (std::size_t i = 1; i < values_.size(); ++i)
+      if (values_[i] < values_[i - 1] - slack_) return false;
+    return values_.back() - values_.front() > min_change;
+  }
+  bool decreasing(double min_change) const {
+    if (values_.size() < window_) return false;
+    for (std::size_t i = 1; i < values_.size(); ++i)
+      if (values_[i] > values_[i - 1] + slack_) return false;
+    return values_.front() - values_.back() > min_change;
+  }
+
+ private:
+  std::size_t window_;
+  double slack_;
+  std::deque<double> values_;
+};
+
+/// A stream that mixes smooth noise with quantized plateaus and jumps —
+/// the shapes clock-cycle ToF readings actually take.
+std::vector<double> random_stream(Rng& rng, std::size_t n) {
+  std::vector<double> out;
+  double level = rng.uniform(-50.0, 50.0);
+  while (out.size() < n) {
+    const int kind = rng.uniform_int(0, 2);
+    const int span = rng.uniform_int(1, 6);
+    for (int k = 0; k < span && out.size() < n; ++k) {
+      if (kind == 0) level += rng.gaussian(0.0, 2.0);   // wander
+      if (kind == 1) level = std::round(level);          // plateau (quantized)
+      if (kind == 2 && k == 0) level += rng.uniform(-20.0, 20.0);  // jump
+      out.push_back(level);
+    }
+  }
+  return out;
+}
+
+TEST(FiltersProperty, MovingAverageMatchesDequeReference) {
+  run_cases("moving_average_vs_deque", [](Rng& rng, int) {
+    const std::size_t window =
+        static_cast<std::size_t>(rng.uniform_int(1, 16));
+    MovingAverage avg(window);
+    DequeAverage ref(window);
+    const std::vector<double> xs =
+        random_stream(rng, static_cast<std::size_t>(rng.uniform_int(1, 80)));
+    for (const double x : xs) {
+      avg.add(x);
+      ref.add(x);
+      ASSERT_EQ(avg.count(), ref.count());
+      // The ring keeps a running sum; tolerate its accumulation drift.
+      ASSERT_NEAR(avg.value(), ref.value(), 1e-9);
+    }
+  });
+}
+
+TEST(FiltersProperty, MovingAverageResetForgetsHistory) {
+  run_cases("moving_average_reset", [](Rng& rng, int) {
+    const std::size_t window =
+        static_cast<std::size_t>(rng.uniform_int(1, 8));
+    MovingAverage avg(window);
+    for (const double x : random_stream(rng, 20)) avg.add(x);
+    avg.reset();
+    EXPECT_EQ(avg.count(), 0u);
+    EXPECT_EQ(avg.value(), 0.0);
+    MovingAverage fresh(window);
+    for (const double x : random_stream(rng, 10)) {
+      avg.add(x);
+      fresh.add(x);
+      ASSERT_EQ(avg.value(), fresh.value());
+    }
+  });
+}
+
+TEST(FiltersProperty, TrendWindowMatchesDequeReference) {
+  run_cases("trend_window_vs_deque", [](Rng& rng, int) {
+    const std::size_t window =
+        static_cast<std::size_t>(rng.uniform_int(2, 8));
+    const double slack = rng.uniform(0.0, 1.0);
+    const double min_change = rng.uniform(0.0, 4.0);
+    TrendWindow trend(window, slack);
+    DequeTrend ref(window, slack);
+    const std::vector<double> xs =
+        random_stream(rng, static_cast<std::size_t>(rng.uniform_int(1, 60)));
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      trend.add(xs[k]);
+      ref.add(xs[k]);
+      ASSERT_EQ(trend.increasing(min_change), ref.increasing(min_change))
+          << "after " << (k + 1) << " values";
+      ASSERT_EQ(trend.decreasing(min_change), ref.decreasing(min_change))
+          << "after " << (k + 1) << " values";
+    }
+  });
+}
+
+TEST(FiltersProperty, MedianAggregatorMatchesSortReference) {
+  run_cases("median_vs_sort", [](Rng& rng, int) {
+    MedianAggregator agg;
+    const std::vector<double> xs =
+        random_stream(rng, static_cast<std::size_t>(rng.uniform_int(1, 50)));
+    for (const double x : xs) agg.add(x);
+    ASSERT_EQ(agg.pending_count(), xs.size());
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t mid = sorted.size() / 2;
+    const double expected = sorted.size() % 2 == 1
+                                ? sorted[mid]
+                                : (sorted[mid - 1] + sorted[mid]) / 2.0;
+    const auto m = agg.flush();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(*m, expected);
+    // flush() clears: a second flush has nothing.
+    EXPECT_FALSE(agg.flush().has_value());
+  });
+}
+
+}  // namespace
+}  // namespace mobiwlan

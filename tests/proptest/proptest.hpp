@@ -1,0 +1,118 @@
+// proptest.hpp — a tiny seeded property-testing harness on top of GoogleTest.
+//
+// A property is a callable taking (Rng&, case index); run_cases() executes it
+// for N independently-seeded cases. Determinism and replay:
+//
+//   * case seeds derive from a fixed suite seed and the property name
+//     (counter-based, like the runtime experiment runner), so a failure is
+//     reproducible run-to-run and independent of other properties;
+//   * when a case fails, the harness reports the exact 64-bit seed and stops;
+//     re-running with MOBIWLAN_PROPTEST_SEED=<seed> executes only that case;
+//   * MOBIWLAN_PROPTEST_CASES scales the case count (soak testing).
+//
+// There is no shrinking: generators here draw simple numeric inputs whose
+// failing values are readable directly from the assertion message.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mobiwlan::proptest {
+
+/// Suite seed all properties derive their cases from (the master seed the
+/// benches use, so "the seed policy" is one number repo-wide).
+inline constexpr std::uint64_t kSuiteSeed = 20140204;
+
+/// Cases per property unless MOBIWLAN_PROPTEST_CASES overrides.
+inline constexpr int kDefaultCases = 128;
+
+/// FNV-1a, used to decorrelate the case streams of different properties.
+constexpr std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (; *s; ++s) h = (h ^ static_cast<unsigned char>(*s)) * 1099511628211ULL;
+  return h;
+}
+
+inline int case_count() {
+  if (const char* env = std::getenv("MOBIWLAN_PROPTEST_CASES");
+      env && *env) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<int>(n);
+  }
+  return kDefaultCases;
+}
+
+/// Runs `body(rng, case_index)` for `cases` independently-seeded cases,
+/// stopping at the first falsified case with its replay seed in the failure
+/// message. With MOBIWLAN_PROPTEST_SEED set, runs that single case instead.
+inline void run_cases(const char* property,
+                      const std::function<void(Rng&, int)>& body,
+                      int cases = case_count()) {
+  if (const char* env = std::getenv("MOBIWLAN_PROPTEST_SEED");
+      env && *env) {
+    const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+    Rng rng(seed);
+    SCOPED_TRACE(::testing::Message() << "property '" << property
+                                      << "' replaying seed " << seed);
+    body(rng, 0);
+    return;
+  }
+
+  const Rng master(kSuiteSeed ^ fnv1a(property));
+  const auto* result =
+      ::testing::UnitTest::GetInstance()->current_test_info()->result();
+  for (int i = 0; i < cases; ++i) {
+    Rng rng = master.stream(static_cast<std::uint64_t>(i));
+    const std::uint64_t case_seed = rng.seed();
+    const int parts_before = result->total_part_count();
+    {
+      SCOPED_TRACE(::testing::Message()
+                   << "property '" << property << "' case " << i << "/"
+                   << cases << " (seed " << case_seed << ")");
+      body(rng, i);
+    }
+    if (result->total_part_count() > parts_before) {
+      ADD_FAILURE() << "property '" << property << "' falsified at case " << i
+                    << "; replay with MOBIWLAN_PROPTEST_SEED=" << case_seed;
+      return;
+    }
+  }
+}
+
+// ---- Simple generators ----------------------------------------------------
+
+/// n uniform doubles in [lo, hi).
+inline std::vector<double> gen_doubles(Rng& rng, std::size_t n, double lo,
+                                       double hi) {
+  std::vector<double> out(n);
+  for (double& x : out) x = rng.uniform(lo, hi);
+  return out;
+}
+
+/// n standard-normal doubles scaled by `sigma`.
+inline std::vector<double> gen_gaussians(Rng& rng, std::size_t n,
+                                         double sigma = 1.0) {
+  std::vector<double> out(n);
+  for (double& x : out) x = rng.gaussian(0.0, sigma);
+  return out;
+}
+
+/// A random permutation of 0..n-1 (Fisher-Yates).
+inline std::vector<std::size_t> gen_permutation(Rng& rng, std::size_t n) {
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(i) - 1));
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+}  // namespace mobiwlan::proptest

@@ -1,0 +1,136 @@
+// fastmath accuracy: sincos and log_pos against libm, in ulps, across the
+// documented domain, plus exact pinning of the domain edges.
+//
+// The header promises ~2 ulp for sincos on |x| <= kSincosMaxArg and ~1 ulp
+// for log_pos on finite normal positives. Near the trig zeros (x ~ k*pi) a
+// relative (ulp) bound is meaningless — the reduction's ~1e-17 absolute
+// error is astronomically many ulps of a ~1e-17 result — so the check there
+// falls back to an absolute budget derived from the reduction error.
+#include "util/fastmath.hpp"
+
+#include <bit>
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+namespace {
+
+/// Distance in representable doubles between a and b (same-sign finite).
+std::uint64_t ulp_distance(double a, double b) {
+  auto ordered = [](double x) -> std::int64_t {
+    const std::int64_t bits = std::bit_cast<std::int64_t>(x);
+    return bits >= 0 ? bits : std::int64_t(0x8000000000000000ULL) - bits;
+  };
+  const std::int64_t da = ordered(a);
+  const std::int64_t db = ordered(b);
+  return static_cast<std::uint64_t>(da > db ? da - db : db - da);
+}
+
+/// sincos bound: <= 4 ulp, or <= 1e-16 absolute near the zeros where the
+/// result underflows the relative scale.
+void expect_sincos_close(double x) {
+  double s = 0.0, c = 0.0;
+  fastmath::sincos(x, s, c);
+  const double rs = std::sin(x);
+  const double rc = std::cos(x);
+  EXPECT_TRUE(ulp_distance(s, rs) <= 4 || std::abs(s - rs) <= 1e-16)
+      << "sin(" << x << "): got " << s << " want " << rs << " ("
+      << ulp_distance(s, rs) << " ulp)";
+  EXPECT_TRUE(ulp_distance(c, rc) <= 4 || std::abs(c - rc) <= 1e-16)
+      << "cos(" << x << "): got " << c << " want " << rc << " ("
+      << ulp_distance(c, rc) << " ulp)";
+}
+
+void expect_log_close(double x) {
+  const double got = fastmath::log_pos(x);
+  const double want = std::log(x);
+  EXPECT_TRUE(ulp_distance(got, want) <= 2 || std::abs(got - want) <= 1e-18)
+      << "log(" << x << "): got " << got << " want " << want << " ("
+      << ulp_distance(got, want) << " ulp)";
+}
+
+TEST(FastmathTest, SincosGridAcrossDomain) {
+  // Dense uniform grid over the full valid domain, hitting both halves.
+  const double lim = fastmath::kSincosMaxArg;
+  const int n = 200001;
+  for (int i = 0; i < n; ++i) {
+    const double x = -lim + (2.0 * lim) * static_cast<double>(i) /
+                               static_cast<double>(n - 1);
+    expect_sincos_close(x);
+    if (::testing::Test::HasFailure()) break;  // one report, not 200k
+  }
+}
+
+TEST(FastmathTest, SincosNearReductionBoundaries) {
+  // Points adjacent to k*pi/2, where the reduced argument is smallest and
+  // the quadrant switch in the kernel happens: the worst spots for both
+  // cancellation and an off-by-one k.
+  for (int k = -16; k <= 16; ++k) {
+    const double boundary = static_cast<double>(k) * (M_PI / 2.0);
+    if (std::abs(boundary) > fastmath::kSincosMaxArg) continue;
+    for (const double eps :
+         {0.0, 1e-16, -1e-16, 1e-12, -1e-12, 1e-8, -1e-8, 1e-4, -1e-4}) {
+      const double x = boundary + eps;
+      if (std::abs(x) > fastmath::kSincosMaxArg) continue;
+      expect_sincos_close(x);
+    }
+  }
+}
+
+TEST(FastmathTest, SincosRandomPoints) {
+  Rng rng(20140204);
+  for (int i = 0; i < 100000; ++i) {
+    expect_sincos_close(rng.uniform(-fastmath::kSincosMaxArg,
+                                    fastmath::kSincosMaxArg));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(FastmathTest, SincosDomainEdges) {
+  // Exact identities at 0 and sanity exactly at the documented limits.
+  double s = 0.0, c = 0.0;
+  fastmath::sincos(0.0, s, c);
+  EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(c, 1.0);
+  fastmath::sincos(-0.0, s, c);
+  EXPECT_EQ(s, -0.0);
+  EXPECT_EQ(c, 1.0);
+  expect_sincos_close(fastmath::kSincosMaxArg);
+  expect_sincos_close(-fastmath::kSincosMaxArg);
+  expect_sincos_close(std::nextafter(fastmath::kSincosMaxArg, 0.0));
+  expect_sincos_close(std::nextafter(-fastmath::kSincosMaxArg, 0.0));
+}
+
+TEST(FastmathTest, LogAcrossMagnitudes) {
+  // Exponential sweep across the full normal range plus a dense linear one
+  // around 1, where log() cancellation is most delicate.
+  for (double x = DBL_MIN; x < 1e300; x *= 1.7) expect_log_close(x);
+  for (int i = -1000; i <= 1000; ++i)
+    expect_log_close(1.0 + static_cast<double>(i) * 1e-6);
+  Rng rng(20140204);
+  for (int i = 0; i < 100000; ++i) {
+    expect_log_close(std::exp(rng.uniform(-700.0, 700.0)));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(FastmathTest, LogDomainEdges) {
+  EXPECT_EQ(fastmath::log_pos(1.0), 0.0);  // exact by construction (k=0, f=0)
+  expect_log_close(DBL_MIN);                       // smallest normal
+  expect_log_close(DBL_MAX);                       // largest finite
+  expect_log_close(std::nextafter(1.0, 0.0));      // 1 - ulp
+  expect_log_close(std::nextafter(1.0, 2.0));      // 1 + ulp
+  expect_log_close(2.0);
+  expect_log_close(0.5);
+  // sqrt(2)/2 boundary of the significand normalization, both sides.
+  expect_log_close(std::nextafter(M_SQRT1_2, 0.0));
+  expect_log_close(std::nextafter(M_SQRT1_2, 1.0));
+}
+
+}  // namespace
+}  // namespace mobiwlan
