@@ -16,6 +16,11 @@
 //                                         baseline (ci/fidelity_baseline.json)
 //   mobiwlan-bench --fidelity-check-only F  re-check an existing
 //                                         BENCH_fidelity.json, no re-run
+//   mobiwlan-bench --scale                run the AP-scale throughput bench
+//                                         (64 APs x 512 clients) and write
+//                                         BENCH_scale.json
+//   mobiwlan-bench --scale --scale-check  also gate against the baseline's
+//                                         gate_scale_* keys
 //
 // Determinism contract: for a fixed --seed, the printed tables and every
 // non-"timing" byte of the JSON are identical for --jobs 1 and --jobs N.
@@ -61,7 +66,8 @@ void print_usage() {
       "                      [--fidelity] [--fidelity-check]\n"
       "                      [--fidelity-check-only PATH] [--fidelity-out "
       "PATH]\n"
-      "                      [--fidelity-baseline PATH]\n");
+      "                      [--fidelity-baseline PATH]\n"
+      "                      [--scale] [--scale-check] [--scale-out PATH]\n");
 }
 
 struct Options {
@@ -71,6 +77,8 @@ struct Options {
   bool perf_check = false;
   bool fidelity = false;
   bool fidelity_check = false;
+  bool scale = false;
+  bool scale_check = false;
   std::string filter;
   std::string json_path;
   std::string perf_out = "BENCH_channel.json";
@@ -78,6 +86,7 @@ struct Options {
   std::string fidelity_check_only;  // path to an existing BENCH_fidelity.json
   std::string fidelity_out = "BENCH_fidelity.json";
   std::string fidelity_baseline = "ci/fidelity_baseline.json";
+  std::string scale_out = "BENCH_scale.json";
   double perf_min_time = 1.0;
   std::size_t jobs = 0;  // 0 = one worker per hardware thread
   std::uint64_t seed = runtime::kMasterSeed;
@@ -126,6 +135,15 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = value("--fidelity-baseline");
       if (!v) return false;
       opt.fidelity_baseline = v;
+    } else if (arg == "--scale") {
+      opt.scale = true;
+    } else if (arg == "--scale-check") {
+      opt.scale = true;
+      opt.scale_check = true;
+    } else if (arg == "--scale-out") {
+      const char* v = value("--scale-out");
+      if (!v) return false;
+      opt.scale_out = v;
     } else if (arg == "--perf-min-time") {
       const char* v = value("--perf-min-time");
       if (!v) return false;
@@ -376,6 +394,16 @@ int main(int argc, char** argv) {
   }
 
   if (opt.perf) return run_perf(opt);
+  if (opt.scale) {
+    mobiwlan::benchsuite::ScaleOptions so;
+    so.jobs = opt.jobs ? opt.jobs : 1;
+    so.seed = opt.seed;
+    so.min_time_s = opt.perf_min_time;
+    so.check = opt.scale_check;
+    so.out = opt.scale_out;
+    so.baseline = opt.perf_baseline;
+    return mobiwlan::benchsuite::run_scale_bench(so);
+  }
   if (opt.fidelity || !opt.fidelity_check_only.empty())
     return run_fidelity_mode(opt);
 

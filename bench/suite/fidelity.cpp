@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "chan/channel_batch.hpp"
 #include "chan/scenario.hpp"
 #include "core/csi_similarity.hpp"
 #include "core/mobility_classifier.hpp"
@@ -117,11 +118,17 @@ std::vector<double> similarity_trial(MobilityClass cls,
   Scenario s = act ? make_environmental_scenario(*act, trial.rng)
                    : make_scenario(cls, trial.rng);
   std::vector<double> out;
-  CsiMatrix prev = s.channel->csi_at(0.0);
+  // Sampled through the batched engine (single-link batch): same per-link
+  // draw order as csi_at, vectorized synthesis path.
+  ChannelBatch batch;
+  batch.add_link(s.channel.get());
+  ChannelBatch::Scratch scratch;
+  CsiMatrix prev, cur;
+  batch.csi_into(0, 0.0, prev, scratch);
   for (double t = 0.5; t < 15.0; t += 0.5) {
-    const CsiMatrix cur = s.channel->csi_at(t);
+    batch.csi_into(0, t, cur, scratch);
     out.push_back(csi_similarity(prev, cur));
-    prev = cur;
+    std::swap(prev, cur);
   }
   return out;
 }

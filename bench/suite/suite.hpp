@@ -78,4 +78,20 @@ double fig9_run_scheme(const std::string& scheme, std::uint64_t seed,
 /// Deterministic for a fixed Experiment seed at any worker count.
 fidelity::FidelityReport run_fidelity(runtime::Experiment& exp);
 
+/// `mobiwlan-bench --scale` configuration (bench/suite/scale.cpp).
+struct ScaleOptions {
+  std::size_t jobs = 1;       ///< pool workers for the agreement/shard passes
+  std::uint64_t seed = 0;     ///< master seed (driver passes --seed)
+  double min_time_s = 1.0;    ///< per timing measurement
+  bool check = false;         ///< gate against the baseline's gate_scale_* keys
+  std::string out = "BENCH_scale.json";
+  std::string baseline = "ci/perf_baseline.json";
+};
+
+/// The AP-scale throughput bench: 64 APs x 512 clients, batched-vs-per-link
+/// equivalence + throughput + thread-scaling ladder + steady-state alloc
+/// count. Everything in the JSON except `timing_*` keys is byte-identical
+/// across `jobs`. Returns a process exit code.
+int run_scale_bench(const ScaleOptions& opt);
+
 }  // namespace mobiwlan::benchsuite

@@ -4,12 +4,15 @@
 #   2. runtime determinism check: mobiwlan-bench at --jobs 1 vs --jobs 8
 #      must produce byte-identical JSON outside the "timing" lines;
 #   3. perf-regression smoke gate: ci/perf_gate.sh with a short per-case
-#      budget and the baseline's 25% tolerance band;
+#      budget and the baseline's 25% tolerance band (microbench cases plus
+#      the AP-scale throughput bench and its speedup/alloc gates);
 #   4. statistical paper-fidelity gate: ci/fidelity_gate.sh checks the core
 #      experiment statistics against ci/fidelity_baseline.json and diffs the
 #      --jobs 1 vs --jobs 8 reports;
-#   5. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
-#      runtime thread-pool and experiment tests.
+#   5. scale determinism: the AP-scale bench JSON at --jobs 1 vs --jobs 8
+#      must be byte-identical outside the timing_* lines;
+#   6. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
+#      runtime thread-pool, experiment, and parallel_for tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,11 +41,25 @@ PERF_MIN_TIME="${PERF_MIN_TIME:-0.2}" ./ci/perf_gate.sh
 echo "== fidelity gate: paper-shape statistics =="
 ./ci/fidelity_gate.sh
 
+echo "== scale determinism: --jobs 1 vs --jobs 8 =="
+./build/bench/mobiwlan-bench --scale --jobs 8 --perf-min-time 0.05 \
+  --scale-out /tmp/mobiwlan_scale_a.json >/dev/null
+./build/bench/mobiwlan-bench --scale --jobs 1 --perf-min-time 0.05 \
+  --scale-out /tmp/mobiwlan_scale_b.json >/dev/null
+if ! diff <(grep -v '"timing' /tmp/mobiwlan_scale_a.json) \
+          <(grep -v '"timing' /tmp/mobiwlan_scale_b.json); then
+  echo "FAIL: scale results differ between --jobs 8 and --jobs 1" >&2
+  exit 1
+fi
+echo "ok: scale results byte-identical modulo timing"
+
 echo "== ThreadSanitizer: runtime tests =="
 cmake -B build-tsan -S . -DMOBIWLAN_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j"${JOBS}" --target thread_pool_test experiment_test
+cmake --build build-tsan -j"${JOBS}" \
+  --target thread_pool_test experiment_test parallel_for_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/experiment_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_for_test
 
 echo "== all checks passed =="

@@ -1,23 +1,31 @@
 #!/usr/bin/env bash
 # ci/perf_gate.sh — perf-regression gate for the channel hot loops.
 #
-# Runs mobiwlan-bench --perf and fails if any case regresses past the gate_*
-# values in ci/perf_baseline.json by more than the baseline's tolerance band
-# (default 25%), or if a hot loop starts allocating. The gate values are
-# wall-clock numbers from one reference host; the tolerance absorbs normal
-# host-to-host and run-to-run variance, so a failure means a real regression,
-# not noise. Refresh after an intentional perf change with:
+# Two bench runs against the gate_* values in ci/perf_baseline.json:
+#   1. mobiwlan-bench --perf: the per-op microbench cases, failing on any
+#      case past the baseline's tolerance band (default 25%) or any hot
+#      loop that starts allocating;
+#   2. mobiwlan-bench --scale: the AP-scale throughput bench (64 APs x 512
+#      clients), gating the batched sample time, the batch-vs-per-link
+#      speedup floor, and the zero-allocation steady state. The bench also
+#      enforces batched-vs-per-link agreement on every run.
+# The gate values are wall-clock numbers from one reference host; the
+# tolerance absorbs normal host-to-host and run-to-run variance, so a
+# failure means a real regression, not noise. Refresh after an intentional
+# perf change with:
 #   ./build/bench/mobiwlan-bench --perf
-# and copy the new *_ns/*_allocs values into ci/perf_baseline.json as gate_*.
+#   ./build/bench/mobiwlan-bench --scale
+# and copy the new values into ci/perf_baseline.json as gate_*.
 #
-# PERF_MIN_TIME sets seconds per case (default 0.2 for a quick CI smoke run;
-# use >= 1.0 when refreshing the baseline).
+# PERF_MIN_TIME sets seconds per case/measurement (default 0.2 for a quick
+# CI smoke run; use >= 1.0 when refreshing the baseline).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-./build/bench/mobiwlan-bench}"
 MIN_TIME="${PERF_MIN_TIME:-0.2}"
 OUT="${PERF_OUT:-/tmp/mobiwlan_perf.json}"
+SCALE_OUT="${SCALE_OUT:-/tmp/mobiwlan_scale.json}"
 
 if [[ ! -x "${BENCH}" ]]; then
   echo "FAIL: ${BENCH} not built (run cmake --build build first)" >&2
@@ -27,4 +35,9 @@ fi
 "${BENCH}" --perf --perf-check \
   --perf-min-time "${MIN_TIME}" \
   --perf-out "${OUT}" \
+  --perf-baseline ci/perf_baseline.json
+
+"${BENCH}" --scale --scale-check \
+  --perf-min-time "${MIN_TIME}" \
+  --scale-out "${SCALE_OUT}" \
   --perf-baseline ci/perf_baseline.json

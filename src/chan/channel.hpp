@@ -33,6 +33,8 @@
 
 namespace mobiwlan {
 
+class ChannelBatch;
+
 /// How much the environment itself moves (paper §2.1: quiet lab vs cafeteria
 /// at lunch hour; Fig. 2b further splits environmental into weak and strong).
 enum class EnvironmentalActivity { kNone, kWeak, kStrong };
@@ -197,6 +199,13 @@ class WirelessChannel {
   const Trajectory& trajectory() const { return *trajectory_; }
 
  private:
+  // The batched multi-link engine (chan/channel_batch.hpp) re-implements the
+  // geometry + synthesis hot path over many links at once; it reads the
+  // private realization state (scatterers, shadow field) and drives rng_
+  // through the exact per-link draw sequence, so batched and per-link
+  // sampling stay numerically equivalent (<= 1e-12) with identical RNG state.
+  friend class ChannelBatch;
+
   struct Scatterer {
     Vec2 home;
     double reflection_loss_db;

@@ -1,0 +1,749 @@
+#include "chan/channel_batch.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/fastmath.hpp"
+#include "util/simd.hpp"
+#include "util/simd_math.hpp"
+#include "util/units.hpp"
+
+namespace mobiwlan {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+constexpr double kLog2Ten_Over20 = 0.16609640474436813;  // log2(10)/20
+constexpr double kLog2Ten_Over10 = 0.33219280948873623;  // log2(10)/10
+constexpr double kInvLn10 = 0.43429448190325176;         // 1/ln(10)
+
+// sqrt(dx^2 + dy^2) instead of Vec2::norm()'s std::hypot: the overflow
+// protection hypot buys costs ~7x at these magnitudes, and floor-plan
+// coordinates are metres — squares cannot overflow. ~1 ulp apart.
+double fast_distance(Vec2 a, Vec2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double sin_checked(double x) {
+  if (std::abs(x) > fastmath::kSincosWideMaxArg) [[unlikely]]
+    return std::sin(x);
+  return fastmath::sin_wide(x);
+}
+
+// 10 * log10(mw) / 10^(db/10) with the fastmath kernels — the per-sample
+// dBm conversions cost a libm log10 + pow each on the per-link path.
+double fast_mw_to_dbm(double mw) { return 10.0 * fastmath::log10_pos(mw); }
+double fast_db_to_linear(double db) { return std::exp2(db * kLog2Ten_Over10); }
+double fast_noise_floor_dbm(const ChannelConfig& cfg) {
+  return kThermalNoiseDbmPerHz + 10.0 * fastmath::log10_pos(cfg.bandwidth_hz) +
+         cfg.noise_figure_db;
+}
+
+// Four interleaved per-subcarrier phasor chains (each stepping by step^4),
+// seeded from the path's start phasor. Mirrors the chain seeding in
+// WirelessChannel::synthesize_into exactly.
+struct PathChains {
+  double br[4];
+  double bi[4];
+  double s4r;
+  double s4i;
+};
+
+PathChains seed_chains(cplx start, cplx step) {
+  PathChains pc;
+  pc.br[0] = start.real();
+  pc.bi[0] = start.imag();
+  const double sr1 = step.real();
+  const double si1 = step.imag();
+  for (int j = 1; j < 4; ++j) {
+    pc.br[j] = pc.br[j - 1] * sr1 - pc.bi[j - 1] * si1;
+    pc.bi[j] = pc.br[j - 1] * si1 + pc.bi[j - 1] * sr1;
+  }
+  const double s2r = sr1 * sr1 - si1 * si1;
+  const double s2i = 2.0 * sr1 * si1;
+  pc.s4r = s2r * s2r - s2i * s2i;
+  pc.s4i = 2.0 * s2r * s2i;
+  return pc;
+}
+
+void fill_base_scalar(const PathChains& pc, double* bre, double* bim,
+                      std::size_t n_sc) {
+  double br[4], bi[4];
+  for (int j = 0; j < 4; ++j) {
+    br[j] = pc.br[j];
+    bi[j] = pc.bi[j];
+  }
+  std::size_t sc = 0;
+  for (; sc + 4 <= n_sc; sc += 4) {
+    for (int j = 0; j < 4; ++j) {
+      bre[sc + j] = br[j];
+      bim[sc + j] = bi[j];
+      const double nr = br[j] * pc.s4r - bi[j] * pc.s4i;
+      bi[j] = br[j] * pc.s4i + bi[j] * pc.s4r;
+      br[j] = nr;
+    }
+  }
+  for (int j = 0; sc < n_sc; ++sc, ++j) {
+    bre[sc] = br[j];
+    bim[sc] = bi[j];
+  }
+}
+
+#if defined(__x86_64__)
+
+// Vector recurrence with four independent 4-lane block chains stepping by
+// step^16: the serial dependency that latency-binds the scalar recurrence is
+// split four ways, so the chain multiplies pipeline. Association differs
+// from the scalar chain by a handful of rounding steps (~1e-15 relative),
+// inside the batch's 1e-12 equivalence budget.
+__attribute__((target("avx2,fma"))) void fill_base_avx2(const PathChains& pc,
+                                                        double* bre,
+                                                        double* bim,
+                                                        std::size_t n_sc) {
+  __m256d c_re[4], c_im[4];
+  c_re[0] = _mm256_loadu_pd(pc.br);
+  c_im[0] = _mm256_loadu_pd(pc.bi);
+  const __m256d s4r = _mm256_set1_pd(pc.s4r);
+  const __m256d s4i = _mm256_set1_pd(pc.s4i);
+  for (int j = 1; j < 4; ++j) {
+    c_re[j] =
+        _mm256_fmsub_pd(c_re[j - 1], s4r, _mm256_mul_pd(c_im[j - 1], s4i));
+    c_im[j] =
+        _mm256_fmadd_pd(c_re[j - 1], s4i, _mm256_mul_pd(c_im[j - 1], s4r));
+  }
+  const double s8r = pc.s4r * pc.s4r - pc.s4i * pc.s4i;
+  const double s8i = 2.0 * pc.s4r * pc.s4i;
+  const __m256d s16r = _mm256_set1_pd(s8r * s8r - s8i * s8i);
+  const __m256d s16i = _mm256_set1_pd(2.0 * s8r * s8i);
+
+  const std::size_t nbt = (n_sc + 3) / 4;  // blocks incl. a partial tail
+  std::size_t b = 0;
+  for (;;) {
+    const std::size_t m = std::min<std::size_t>(4, nbt - b);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t sc = 4 * (b + j);
+      if (sc + 4 <= n_sc) {
+        _mm256_storeu_pd(bre + sc, c_re[j]);
+        _mm256_storeu_pd(bim + sc, c_im[j]);
+      } else {
+        alignas(32) double tr[4], ti[4];
+        _mm256_store_pd(tr, c_re[j]);
+        _mm256_store_pd(ti, c_im[j]);
+        for (std::size_t l = 0; sc + l < n_sc; ++l) {
+          bre[sc + l] = tr[l];
+          bim[sc + l] = ti[l];
+        }
+      }
+    }
+    b += m;
+    if (b >= nbt) break;
+    for (int j = 0; j < 4; ++j) {
+      const __m256d nr =
+          _mm256_fmsub_pd(c_re[j], s16r, _mm256_mul_pd(c_im[j], s16i));
+      c_im[j] = _mm256_fmadd_pd(c_re[j], s16i, _mm256_mul_pd(c_im[j], s16r));
+      c_re[j] = nr;
+    }
+  }
+}
+
+// Register-blocked fused MAC for one block of NB antenna pairs: all NB
+// re/im accumulators for a 4-subcarrier slice stay in ymm registers while
+// the path loop runs, and the slice is stored interleaved straight into the
+// CsiMatrix. Per element the accumulation is
+//   acc_re = fmadd(sr, b_re, fnmadd(si, b_im, acc_re))
+//   acc_im = fmadd(sr, b_im, fmadd(si, b_re, acc_im))
+// in path order — the identical operation sequence the per-link
+// mac_pair_avx2 kernel performs, so the blocked accumulation matches it
+// bitwise. The wideband power accumulates during the store (order differs
+// from CsiMatrix::mean_power; it only feeds the noise variance).
+template <int NB>
+__attribute__((target("avx2,fma"))) void mac_block_avx2(
+    const double* base, const double* steer, std::size_t n_paths,
+    std::size_t n_pairs, std::size_t pair0, std::size_t n_sc, cplx* raw,
+    double& power) {
+  __m256d vpow = _mm256_setzero_pd();
+  std::size_t sc = 0;
+  for (; sc + 4 <= n_sc; sc += 4) {
+    // The NB loops must fully unroll: only then do the accumulator arrays
+    // get register-allocated (12 ymm accumulators + 4 operands fit the 16
+    // AVX registers at NB == 6). Left rolled, GCC keeps them as stack
+    // arrays and every FMA round-trips through memory.
+    __m256d acc_re[NB], acc_im[NB];
+#pragma GCC unroll 8
+    for (int k = 0; k < NB; ++k) {
+      acc_re[k] = _mm256_setzero_pd();
+      acc_im[k] = _mm256_setzero_pd();
+    }
+    for (std::size_t p = 0; p < n_paths; ++p) {
+      const double* bplane = base + p * 2 * n_sc;
+      const __m256d b_re = _mm256_loadu_pd(bplane + sc);
+      const __m256d b_im = _mm256_loadu_pd(bplane + n_sc + sc);
+      const double* st = steer + (p * n_pairs + pair0) * 2;
+#pragma GCC unroll 8
+      for (int k = 0; k < NB; ++k) {
+        const __m256d sr = _mm256_set1_pd(st[2 * k]);
+        const __m256d si = _mm256_set1_pd(st[2 * k + 1]);
+        acc_re[k] =
+            _mm256_fmadd_pd(sr, b_re, _mm256_fnmadd_pd(si, b_im, acc_re[k]));
+        acc_im[k] =
+            _mm256_fmadd_pd(sr, b_im, _mm256_fmadd_pd(si, b_re, acc_im[k]));
+      }
+    }
+#pragma GCC unroll 8
+    for (int k = 0; k < NB; ++k) {
+      const __m256d lo = _mm256_unpacklo_pd(acc_re[k], acc_im[k]);
+      const __m256d hi = _mm256_unpackhi_pd(acc_re[k], acc_im[k]);
+      double* dst = reinterpret_cast<double*>(raw + (pair0 + k) * n_sc + sc);
+      _mm256_storeu_pd(dst, _mm256_permute2f128_pd(lo, hi, 0x20));
+      _mm256_storeu_pd(dst + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+      vpow = _mm256_fmadd_pd(acc_re[k], acc_re[k],
+                             _mm256_fmadd_pd(acc_im[k], acc_im[k], vpow));
+    }
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vpow);
+  power += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; sc < n_sc; ++sc) {
+    for (int k = 0; k < NB; ++k) {
+      double are = 0.0, aim = 0.0;
+      for (std::size_t p = 0; p < n_paths; ++p) {
+        const double* bplane = base + p * 2 * n_sc;
+        const double sr = steer[(p * n_pairs + pair0 + k) * 2];
+        const double si = steer[(p * n_pairs + pair0 + k) * 2 + 1];
+        are += sr * bplane[sc] - si * bplane[n_sc + sc];
+        aim += sr * bplane[n_sc + sc] + si * bplane[sc];
+      }
+      raw[(pair0 + k) * n_sc + sc] = cplx{are, aim};
+      power += are * are + aim * aim;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void fused_mac_avx2(
+    const double* base, const double* steer, std::size_t n_paths,
+    std::size_t n_pairs, std::size_t n_sc, cplx* raw, double& power) {
+  power = 0.0;
+  for (std::size_t pair0 = 0; pair0 < n_pairs; pair0 += 6) {
+    switch (std::min<std::size_t>(6, n_pairs - pair0)) {
+      case 6:
+        mac_block_avx2<6>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                          power);
+        break;
+      case 5:
+        mac_block_avx2<5>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                          power);
+        break;
+      case 4:
+        mac_block_avx2<4>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                          power);
+        break;
+      case 3:
+        mac_block_avx2<3>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                          power);
+        break;
+      case 2:
+        mac_block_avx2<2>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                          power);
+        break;
+      default:
+        mac_block_avx2<1>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                          power);
+        break;
+    }
+  }
+}
+
+// Staged 4-lane helpers over lane-padded arrays (n a multiple of 4).
+__attribute__((target("avx2,fma"))) void vsincos_n(const double* x,
+                                                   std::size_t n, double* s,
+                                                   double* c) {
+  for (std::size_t i = 0; i < n; i += 4) {
+    __m256d vs, vc;
+    simdmath::vsincos(_mm256_loadu_pd(x + i), vs, vc);
+    _mm256_storeu_pd(s + i, vs);
+    _mm256_storeu_pd(c + i, vc);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void vsqrt_n(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; i += 4)
+    _mm256_storeu_pd(x + i, _mm256_sqrt_pd(_mm256_loadu_pd(x + i)));
+}
+
+// amp[i] = 10^((base_db - extra[i] - coef*log10(max(len[i], 1))) / 20) — the
+// whole log-distance amplitude pipeline in one pass (port of
+// WirelessChannel::path_amplitude via log_pos + exp2).
+__attribute__((target("avx2,fma"))) void vamp_n(const double* len,
+                                                const double* extra,
+                                                std::size_t n, double base_db,
+                                                double coef, double* amp) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  for (std::size_t i = 0; i < n; i += 4) {
+    const __m256d l = _mm256_max_pd(_mm256_loadu_pd(len + i), one);
+    const __m256d lg =
+        _mm256_mul_pd(simdmath::vlog_pos(l), _mm256_set1_pd(kInvLn10));
+    const __m256d db = _mm256_sub_pd(
+        _mm256_sub_pd(_mm256_set1_pd(base_db), _mm256_loadu_pd(extra + i)),
+        _mm256_mul_pd(_mm256_set1_pd(coef), lg));
+    _mm256_storeu_pd(
+        amp + i,
+        simdmath::vexp2(_mm256_mul_pd(db, _mm256_set1_pd(kLog2Ten_Over20))));
+  }
+}
+
+#endif  // __x86_64__
+
+std::size_t pad4(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+
+}  // namespace
+
+struct ChannelBatch::SynthSpec {
+  bool avx2 = false;  ///< dispatch resolved once per range call
+};
+
+// Scalar geometry pass (MOBIWLAN_FORCE_SCALAR / non-AVX2 hosts, and the
+// bail-out for oscillator arguments beyond the fastmath range). Mirrors
+// WirelessChannel::path_geometries_into with the extended-range fastmath
+// kernels in place of libm (sin, hypot, log10, pow): every value agrees to
+// well under 1e-12 relative with the per-link pass.
+void ChannelBatch::geometries_scalar(const WirelessChannel& ch, double t,
+                                     Scratch& scratch) const {
+  const ChannelConfig& cfg = ch.config_;
+  std::vector<WirelessChannel::PathGeometry>& paths = scratch.geom.paths;
+  paths.clear();
+  paths.reserve(ch.scatterers_.size() + 1);
+
+  const Vec2 client = ch.trajectory_->position(t);
+
+  double shadow = 0.0;
+  if (!ch.shadow_waves_.empty() && cfg.shadow_sigma_db != 0.0) {
+    double sum = 0.0;
+    for (const auto& w : ch.shadow_waves_)
+      sum += sin_checked(w.k.dot(client) + w.phase);
+    shadow = cfg.shadow_sigma_db * sum /
+             std::sqrt(static_cast<double>(ch.shadow_waves_.size()) / 2.0);
+  }
+
+  double blockage = 0.0;
+  for (const auto& s : ch.scatterers_) {
+    if (s.blockage_depth_db == 0.0) continue;
+    const double phase =
+        sin_checked(2.0 * kPi * s.motion_freq_hz * t + s.motion_phase);
+    const double pulse = std::max(0.0, phase);
+    blockage += s.blockage_depth_db * pulse * pulse * pulse * pulse;
+  }
+
+  const double base_db = cfg.tx_power_dbm - cfg.ref_loss_db;
+  auto amplitude_for = [&](double length_m, double extra_loss_db) {
+    // path_amplitude: sqrt(dbm_to_mw(tx - ref - 10*n*log10(len) - extra))
+    // == 10^((tx - ref - extra - 10*n*log10(len))/20), via exp2 and the
+    // fastmath log10 instead of pow/log10.
+    const double length = std::max(length_m, 1.0);
+    return fastmath::db_to_amplitude(
+        base_db - extra_loss_db -
+        10.0 * cfg.path_loss_exponent * fastmath::log10_pos(length));
+  };
+
+  {
+    WirelessChannel::PathGeometry los;
+    los.length_m = fast_distance(ch.ap_pos_, client);
+    const double obstruction =
+        cfg.los_obstruction_db_per_m * std::max(0.0, los.length_m - 5.0);
+    los.amplitude =
+        amplitude_for(los.length_m, shadow + obstruction + blockage);
+    los.phase0 = 0.0;
+    const Vec2 d = client - ch.ap_pos_;
+    los.cos_aod = los.length_m > 0.0 ? d.x / los.length_m : 1.0;
+    los.cos_aoa = los.length_m > 0.0 ? -d.x / los.length_m : 1.0;
+    paths.push_back(los);
+  }
+
+  for (const auto& s : ch.scatterers_) {
+    Vec2 sp = s.home;
+    if (s.motion_amplitude_m != 0.0) {
+      const double sway =
+          s.motion_amplitude_m *
+          sin_checked(2.0 * kPi * s.motion_freq_hz * t + s.motion_phase);
+      sp = s.home + s.motion_dir * sway;
+    }
+    WirelessChannel::PathGeometry p;
+    const double out_len = fast_distance(ch.ap_pos_, sp);
+    const double in_len = fast_distance(sp, client);
+    p.length_m = out_len + in_len;
+    p.amplitude = amplitude_for(p.length_m, s.reflection_loss_db + shadow);
+    p.phase0 = s.reflection_phase;
+    const Vec2 out = sp - ch.ap_pos_;
+    const Vec2 in = sp - client;
+    p.cos_aod = out_len > 0.0 ? out.x / out_len : 1.0;
+    p.cos_aoa = in_len > 0.0 ? in.x / in_len : 1.0;
+    paths.push_back(p);
+  }
+}
+
+void ChannelBatch::geometries(const WirelessChannel& ch, double t,
+                              const SynthSpec& spec, Scratch& s) const {
+#if defined(__x86_64__)
+  if (!spec.avx2) {
+    geometries_scalar(ch, t, s);
+    return;
+  }
+  // Staged vector pass: gather every oscillator argument / squared length /
+  // loss exponent of the sample into lane-padded planes and run each
+  // transcendental family once, 4 lanes at a time. Values agree with the
+  // scalar pass to ~1 ulp per kernel (same fdlibm evaluation order), and
+  // the per-scatterer pacing sine is computed once and shared between the
+  // blockage pulse and the sway displacement (identical argument).
+  const ChannelConfig& cfg = ch.config_;
+  const std::size_t n_scat = ch.scatterers_.size();
+  const std::size_t n_waves =
+      (cfg.shadow_sigma_db != 0.0) ? ch.shadow_waves_.size() : 0;
+  const Vec2 client = ch.trajectory_->position(t);
+
+  // Stage 1: shadow-field and pacing oscillator arguments.
+  const std::size_t n_osc = n_waves + n_scat;
+  s.arg.resize(pad4(n_osc));
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < n_waves; ++i) {
+    s.arg[i] = ch.shadow_waves_[i].k.dot(client) + ch.shadow_waves_[i].phase;
+    max_abs = std::max(max_abs, std::abs(s.arg[i]));
+  }
+  for (std::size_t j = 0; j < n_scat; ++j) {
+    const auto& sc = ch.scatterers_[j];
+    s.arg[n_waves + j] = 2.0 * kPi * sc.motion_freq_hz * t + sc.motion_phase;
+    max_abs = std::max(max_abs, std::abs(s.arg[n_waves + j]));
+  }
+  if (max_abs > fastmath::kSincosWideMaxArg) [[unlikely]] {
+    geometries_scalar(ch, t, s);
+    return;
+  }
+  for (std::size_t i = n_osc; i < s.arg.size(); ++i) s.arg[i] = 0.0;
+  s.sinv.resize(s.arg.size());
+  s.cosv.resize(s.arg.size());
+  vsincos_n(s.arg.data(), s.arg.size(), s.sinv.data(), s.cosv.data());
+  const double* mover_sin = s.sinv.data() + n_waves;
+
+  double shadow = 0.0;
+  if (n_waves != 0) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n_waves; ++i) sum += s.sinv[i];
+    shadow = cfg.shadow_sigma_db * sum /
+             std::sqrt(static_cast<double>(n_waves) / 2.0);
+  }
+  double blockage = 0.0;
+  for (std::size_t j = 0; j < n_scat; ++j) {
+    const double depth = ch.scatterers_[j].blockage_depth_db;
+    if (depth == 0.0) continue;
+    const double pulse = std::max(0.0, mover_sin[j]);
+    blockage += depth * pulse * pulse * pulse * pulse;
+  }
+
+  // Stage 2: leg vectors and squared lengths (index 0 = LOS, then the
+  // out/in legs of each scatterer), then one vector sqrt pass.
+  const std::size_t n_legs = 1 + 2 * n_scat;
+  s.len.resize(pad4(n_legs));
+  s.dxs.resize(pad4(n_legs));
+  {
+    const double dx = client.x - ch.ap_pos_.x;
+    const double dy = client.y - ch.ap_pos_.y;
+    s.len[0] = dx * dx + dy * dy;
+    s.dxs[0] = dx;
+  }
+  for (std::size_t j = 0; j < n_scat; ++j) {
+    const auto& sc = ch.scatterers_[j];
+    Vec2 sp = sc.home;
+    if (sc.motion_amplitude_m != 0.0) {
+      const double sway = sc.motion_amplitude_m * mover_sin[j];
+      sp = sc.home + sc.motion_dir * sway;
+    }
+    const double ox = sp.x - ch.ap_pos_.x;
+    const double oy = sp.y - ch.ap_pos_.y;
+    const double ix = sp.x - client.x;
+    const double iy = sp.y - client.y;
+    s.len[1 + 2 * j] = ox * ox + oy * oy;
+    s.dxs[1 + 2 * j] = ox;
+    s.len[2 + 2 * j] = ix * ix + iy * iy;
+    s.dxs[2 + 2 * j] = ix;
+  }
+  for (std::size_t i = n_legs; i < s.len.size(); ++i) s.len[i] = 1.0;
+  vsqrt_n(s.len.data(), s.len.size());
+
+  // Stage 3: per-path total lengths and extra losses, then one vector
+  // log10 + exp2 pass for every amplitude. arg/cosv are re-carved for the
+  // per-path planes (their oscillator contents are fully consumed).
+  const std::size_t n_paths = n_scat + 1;
+  s.arg.resize(pad4(n_paths));   // per-path total length
+  s.cosv.resize(pad4(n_paths));  // per-path extra loss (dB)
+  const double los_len = s.len[0];
+  s.arg[0] = los_len;
+  s.cosv[0] = shadow +
+              cfg.los_obstruction_db_per_m * std::max(0.0, los_len - 5.0) +
+              blockage;
+  for (std::size_t j = 0; j < n_scat; ++j) {
+    s.arg[1 + j] = s.len[1 + 2 * j] + s.len[2 + 2 * j];
+    s.cosv[1 + j] = ch.scatterers_[j].reflection_loss_db + shadow;
+  }
+  for (std::size_t i = n_paths; i < s.arg.size(); ++i) {
+    s.arg[i] = 1.0;
+    s.cosv[i] = 0.0;
+  }
+  s.amp.resize(s.arg.size());
+  vamp_n(s.arg.data(), s.cosv.data(), s.arg.size(),
+         cfg.tx_power_dbm - cfg.ref_loss_db, 10.0 * cfg.path_loss_exponent,
+         s.amp.data());
+
+  // Stage 4: assemble the PathGeometry records (LOS first, then one per
+  // scatterer — identical ordering and angle conventions to the per-link
+  // pass).
+  std::vector<WirelessChannel::PathGeometry>& paths = s.geom.paths;
+  paths.clear();
+  paths.reserve(n_paths);
+  {
+    WirelessChannel::PathGeometry los;
+    los.length_m = los_len;
+    los.amplitude = s.amp[0];
+    los.phase0 = 0.0;
+    los.cos_aod = los_len > 0.0 ? s.dxs[0] / los_len : 1.0;
+    los.cos_aoa = los_len > 0.0 ? -s.dxs[0] / los_len : 1.0;
+    paths.push_back(los);
+  }
+  for (std::size_t j = 0; j < n_scat; ++j) {
+    WirelessChannel::PathGeometry p;
+    const double out_len = s.len[1 + 2 * j];
+    const double in_len = s.len[2 + 2 * j];
+    p.length_m = s.arg[1 + j];
+    p.amplitude = s.amp[1 + j];
+    p.phase0 = ch.scatterers_[j].reflection_phase;
+    p.cos_aod = out_len > 0.0 ? s.dxs[1 + 2 * j] / out_len : 1.0;
+    p.cos_aoa = in_len > 0.0 ? s.dxs[2 + 2 * j] / in_len : 1.0;
+    paths.push_back(p);
+  }
+#else
+  (void)spec;
+  geometries_scalar(ch, t, s);
+#endif
+}
+
+void ChannelBatch::synthesize(const WirelessChannel& ch, const SynthSpec& spec,
+                              Scratch& scratch, CsiMatrix& out,
+                              double& power_mw) const {
+  const ChannelConfig& cfg = ch.config_;
+  const std::size_t n_sc = cfg.n_subcarriers;
+  const std::size_t n_pairs = cfg.n_tx * cfg.n_rx;
+  const std::size_t n_paths = scratch.geom.paths.size();
+  out.resize_for_overwrite(cfg.n_tx, cfg.n_rx, n_sc);
+  scratch.base.resize(n_paths * 2 * n_sc);
+  scratch.steer.resize(n_paths * n_pairs * 2);
+  const double half = static_cast<double>(n_sc - 1) / 2.0;
+
+  // Per-path phase set {step, start, tx steering, rx steering} — staged as
+  // one 4-lane sincos pass per path on the AVX2 path.
+  scratch.arg.resize(4 * n_paths);
+  scratch.sinv.resize(4 * n_paths);
+  scratch.cosv.resize(4 * n_paths);
+  bool wide_ok = true;
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    const WirelessChannel::PathGeometry& path = scratch.geom.paths[p];
+    const double tau = path.length_m / kSpeedOfLight;
+    const double centre_phase =
+        -2.0 * kPi * cfg.carrier_hz * tau + path.phase0;
+    scratch.arg[4 * p] = -2.0 * kPi * cfg.subcarrier_spacing_hz * tau;
+    scratch.arg[4 * p + 1] =
+        centre_phase + 2.0 * kPi * cfg.subcarrier_spacing_hz * tau * half;
+    scratch.arg[4 * p + 2] = -kPi * path.cos_aod;
+    scratch.arg[4 * p + 3] = -kPi * path.cos_aoa;
+    if (std::abs(scratch.arg[4 * p + 1]) > fastmath::kSincosWideMaxArg)
+      wide_ok = false;
+  }
+#if defined(__x86_64__)
+  const bool vec = spec.avx2 && wide_ok;
+  if (vec) {
+    vsincos_n(scratch.arg.data(), 4 * n_paths, scratch.sinv.data(),
+              scratch.cosv.data());
+  }
+#else
+  const bool vec = false;
+#endif
+  if (!vec) {
+    for (std::size_t i = 0; i < 4 * n_paths; ++i) {
+      const double x = scratch.arg[i];
+      if (std::abs(x) > fastmath::kSincosWideMaxArg) [[unlikely]] {
+        scratch.sinv[i] = std::sin(x);
+        scratch.cosv[i] = std::cos(x);
+      } else {
+        fastmath::sincos_wide(x, scratch.sinv[i], scratch.cosv[i]);
+      }
+    }
+  }
+
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    const double amp = scratch.geom.paths[p].amplitude;
+    const cplx step{scratch.cosv[4 * p], scratch.sinv[4 * p]};
+    const cplx start{amp * scratch.cosv[4 * p + 1],
+                     amp * scratch.sinv[4 * p + 1]};
+    const PathChains pc = seed_chains(start, step);
+    double* bplane = scratch.base.data() + p * 2 * n_sc;
+#if defined(__x86_64__)
+    if (spec.avx2)
+      fill_base_avx2(pc, bplane, bplane + n_sc, n_sc);
+    else
+      fill_base_scalar(pc, bplane, bplane + n_sc, n_sc);
+#else
+    fill_base_scalar(pc, bplane, bplane + n_sc, n_sc);
+#endif
+
+    // ULA steering phasor power chains, one row of the steering table per
+    // path — identical chain order to the per-link kernel.
+    const cplx w_tx{scratch.cosv[4 * p + 2], scratch.sinv[4 * p + 2]};
+    const cplx w_rx{scratch.cosv[4 * p + 3], scratch.sinv[4 * p + 3]};
+    double* st = scratch.steer.data() + p * n_pairs * 2;
+    cplx steer_tx{1.0, 0.0};
+    for (std::size_t tx = 0; tx < cfg.n_tx; ++tx) {
+      cplx steer = steer_tx;
+      for (std::size_t rx = 0; rx < cfg.n_rx; ++rx) {
+        *st++ = steer.real();
+        *st++ = steer.imag();
+        steer *= w_rx;
+      }
+      steer_tx *= w_tx;
+    }
+  }
+
+  double power_sum = 0.0;
+#if defined(__x86_64__)
+  if (spec.avx2) {
+    fused_mac_avx2(scratch.base.data(), scratch.steer.data(), n_paths,
+                   n_pairs, n_sc, out.raw().data(), power_sum);
+    power_mw = power_sum;
+    return;
+  }
+#endif
+  // Scalar fused MAC: per element the accumulation over paths uses the
+  // exact expressions of the per-link mac_pair_scalar kernel, in path order.
+  for (std::size_t pair = 0; pair < n_pairs; ++pair) {
+    for (std::size_t sc = 0; sc < n_sc; ++sc) {
+      double are = 0.0, aim = 0.0;
+      for (std::size_t p = 0; p < n_paths; ++p) {
+        const double* bplane = scratch.base.data() + p * 2 * n_sc;
+        const double sr = scratch.steer[(p * n_pairs + pair) * 2];
+        const double si = scratch.steer[(p * n_pairs + pair) * 2 + 1];
+        are += sr * bplane[sc] - si * bplane[n_sc + sc];
+        aim += sr * bplane[n_sc + sc] + si * bplane[sc];
+      }
+      out.raw()[pair * n_sc + sc] = cplx{are, aim};
+      power_sum += are * are + aim * aim;
+    }
+  }
+  power_mw = power_sum;
+}
+
+void ChannelBatch::sample_one(WirelessChannel& ch, const SynthSpec& spec,
+                              double t, ChannelSample& out, Scratch& scratch) {
+  out.t = t;
+  geometries(ch, t, spec, scratch);
+  double csi_power_sum = 0.0;
+  synthesize(ch, spec, scratch, out.csi, csi_power_sum);
+
+  const ChannelConfig& cfg = ch.config_;
+  const double signal_dbm =
+      fast_mw_to_dbm(WirelessChannel::total_power_mw(scratch.geom.paths));
+  const double link_snr = signal_dbm - fast_noise_floor_dbm(cfg);
+
+  // CSI noise with the variance the per-link add_csi_noise derives, using
+  // the power accumulated during the MAC store pass. Draw order (CSI noise,
+  // RSSI jitter, ToF jitter) matches sample_into, so per-link RNG state
+  // stays in lockstep with unbatched sampling.
+  const double snr =
+      std::min(link_snr + cfg.csi_processing_gain_db, cfg.csi_snr_cap_db);
+  const double mean_pow =
+      csi_power_sum / static_cast<double>(out.csi.raw().size());
+  const double noise_var = mean_pow / fast_db_to_linear(snr);
+  ch.rng_.add_complex_gaussian(out.csi.raw().data(), out.csi.raw().size(),
+                               noise_var);
+
+  const double raw_rssi = signal_dbm + ch.rng_.gaussian(0.0, cfg.rssi_noise_db);
+  const double q = cfg.rssi_quantum_db;
+  out.rssi_dbm = std::round(raw_rssi / q) * q;
+  out.snr_db = link_snr;
+
+  const double d = scratch.geom.paths.front().length_m;
+  const double rt_ns = 2.0 * d / kSpeedOfLight * 1e9;
+  const double measured_ns =
+      rt_ns + cfg.tof_bias_ns + ch.rng_.gaussian(0.0, cfg.tof_noise_ns);
+  out.tof_cycles = std::round(measured_ns * 1e-9 * cfg.tof_clock_hz);
+  out.true_distance_m = d;
+}
+
+void ChannelBatch::sample_range(double t, std::size_t begin, std::size_t end,
+                                ChannelSample* out, Scratch& scratch) {
+  const SynthSpec spec{simd::use_avx2fma()};
+  for (std::size_t i = begin; i < end; ++i)
+    sample_one(*links_[i], spec, t, out[i], scratch);
+}
+
+void ChannelBatch::csi_into(std::size_t i, double t, CsiMatrix& out,
+                            Scratch& scratch) {
+  WirelessChannel& ch = *links_[i];
+  const SynthSpec spec{simd::use_avx2fma()};
+  geometries(ch, t, spec, scratch);
+  double csi_power_sum = 0.0;
+  synthesize(ch, spec, scratch, out, csi_power_sum);
+
+  const ChannelConfig& cfg = ch.config_;
+  const double link_snr =
+      fast_mw_to_dbm(WirelessChannel::total_power_mw(scratch.geom.paths)) -
+      fast_noise_floor_dbm(cfg);
+  const double snr =
+      std::min(link_snr + cfg.csi_processing_gain_db, cfg.csi_snr_cap_db);
+  const double mean_pow = csi_power_sum / static_cast<double>(out.raw().size());
+  const double noise_var = mean_pow / fast_db_to_linear(snr);
+  ch.rng_.add_complex_gaussian(out.raw().data(), out.raw().size(), noise_var);
+}
+
+void ChannelBatch::csi_true_into(std::size_t i, double t, CsiMatrix& out,
+                                 Scratch& scratch) const {
+  const WirelessChannel& ch = *links_[i];
+  const SynthSpec spec{simd::use_avx2fma()};
+  geometries(ch, t, spec, scratch);
+  double csi_power_sum = 0.0;
+  synthesize(ch, spec, scratch, out, csi_power_sum);
+}
+
+void ChannelBatch::rssi_all(double t, Scratch& scratch) {
+  const SynthSpec spec{simd::use_avx2fma()};
+  scratch.rssi.resize(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    WirelessChannel& ch = *links_[i];
+    geometries(ch, t, spec, scratch);
+    const double raw =
+        fast_mw_to_dbm(WirelessChannel::total_power_mw(scratch.geom.paths)) +
+        ch.rng_.gaussian(0.0, ch.config_.rssi_noise_db);
+    const double q = ch.config_.rssi_quantum_db;
+    scratch.rssi[i] = std::round(raw / q) * q;
+  }
+}
+
+void ChannelBatch::tof_all(double t, double* out) {
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    out[i] = links_[i]->tof_cycles(t);
+}
+
+std::size_t ChannelBatch::strongest_link(double t, Scratch& scratch) {
+  rssi_all(t, scratch);
+  std::size_t best = 0;
+  double best_rssi = -1e9;
+  for (std::size_t i = 0; i < scratch.rssi.size(); ++i) {
+    if (scratch.rssi[i] > best_rssi) {
+      best_rssi = scratch.rssi[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace mobiwlan

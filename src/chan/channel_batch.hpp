@@ -1,0 +1,115 @@
+// channel_batch.hpp — batched multi-link channel engine.
+//
+// A ChannelBatch advances N independent AP-client links in one
+// structure-of-arrays pass. The per-link sampler (WirelessChannel::
+// sample_into) is already allocation-free, but it pays per-sample costs that
+// a batch can amortize or avoid:
+//
+//   * the AVX2/FMA dispatch (`simd::use_avx2fma()`) is resolved once per
+//     range call, not once per sample;
+//   * one scratch arena per *worker* holds the path geometries, the
+//     path-major base-phasor planes and the ULA steering table for every
+//     path of the link being synthesized, so the working set stays in L1
+//     across the whole batch;
+//   * the steer x base multiply-accumulate runs as a register-blocked fused
+//     kernel: all antenna-pair accumulators for a 4-subcarrier block live in
+//     registers while the path loop runs, and the result is stored directly
+//     into the CsiMatrix (interleaved), eliminating the per-pair
+//     accumulation planes, their zero-fill, and the final conversion pass;
+//   * the wideband power needed for the CSI noise variance is accumulated
+//     during that store instead of by a second pass over the matrix;
+//   * geometry phases use the extended-range fastmath kernels
+//     (fastmath::sincos_wide, log10_pos, db_to_amplitude) where the
+//     per-link path uses libm.
+//
+// Numerical contract: batched output is equivalent to N independent
+// `WirelessChannel::sample_into` calls to <= 1e-12 relative (the register
+// blocking preserves the per-element accumulation order over paths, so the
+// MAC itself is bitwise-identical to the per-link kernel; the fastmath
+// substitutions account for the tolerance). The RNG draw *sequence* per link
+// is identical, so per-link generator state stays in lockstep with the
+// unbatched engine — a link can move between batched and per-link sampling
+// mid-run without forking its randomness.
+//
+// Thread safety: links may be partitioned across workers (e.g. via
+// ThreadPool::parallel_for) as long as every worker owns a disjoint link
+// range and its own Scratch — sampling mutates only per-link state (rng_)
+// and the caller's buffers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chan/channel.hpp"
+#include "phy/csi.hpp"
+
+namespace mobiwlan {
+
+/// Batched view over N independent links (non-owning).
+class ChannelBatch {
+ public:
+  /// Per-worker workspace. All buffers grow to the batch's maximum path /
+  /// antenna counts on first use and are reused thereafter: sampling through
+  /// a retained Scratch performs zero heap allocations in steady state.
+  struct Scratch {
+    WirelessChannel::PathScratch geom;  ///< path geometries (paths vector)
+    std::vector<double> base;   ///< path-major phasor planes: [path][re|im][sc]
+    std::vector<double> steer;  ///< ULA steering phasors: [path][pair][re,im]
+    std::vector<double> rssi;   ///< per-link RSSI plane for scans
+    // Staging planes for the 4-lane transcendental passes (oscillator
+    // arguments, squared lengths, loss exponents), padded to lane multiples.
+    std::vector<double> arg, sinv, cosv, len, dxs, amp;
+  };
+
+  ChannelBatch() = default;
+
+  /// Registers a link. The channel must outlive the batch; construction
+  /// order fixes the link index used by the range calls.
+  void add_link(WirelessChannel* channel) { links_.push_back(channel); }
+
+  std::size_t size() const { return links_.size(); }
+  WirelessChannel& link(std::size_t i) { return *links_[i]; }
+  const WirelessChannel& link(std::size_t i) const { return *links_[i]; }
+
+  /// Full observations (CSI + RSSI + SNR + ToF) for links [begin, end) at
+  /// time t, into out[begin..end). Draw order per link matches
+  /// WirelessChannel::sample_into. Allocation-free in steady state.
+  void sample_range(double t, std::size_t begin, std::size_t end,
+                    ChannelSample* out, Scratch& scratch);
+
+  /// Measured (noisy) CSI for one link — the classifier cadence entry point.
+  void csi_into(std::size_t i, double t, CsiMatrix& out, Scratch& scratch);
+
+  /// Noiseless CSI for one link (no RNG draws).
+  void csi_true_into(std::size_t i, double t, CsiMatrix& out,
+                     Scratch& scratch) const;
+
+  /// Quantized RSSI for every link at time t into scratch.rssi — the roaming
+  /// scan as one pass (one geometry evaluation per link, same per-link draw
+  /// order as WirelessChannel::rssi_dbm).
+  void rssi_all(double t, Scratch& scratch);
+
+  /// One noisy ToF reading per link at time t into out[0..size()) — the
+  /// neighbor-AP ToF sweep as one pass.
+  void tof_all(double t, double* out);
+
+  /// Link index with the strongest RSSI at time t (draws one RSSI reading
+  /// per link, in link order — same contract as WlanDeployment's scan).
+  std::size_t strongest_link(double t, Scratch& scratch);
+
+ private:
+  struct SynthSpec;  // resolved kernel + layout for one range call
+
+  void geometries(const WirelessChannel& ch, double t, const SynthSpec& spec,
+                  Scratch& scratch) const;
+  void geometries_scalar(const WirelessChannel& ch, double t,
+                         Scratch& scratch) const;
+  void synthesize(const WirelessChannel& ch, const SynthSpec& spec,
+                  Scratch& scratch, CsiMatrix& out, double& power_mw) const;
+  void sample_one(WirelessChannel& ch, const SynthSpec& spec, double t,
+                  ChannelSample& out, Scratch& scratch);
+
+  std::vector<WirelessChannel*> links_;
+};
+
+}  // namespace mobiwlan

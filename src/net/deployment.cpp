@@ -10,20 +10,14 @@ WlanDeployment::WlanDeployment(std::vector<Vec2> ap_positions,
   for (const Vec2 pos : positions_) {
     channels_.push_back(
         std::make_unique<WirelessChannel>(config, pos, client_, rng.split()));
+    batch_.add_link(channels_.back().get());
   }
 }
 
 std::size_t WlanDeployment::strongest_ap(double t) {
-  std::size_t best = 0;
-  double best_rssi = -1e9;
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    const double rssi = channels_[i]->rssi_dbm(t);
-    if (rssi > best_rssi) {
-      best_rssi = rssi;
-      best = i;
-    }
-  }
-  return best;
+  // Batched scan: one RSSI draw per AP in AP order, first-wins argmax —
+  // the same contract as the per-link rssi_dbm loop it replaces.
+  return batch_.strongest_link(t, scratch_);
 }
 
 std::vector<Vec2> WlanDeployment::corridor_layout(std::size_t n_aps,

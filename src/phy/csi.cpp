@@ -13,6 +13,14 @@ void CsiMatrix::resize(std::size_t n_tx, std::size_t n_rx,
   data_.assign(n_tx * n_rx * n_subcarriers, cplx{});
 }
 
+void CsiMatrix::resize_for_overwrite(std::size_t n_tx, std::size_t n_rx,
+                                     std::size_t n_subcarriers) {
+  n_tx_ = n_tx;
+  n_rx_ = n_rx;
+  n_sc_ = n_subcarriers;
+  data_.resize(n_tx * n_rx * n_subcarriers);
+}
+
 std::vector<double> CsiMatrix::magnitudes(std::size_t tx, std::size_t rx) const {
   std::vector<double> out;
   magnitudes_into(tx, rx, out);

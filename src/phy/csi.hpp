@@ -31,6 +31,12 @@ class CsiMatrix {
   /// that recycle one matrix).
   void resize(std::size_t n_tx, std::size_t n_rx, std::size_t n_subcarriers);
 
+  /// Re-dimensions without the zero-fill — for producers that overwrite
+  /// every entry (the batched synthesis kernel stores the accumulated CSI
+  /// directly). Entries are unspecified until written.
+  void resize_for_overwrite(std::size_t n_tx, std::size_t n_rx,
+                            std::size_t n_subcarriers);
+
   std::size_t n_tx() const { return n_tx_; }
   std::size_t n_rx() const { return n_rx_; }
   std::size_t n_subcarriers() const { return n_sc_; }

@@ -1,5 +1,6 @@
 #include "runtime/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <exception>
@@ -35,44 +36,81 @@ void Experiment::run_indexed(std::size_t count,
   next_stream_ += count;
   if (count == 0) return;
 
-  // Each job writes only its own slot; no lock needed for timings.
-  std::vector<JobTiming> timings(count);
+  // One shared context per fan-out: each queued task captures only a
+  // pointer to it plus its index, so the whole batch enqueues through
+  // TaskFn's inline buffer (no per-job heap allocation) and post_many pays
+  // the queue lock and the worker wakeup once.
+  struct Ctx {
+    const std::function<void(Trial&)>* body;
+    Rng* master;
+    std::uint64_t base_stream;
+    Clock::time_point submitted;
+    std::vector<JobTiming> timings;  // each job writes only its own slot
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+  } ctx;
+  ctx.body = &body;
+  ctx.master = &master_;
+  ctx.base_stream = base_stream;
+  ctx.timings.resize(count);
+  ctx.remaining = count;
+  ctx.submitted = Clock::now();
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::size_t remaining = count;
-  std::exception_ptr first_error;
-
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::uint64_t stream = base_stream + i;
-    const Clock::time_point submitted = Clock::now();
-    pool_.post([&, i, stream, submitted] {
+  pool_.post_many(count, [&ctx](std::size_t i) {
+    return TaskFn([&ctx, i] {
       const Clock::time_point started = Clock::now();
-      Trial trial{i, stream, master_.stream(stream)};
+      const std::uint64_t stream = ctx.base_stream + i;
+      Trial trial{i, stream, ctx.master->stream(stream)};
       std::exception_ptr error;
       try {
-        body(trial);
+        (*ctx.body)(trial);
       } catch (...) {
         error = std::current_exception();
       }
       const Clock::time_point finished = Clock::now();
-      timings[i] = JobTiming{i, stream, seconds_between(submitted, started),
-                             seconds_between(started, finished),
-                             ThreadPool::current_worker()};
-      std::lock_guard<std::mutex> lock(mu);
-      if (error && !first_error) first_error = error;
-      if (--remaining == 0) done_cv.notify_all();
+      ctx.timings[i] =
+          JobTiming{i, stream, seconds_between(ctx.submitted, started),
+                    seconds_between(started, finished),
+                    ThreadPool::current_worker()};
+      std::lock_guard<std::mutex> lock(ctx.mu);
+      if (error && !ctx.first_error) ctx.first_error = error;
+      // Last job notifies under the lock: ctx lives on this frame and the
+      // waiter may return as soon as the predicate is observable.
+      if (--ctx.remaining == 0) ctx.done_cv.notify_all();
     });
-  }
+  });
 
   {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    std::unique_lock<std::mutex> lock(ctx.mu);
+    ctx.done_cv.wait(lock, [&] { return ctx.remaining == 0; });
   }
 
   if (report_)
-    report_->jobs.insert(report_->jobs.end(), timings.begin(), timings.end());
-  if (first_error) std::rethrow_exception(first_error);
+    report_->jobs.insert(report_->jobs.end(), ctx.timings.begin(),
+                         ctx.timings.end());
+  if (ctx.first_error) std::rethrow_exception(ctx.first_error);
+}
+
+void Experiment::shard(std::size_t count, std::size_t grain,
+                       const std::function<void(std::size_t, std::size_t,
+                                                Rng&)>& fn) {
+  if (count == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n_chunks = (count + grain - 1) / grain;
+  // Streams are reserved per chunk ordinal before any chunk runs, so the
+  // experiment's stream accounting (and every chunk's generator) is a pure
+  // function of (count, grain) — identical on any pool size.
+  const std::uint64_t base_stream = next_stream_;
+  next_stream_ += n_chunks;
+  pool_.parallel_for(
+      count, grain,
+      [&](std::size_t /*slot*/, std::size_t begin, std::size_t end) {
+        const std::size_t chunk = begin / grain;
+        Rng rng = master_.stream(base_stream + chunk);
+        fn(begin, end, rng);
+      });
 }
 
 }  // namespace mobiwlan::runtime

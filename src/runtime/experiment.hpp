@@ -63,6 +63,18 @@ class Experiment {
     return out;
   }
 
+  /// Shards the index range [0, count) across the pool in fixed chunks of
+  /// `grain`, calling `fn(begin, end, rng)` once per chunk. Each chunk gets
+  /// its own substream keyed by chunk ordinal — stream accounting depends
+  /// only on (count, grain), never on the pool size or claim order, so a
+  /// body that draws from the handed rng and writes only [begin, end) is
+  /// bit-identical for --jobs 1 and --jobs N. Use for splitting one big
+  /// trace/batch *within* a trial-sized unit of work (map() shards across
+  /// trials; shard() shards across links inside one pass).
+  void shard(std::size_t count, std::size_t grain,
+             const std::function<void(std::size_t begin, std::size_t end,
+                                      Rng& rng)>& fn);
+
   /// Reserves `count` stream ids and returns their derived seeds. Use when
   /// several trials must replay the *identical* stochastic world (e.g. five
   /// RA schemes over the same channel realization): derive one seed per

@@ -24,7 +24,7 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::post(std::function<void()> task) {
+void ThreadPool::post(TaskFn task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(task));
@@ -32,12 +32,79 @@ void ThreadPool::post(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n_chunks = (count + grain - 1) / grain;
+
+  // All shared state lives on this frame; the final helper handshake below
+  // guarantees no worker touches it after the function returns.
+  struct Shared {
+    std::atomic<std::size_t> next_chunk{0};
+    std::size_t count;
+    std::size_t grain;
+    std::size_t n_chunks;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* fn;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t helpers_exited = 0;
+    std::exception_ptr first_error;
+  } shared;
+  shared.count = count;
+  shared.grain = grain;
+  shared.n_chunks = n_chunks;
+  shared.fn = &fn;
+
+  auto run_slot = [](Shared& s, std::size_t slot) {
+    for (;;) {
+      const std::size_t c =
+          s.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= s.n_chunks) return;
+      const std::size_t begin = c * s.grain;
+      const std::size_t end = std::min(s.count, begin + s.grain);
+      try {
+        (*s.fn)(slot, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (!s.first_error) s.first_error = std::current_exception();
+      }
+    }
+  };
+
+  // The caller takes slot 0; at most one helper per remaining chunk. All
+  // helpers enqueue under one lock/notify.
+  const std::size_t n_helpers =
+      std::min(workers_.size(), n_chunks > 0 ? n_chunks - 1 : 0);
+  post_many(n_helpers, [&run_slot, &shared](std::size_t i) {
+    return TaskFn([&shared, slot = i + 1, run = run_slot] {
+      run(shared, slot);
+      // Notify while holding the lock: `shared` lives on the caller's
+      // frame, and the caller may destroy it the moment the predicate can
+      // be observed true — a notify after unlock could race destruction.
+      std::lock_guard<std::mutex> lock(shared.mu);
+      ++shared.helpers_exited;
+      shared.done_cv.notify_one();
+    });
+  });
+
+  run_slot(shared, 0);
+
+  {
+    std::unique_lock<std::mutex> lock(shared.mu);
+    shared.done_cv.wait(lock,
+                        [&] { return shared.helpers_exited == n_helpers; });
+  }
+  if (shared.first_error) std::rethrow_exception(shared.first_error);
+}
+
 int ThreadPool::current_worker() { return tl_worker_index; }
 
 void ThreadPool::worker_loop(int index) {
   tl_worker_index = index;
   for (;;) {
-    std::function<void()> task;
+    TaskFn task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });

@@ -5,14 +5,22 @@
 // is work-conserving but unordered — callers that need deterministic output
 // (every bench does) must make determinism a property of the *tasks*, which
 // is what runtime::Experiment provides on top of this pool.
+//
+// Queued tasks are TaskFn, a move-only callable wrapper with a 56-byte
+// inline buffer: a task whose captures fit (the common case — a context
+// pointer plus a couple of indices) is enqueued without touching the heap,
+// where std::function would allocate for anything beyond two pointers and
+// would also rule out move-only captures like std::promise.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
-#include <memory>
 #include <mutex>
+#include <new>
 #include <queue>
 #include <thread>
 #include <type_traits>
@@ -20,6 +28,98 @@
 #include <vector>
 
 namespace mobiwlan::runtime {
+
+/// Move-only type-erased `void()` callable with small-buffer storage.
+/// Callables up to kInlineBytes that are nothrow-move-constructible live in
+/// the wrapper itself; larger ones fall back to a single heap allocation.
+class TaskFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 56;
+
+  TaskFn() noexcept = default;
+
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<
+                            std::remove_cvref_t<F>, TaskFn>>>
+  TaskFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVtab<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVtab<Fn>;
+    }
+  }
+
+  TaskFn(TaskFn&& other) noexcept {
+    if (other.vt_) {
+      other.vt_->relocate(other.storage_, storage_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  TaskFn& operator=(TaskFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.vt_) {
+        other.vt_->relocate(other.storage_, storage_);
+        vt_ = other.vt_;
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  TaskFn(const TaskFn&) = delete;
+  TaskFn& operator=(const TaskFn&) = delete;
+
+  ~TaskFn() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  /// Invokes the wrapped callable. Precondition: non-empty.
+  void operator()() { vt_->invoke(storage_); }
+
+ private:
+  struct VTab {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst) noexcept;  // move + destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTab kInlineVtab = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* src, void* dst) noexcept {
+        Fn* s = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTab kHeapVtab = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+  };
+
+  void reset() noexcept {
+    if (vt_) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTab* vt_ = nullptr;
+};
 
 /// Fixed-size thread pool with a FIFO task queue and clean shutdown.
 class ThreadPool {
@@ -38,17 +138,52 @@ class ThreadPool {
 
   /// Enqueues a fire-and-forget task. The task must not throw; use submit()
   /// when exceptions need to reach the caller.
-  void post(std::function<void()> task);
+  void post(TaskFn task);
+
+  /// Enqueues `count` tasks under one lock acquisition and one notify_all —
+  /// a bulk fan-out pays the mutex and the wakeup once instead of per task.
+  /// `make_task(i)` is called for i in [0, count) while the lock is held and
+  /// must return something convertible to TaskFn (so it must not itself
+  /// touch the pool).
+  template <typename MakeTask>
+  void post_many(std::size_t count, MakeTask&& make_task) {
+    if (count == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = 0; i < count; ++i) queue_.push(make_task(i));
+    }
+    cv_.notify_all();
+  }
 
   /// Enqueues a callable and returns a future for its result; an exception
-  /// thrown by the callable is rethrown from future::get().
+  /// thrown by the callable is rethrown from future::get(). The
+  /// packaged_task is moved into the queue directly (TaskFn accepts
+  /// move-only callables), so submit costs the one unavoidable shared-state
+  /// allocation instead of the shared_ptr-of-packaged_task double hop.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
-    post([task] { (*task)(); });
-    return task->get_future();
+    std::packaged_task<R()> task(std::forward<F>(f));
+    auto future = task.get_future();
+    post(TaskFn(std::move(task)));
+    return future;
   }
+
+  /// Runs `fn(slot, begin, end)` over fixed chunks of [0, count) with chunk
+  /// size `grain`, sharing the work between the calling thread (slot 0) and
+  /// up to size() pool workers (slots 1..). Chunk boundaries depend only on
+  /// (count, grain) — never on the worker count or claim order — so a body
+  /// that keys its work on the chunk range (not the slot) produces identical
+  /// results on any pool. The slot index is a dense per-call worker id for
+  /// scratch-space reuse; slots claim chunks dynamically.
+  ///
+  /// Blocks until every chunk has run. The first exception thrown by the
+  /// body is rethrown here after all chunks finish; remaining chunks still
+  /// run (they may not observe the failure).
+  void parallel_for(std::size_t count, std::size_t grain,
+                    const std::function<void(std::size_t slot,
+                                             std::size_t begin,
+                                             std::size_t end)>& fn);
 
   /// Index in [0, size()) of the pool worker executing the current thread,
   /// or -1 when called from a thread the pool does not own. Used by the run
@@ -60,7 +195,7 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<TaskFn> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

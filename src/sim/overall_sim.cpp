@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "chan/channel_batch.hpp"
 #include "core/policy.hpp"
 #include "core/tof_tracker.hpp"
 #include "mac/aggregation.hpp"
@@ -28,6 +29,15 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
 
   MobilityClassifier classifier(config.classifier);
   std::vector<TofTracker> heading(wlan.n_aps(), TofTracker(config.classifier.tof));
+
+  // All CSI/ToF measurement traffic runs through the deployment's batched
+  // channel view: same per-link draw order as the csi_at/tof_cycles calls it
+  // replaces, but the synthesis path is vectorized and the reused buffers
+  // make the measurement loops allocation-free in steady state.
+  ChannelBatch& batch = wlan.batch();
+  ChannelBatch::Scratch scratch;
+  CsiMatrix meas_csi, h_start, h_end;
+  std::vector<double> tof_sweep(wlan.n_aps());
 
   const double fb_airtime = feedback_exchange_airtime_s(config.feedback);
   const ProtocolParams stock = default_params();
@@ -66,16 +76,17 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
     // --- measurement processes -----------------------------------------
     if (config.mobility_aware) {
       while (next_csi_t <= t) {
-        classifier.on_csi(next_csi_t, link.csi_at(next_csi_t));
+        batch.csi_into(assoc, next_csi_t, meas_csi, scratch);
+        classifier.on_csi(next_csi_t, meas_csi);
         next_csi_t += config.classifier.csi_period_s;
       }
       while (next_tof_t <= t) {
+        wlan.tof_sweep(next_tof_t, tof_sweep.data());
         for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
-          const double tof = wlan.channel(ap).tof_cycles(next_tof_t);
           if (ap == assoc)
-            classifier.on_tof(next_tof_t, tof);
+            classifier.on_tof(next_tof_t, tof_sweep[ap]);
           else
-            heading[ap].add(next_tof_t, tof);
+            heading[ap].add(next_tof_t, tof_sweep[ap]);
         }
         next_tof_t += config.classifier.tof_period_s;
       }
@@ -86,7 +97,7 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
 
     // --- CSI feedback sounding (beamforming) ----------------------------
     if (t >= next_fb_t) {
-      fb_csi = link.csi_at(t);
+      batch.csi_into(assoc, t, fb_csi, scratch);
       have_fb = true;
       t += fb_airtime;  // sounding + report occupy the medium
       next_fb_t = t + (config.mobility_aware ? params.bf_update_period_s
@@ -136,11 +147,11 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
     const AmpduPlan plan =
         plan_ampdu(entry, agg_limit, config.mpdu_payload_bytes, config.airtime);
 
-    const CsiMatrix h_start = link.csi_true(t);
+    batch.csi_true_into(assoc, t, h_start, scratch);
     double snr = effective_snr_db(h_start, link.snr_db(t));
     if (have_fb) snr += std::max(0.0, su_beamforming_gain_db(h_start, fb_csi));
 
-    const CsiMatrix h_end = link.csi_true(t + plan.frame_airtime_s);
+    batch.csi_true_into(assoc, t + plan.frame_airtime_s, h_end, scratch);
     const double decorr_end = 1.0 - complex_correlation(h_start, h_end);
 
     int n_failed = 0;

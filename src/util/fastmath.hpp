@@ -117,4 +117,47 @@ inline void sincos(double x, double& sin_out, double& cos_out) {
   }
 }
 
+/// Largest |x| for which sincos_wide() holds its accuracy bound. k = round(x *
+/// 2/pi) stays below 2^20, so k * pio2_hi (33 significant bits) is exact and
+/// the k * pio2_lo correction still carries the full tail of pi/2.
+inline constexpr double kSincosWideMaxArg = 1.0e6;
+
+/// sin(x) and cos(x) for |x| <= kSincosWideMaxArg — the carrier-scale phase
+/// range (-2*pi*f_c*tau is tens of thousands of radians for indoor path
+/// delays). Same Cody-Waite reduction as sincos(): x - k*pio2_hi is exact by
+/// Sterbenz (the two agree to within pi/4), and the neglected tail of pi/2
+/// beyond pio2_hi + pio2_lo contributes < k * 1e-26 ~ 1e-20 rad of phase
+/// error — orders of magnitude inside the 1e-12 equivalence budget, where
+/// libm's sincos costs ~16 ns at these magnitudes (large-argument reduction).
+inline void sincos_wide(double x, double& sin_out, double& cos_out) {
+  const double kd = std::nearbyint(x * detail::kTwoOverPi);
+  const double r = (x - kd * detail::kPio2Hi) - kd * detail::kPio2Lo;
+  const double s = detail::poly_sin(r);
+  const double c = detail::poly_cos(r);
+  switch (static_cast<long>(kd) & 3) {
+    case 0: sin_out = s; cos_out = c; break;
+    case 1: sin_out = c; cos_out = -s; break;
+    case 2: sin_out = -s; cos_out = -c; break;
+    default: sin_out = -c; cos_out = s; break;
+  }
+}
+
+/// sin(x) alone over the wide range (spatial shadowing field, mover pacing).
+inline double sin_wide(double x) {
+  double s, c;
+  sincos_wide(x, s, c);
+  return s;
+}
+
+/// 10^(db/20) — amplitude form of dB, via exp2 (one exp2 instead of a full
+/// pow): 10^(x/20) = 2^(x * log2(10)/20). Relative error ~2 ulp.
+inline double db_to_amplitude(double db) {
+  return std::exp2(db * 0.16609640474436813);  // log2(10)/20
+}
+
+/// log10(x) for finite normal x > 0, via log_pos. Relative error ~2 ulp.
+inline double log10_pos(double x) {
+  return log_pos(x) * 0.43429448190325176;  // 1/ln(10)
+}
+
 }  // namespace mobiwlan::fastmath

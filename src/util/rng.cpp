@@ -9,6 +9,7 @@
 
 #include "util/fastmath.hpp"
 #include "util/simd.hpp"
+#include "util/simd_math.hpp"
 
 namespace mobiwlan {
 
@@ -26,116 +27,20 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 #if defined(__x86_64__)
 
-// 4-lane ports of the fastmath.hpp scalar kernels (same fdlibm constants and
-// evaluation order, so each lane agrees with the scalar path to ~1 ulp —
-// vastly inside the channel's 1e-12 equivalence budget). The xoshiro draws
-// stay scalar and sequential, so the uniform stream is identical to the
-// scalar path; only the elementwise log/sincos/sqrt math is vectorized.
-
-// log(x) for 4 finite normal positive lanes.
-__attribute__((target("avx2,fma"))) __m256d vlog_pos(__m256d x) {
-  namespace fm = fastmath::detail;
-  const __m256i bits = _mm256_castpd_si256(x);
-  __m256i k64 = _mm256_sub_epi64(_mm256_srli_epi64(bits, 52),
-                                 _mm256_set1_epi64x(1023));
-  const __m256i hi20 = _mm256_and_si256(_mm256_srli_epi64(bits, 32),
-                                        _mm256_set1_epi64x(0xfffff));
-  const __m256i i20 =
-      _mm256_and_si256(_mm256_add_epi64(hi20, _mm256_set1_epi64x(0x95f64)),
-                       _mm256_set1_epi64x(0x100000));
-  k64 = _mm256_add_epi64(k64, _mm256_srli_epi64(i20, 20));
-  const __m256i mant =
-      _mm256_and_si256(bits, _mm256_set1_epi64x(0x000fffffffffffffLL));
-  const __m256i expfield = _mm256_slli_epi64(
-      _mm256_xor_si256(i20, _mm256_set1_epi64x(0x3ff00000)), 32);
-  const __m256d m = _mm256_castsi256_pd(_mm256_or_si256(mant, expfield));
-  // k fits in int32 (|k| <= 1075): compress the 64-bit lanes and convert.
-  const __m256i perm = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
-  const __m256d dk = _mm256_cvtepi32_pd(
-      _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(k64, perm)));
-  const __m256d f = _mm256_sub_pd(m, _mm256_set1_pd(1.0));
-  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
-  const __m256d z = _mm256_mul_pd(s, s);
-  const __m256d w = _mm256_mul_pd(z, z);
-  const __m256d t1 = _mm256_mul_pd(
-      w, _mm256_fmadd_pd(
-             w,
-             _mm256_fmadd_pd(w, _mm256_set1_pd(fm::kLg6),
-                             _mm256_set1_pd(fm::kLg4)),
-             _mm256_set1_pd(fm::kLg2)));
-  const __m256d t2 = _mm256_mul_pd(
-      z, _mm256_fmadd_pd(
-             w,
-             _mm256_fmadd_pd(
-                 w,
-                 _mm256_fmadd_pd(w, _mm256_set1_pd(fm::kLg7),
-                                 _mm256_set1_pd(fm::kLg5)),
-                 _mm256_set1_pd(fm::kLg3)),
-             _mm256_set1_pd(fm::kLg1)));
-  const __m256d r = _mm256_add_pd(t2, t1);
-  const __m256d hfsq =
-      _mm256_mul_pd(_mm256_set1_pd(0.5), _mm256_mul_pd(f, f));
-  // dk*ln2_hi - ((hfsq - (s*(hfsq+r) + dk*ln2_lo)) - f)
-  const __m256d inner = _mm256_fmadd_pd(dk, _mm256_set1_pd(fm::kLn2Lo),
-                                        _mm256_mul_pd(s, _mm256_add_pd(hfsq, r)));
-  return _mm256_fmadd_pd(
-      dk, _mm256_set1_pd(fm::kLn2Hi),
-      _mm256_sub_pd(f, _mm256_sub_pd(hfsq, inner)));
-}
-
-// sin and cos of 4 lanes with |x| <= fastmath::kSincosMaxArg.
-__attribute__((target("avx2,fma"))) void vsincos(__m256d x, __m256d& s_out,
-                                                 __m256d& c_out) {
-  namespace fm = fastmath::detail;
-  const __m256d kd = _mm256_round_pd(
-      _mm256_mul_pd(x, _mm256_set1_pd(fm::kTwoOverPi)),
-      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  __m256d r = _mm256_fnmadd_pd(kd, _mm256_set1_pd(fm::kPio2Hi), x);
-  r = _mm256_fnmadd_pd(kd, _mm256_set1_pd(fm::kPio2Lo), r);
-  const __m256d z = _mm256_mul_pd(r, r);
-  __m256d ps = _mm256_fmadd_pd(z, _mm256_set1_pd(fm::kS6), _mm256_set1_pd(fm::kS5));
-  ps = _mm256_fmadd_pd(z, ps, _mm256_set1_pd(fm::kS4));
-  ps = _mm256_fmadd_pd(z, ps, _mm256_set1_pd(fm::kS3));
-  ps = _mm256_fmadd_pd(z, ps, _mm256_set1_pd(fm::kS2));
-  ps = _mm256_fmadd_pd(z, ps, _mm256_set1_pd(fm::kS1));
-  const __m256d psin = _mm256_fmadd_pd(_mm256_mul_pd(z, r), ps, r);
-  __m256d pc = _mm256_fmadd_pd(z, _mm256_set1_pd(fm::kC6), _mm256_set1_pd(fm::kC5));
-  pc = _mm256_fmadd_pd(z, pc, _mm256_set1_pd(fm::kC4));
-  pc = _mm256_fmadd_pd(z, pc, _mm256_set1_pd(fm::kC3));
-  pc = _mm256_fmadd_pd(z, pc, _mm256_set1_pd(fm::kC2));
-  pc = _mm256_fmadd_pd(z, pc, _mm256_set1_pd(fm::kC1));
-  const __m256d hz = _mm256_mul_pd(_mm256_set1_pd(0.5), z);
-  const __m256d w = _mm256_sub_pd(_mm256_set1_pd(1.0), hz);
-  const __m256d pcos = _mm256_add_pd(
-      w, _mm256_add_pd(
-             _mm256_sub_pd(_mm256_sub_pd(_mm256_set1_pd(1.0), w), hz),
-             _mm256_mul_pd(z, _mm256_mul_pd(z, pc))));
-  // Quadrant: sin = {s, c, -s, -c}[n & 3], cos = {c, -s, -c, s}[n & 3].
-  const __m256i n = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(kd));
-  const __m256d odd = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
-      _mm256_and_si256(n, _mm256_set1_epi64x(1)), _mm256_set1_epi64x(1)));
-  const __m256d s_base = _mm256_blendv_pd(psin, pcos, odd);
-  const __m256d c_base = _mm256_blendv_pd(pcos, psin, odd);
-  const __m256d s_sign = _mm256_castsi256_pd(
-      _mm256_slli_epi64(_mm256_and_si256(n, _mm256_set1_epi64x(2)), 62));
-  const __m256d c_sign = _mm256_castsi256_pd(_mm256_slli_epi64(
-      _mm256_and_si256(_mm256_add_epi64(n, _mm256_set1_epi64x(1)),
-                       _mm256_set1_epi64x(2)),
-      62));
-  s_out = _mm256_xor_pd(s_base, s_sign);
-  c_out = _mm256_xor_pd(c_base, c_sign);
-}
+// The elementwise log/sincos vector kernels live in util/simd_math.hpp
+// (shared with the batched channel engine); the xoshiro draws stay scalar
+// and sequential, so the uniform stream is identical to the scalar path.
 
 // Four Box-Muller transforms: comp[0..7] += per * r_j * {cos, sin}(theta_j).
 __attribute__((target("avx2,fma"))) void box_muller4(const double* u1,
                                                      const double* u2,
                                                      double per, double* comp) {
   const __m256d r = _mm256_sqrt_pd(_mm256_mul_pd(
-      _mm256_set1_pd(-2.0), vlog_pos(_mm256_loadu_pd(u1))));
+      _mm256_set1_pd(-2.0), simdmath::vlog_pos(_mm256_loadu_pd(u1))));
   const __m256d theta = _mm256_mul_pd(
       _mm256_set1_pd(2.0 * std::numbers::pi), _mm256_loadu_pd(u2));
   __m256d s, c;
-  vsincos(theta, s, c);
+  simdmath::vsincos(theta, s, c);
   const __m256d amp = _mm256_mul_pd(_mm256_set1_pd(per), r);
   const __m256d vc = _mm256_mul_pd(amp, c);
   const __m256d vs = _mm256_mul_pd(amp, s);

@@ -1,0 +1,163 @@
+// channel_batch_equivalence_test — ChannelBatch vs per-link sampling.
+//
+// The batched engine must be a drop-in for N independent
+// WirelessChannel::sample_into loops: identical RNG draw order per link
+// (quantized outputs match exactly) and CSI equal to within 1e-12 of the
+// link's own CSI scale. The tolerance is scale-relative, not per-element
+// relative: deep-faded subcarriers carry ~1e-15 absolute error like every
+// other element, but their magnitudes are arbitrarily small, so a
+// per-element relative measure would amplify noise on values that carry no
+// signal. CMake re-runs this binary under MOBIWLAN_FORCE_SCALAR=1, which
+// pins both sides to their scalar kernels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "chan/channel.hpp"
+#include "chan/channel_batch.hpp"
+#include "channel_golden_cases.hpp"
+
+namespace mobiwlan {
+namespace {
+
+using goldencase::kNumCases;
+using goldencase::make_golden_channel;
+
+/// Two independent, identical realizations of the 8 golden channels: one
+/// registered with a batch, one sampled per link. Both sides draw from
+/// their own RNG state, so lockstep call sequences keep them comparable.
+struct GoldenPair {
+  std::vector<std::unique_ptr<WirelessChannel>> batch_links;
+  std::vector<std::unique_ptr<WirelessChannel>> ref_links;
+  ChannelBatch batch;
+
+  GoldenPair() {
+    for (std::size_t idx = 0; idx < kNumCases; ++idx) {
+      batch_links.push_back(make_golden_channel(idx));
+      ref_links.push_back(make_golden_channel(idx));
+      batch.add_link(batch_links.back().get());
+    }
+  }
+};
+
+double csi_scale(const CsiMatrix& m) {
+  double scale = 0.0;
+  for (const cplx& z : m.raw())
+    scale = std::max({scale, std::abs(z.real()), std::abs(z.imag())});
+  return std::max(scale, 1e-300);
+}
+
+void expect_csi_close(const CsiMatrix& got, const CsiMatrix& want,
+                      const char* what, std::size_t link) {
+  ASSERT_EQ(got.raw().size(), want.raw().size());
+  const double tol = 1e-12 * csi_scale(want);
+  for (std::size_t k = 0; k < want.raw().size(); ++k) {
+    EXPECT_NEAR(got.raw()[k].real(), want.raw()[k].real(), tol)
+        << what << " link " << link << " element " << k;
+    EXPECT_NEAR(got.raw()[k].imag(), want.raw()[k].imag(), tol)
+        << what << " link " << link << " element " << k;
+  }
+}
+
+TEST(ChannelBatchEquivalence, SampleRangeMatchesPerLinkLoop) {
+  GoldenPair g;
+  ChannelBatch::Scratch scratch;
+  std::vector<ChannelSample> out(kNumCases);
+  WirelessChannel::PathScratch ref_scratch;
+  ChannelSample ref;
+
+  for (const double t : {0.0, 0.25, 0.5, 1.0, 2.0, 3.5}) {
+    g.batch.sample_range(t, 0, kNumCases, out.data(), scratch);
+    for (std::size_t i = 0; i < kNumCases; ++i) {
+      g.ref_links[i]->sample_into(t, ref, ref_scratch);
+      SCOPED_TRACE(::testing::Message()
+                   << goldencase::case_name(i) << " at t=" << t);
+      // Quantized outputs share the exact draw sequence, so they match
+      // bitwise; SNR is continuous and the batch derives it through the
+      // fastmath log, so it agrees to rounding instead.
+      EXPECT_EQ(out[i].rssi_dbm, ref.rssi_dbm);
+      EXPECT_EQ(out[i].tof_cycles, ref.tof_cycles);
+      EXPECT_NEAR(out[i].snr_db, ref.snr_db,
+                  1e-12 * std::max(1.0, std::abs(ref.snr_db)));
+      EXPECT_EQ(out[i].t, ref.t);
+      EXPECT_NEAR(out[i].true_distance_m, ref.true_distance_m,
+                  1e-12 * std::max(1.0, ref.true_distance_m));
+      expect_csi_close(out[i].csi, ref.csi, "sample_range", i);
+    }
+  }
+}
+
+TEST(ChannelBatchEquivalence, SubrangeSamplingMatches) {
+  GoldenPair g;
+  ChannelBatch::Scratch scratch;
+  std::vector<ChannelSample> out(kNumCases);
+  WirelessChannel::PathScratch ref_scratch;
+  ChannelSample ref;
+
+  // Two disjoint ranges cover the batch; the per-link results must not
+  // depend on how the caller chunks the range (the sharding contract).
+  g.batch.sample_range(1.0, 0, 3, out.data(), scratch);
+  g.batch.sample_range(1.0, 3, kNumCases, out.data(), scratch);
+  for (std::size_t i = 0; i < kNumCases; ++i) {
+    g.ref_links[i]->sample_into(1.0, ref, ref_scratch);
+    SCOPED_TRACE(goldencase::case_name(i));
+    EXPECT_EQ(out[i].rssi_dbm, ref.rssi_dbm);
+    EXPECT_EQ(out[i].tof_cycles, ref.tof_cycles);
+    expect_csi_close(out[i].csi, ref.csi, "subrange", i);
+  }
+}
+
+TEST(ChannelBatchEquivalence, MeasuredAndTrueCsiMatch) {
+  GoldenPair g;
+  ChannelBatch::Scratch scratch;
+  CsiMatrix got;
+  CsiMatrix want;
+  WirelessChannel::PathScratch ref_scratch;
+
+  for (std::size_t i = 0; i < kNumCases; ++i) {
+    SCOPED_TRACE(goldencase::case_name(i));
+    g.batch.csi_into(i, 0.75, got, scratch);
+    g.ref_links[i]->csi_at_into(0.75, want, ref_scratch);
+    expect_csi_close(got, want, "csi_into", i);
+
+    g.batch.csi_true_into(i, 2.0, got, scratch);
+    g.ref_links[i]->csi_true_into(2.0, want, ref_scratch);
+    expect_csi_close(got, want, "csi_true_into", i);
+  }
+}
+
+TEST(ChannelBatchEquivalence, TofSweepMatchesPerLinkReadings) {
+  GoldenPair g;
+  std::vector<double> sweep(kNumCases);
+  for (const double t : {0.5, 1.5}) {
+    g.batch.tof_all(t, sweep.data());
+    for (std::size_t i = 0; i < kNumCases; ++i) {
+      SCOPED_TRACE(goldencase::case_name(i));
+      EXPECT_EQ(sweep[i], g.ref_links[i]->tof_cycles(t));
+    }
+  }
+}
+
+TEST(ChannelBatchEquivalence, StrongestLinkMatchesArgmaxScan) {
+  GoldenPair g;
+  ChannelBatch::Scratch scratch;
+  for (const double t : {0.0, 1.0, 4.0}) {
+    const std::size_t got = g.batch.strongest_link(t, scratch);
+    std::size_t want = 0;
+    double best = -1e9;
+    for (std::size_t i = 0; i < kNumCases; ++i) {
+      const double rssi = g.ref_links[i]->rssi_dbm(t);
+      if (rssi > best) {
+        best = rssi;
+        want = i;
+      }
+    }
+    EXPECT_EQ(got, want) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace mobiwlan
