@@ -47,7 +47,7 @@ RunResult run(Scheduler& scheduler, std::uint64_t seed) {
     clients[1].mobility = MobilityMode::kMacroAway;
 
     const std::size_t who = scheduler.pick(clients);
-    scheduler.on_served(who, clients[who].rate_mbps);
+    scheduler.on_served(clients, who);
     delivered[who] += clients[who].rate_mbps * slot;
     if (who == 0) ++served_static;
     ++slots;

@@ -21,6 +21,12 @@
 //                                         BENCH_scale.json
 //   mobiwlan-bench --scale --scale-check  also gate against the baseline's
 //                                         gate_scale_* keys
+//   mobiwlan-bench --fault                run the fault-injection degradation
+//                                         sweep and write BENCH_fault.json
+//   mobiwlan-bench --fault-check          also gate against the committed
+//                                         baseline (ci/fault_baseline.json)
+//   mobiwlan-bench --fault-check-only F   re-check an existing
+//                                         BENCH_fault.json, no re-run
 //
 // Determinism contract: for a fixed --seed, the printed tables and every
 // non-"timing" byte of the JSON are identical for --jobs 1 and --jobs N.
@@ -67,7 +73,10 @@ void print_usage() {
       "                      [--fidelity-check-only PATH] [--fidelity-out "
       "PATH]\n"
       "                      [--fidelity-baseline PATH]\n"
-      "                      [--scale] [--scale-check] [--scale-out PATH]\n");
+      "                      [--scale] [--scale-check] [--scale-out PATH]\n"
+      "                      [--fault] [--fault-check]\n"
+      "                      [--fault-check-only PATH] [--fault-out PATH]\n"
+      "                      [--fault-baseline PATH]\n");
 }
 
 struct Options {
@@ -79,6 +88,8 @@ struct Options {
   bool fidelity_check = false;
   bool scale = false;
   bool scale_check = false;
+  bool fault = false;
+  bool fault_check = false;
   std::string filter;
   std::string json_path;
   std::string perf_out = "BENCH_channel.json";
@@ -87,6 +98,9 @@ struct Options {
   std::string fidelity_out = "BENCH_fidelity.json";
   std::string fidelity_baseline = "ci/fidelity_baseline.json";
   std::string scale_out = "BENCH_scale.json";
+  std::string fault_check_only;  // path to an existing BENCH_fault.json
+  std::string fault_out = "BENCH_fault.json";
+  std::string fault_baseline = "ci/fault_baseline.json";
   double perf_min_time = 1.0;
   std::size_t jobs = 0;  // 0 = one worker per hardware thread
   std::uint64_t seed = runtime::kMasterSeed;
@@ -144,6 +158,23 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = value("--scale-out");
       if (!v) return false;
       opt.scale_out = v;
+    } else if (arg == "--fault") {
+      opt.fault = true;
+    } else if (arg == "--fault-check") {
+      opt.fault = true;
+      opt.fault_check = true;
+    } else if (arg == "--fault-check-only") {
+      const char* v = value("--fault-check-only");
+      if (!v) return false;
+      opt.fault_check_only = v;
+    } else if (arg == "--fault-out") {
+      const char* v = value("--fault-out");
+      if (!v) return false;
+      opt.fault_out = v;
+    } else if (arg == "--fault-baseline") {
+      const char* v = value("--fault-baseline");
+      if (!v) return false;
+      opt.fault_baseline = v;
     } else if (arg == "--perf-min-time") {
       const char* v = value("--perf-min-time");
       if (!v) return false;
@@ -406,6 +437,16 @@ int main(int argc, char** argv) {
   }
   if (opt.fidelity || !opt.fidelity_check_only.empty())
     return run_fidelity_mode(opt);
+  if (opt.fault || !opt.fault_check_only.empty()) {
+    mobiwlan::benchsuite::FaultOptions fo;
+    fo.jobs = opt.jobs;
+    fo.seed = opt.seed;
+    fo.check = opt.fault_check;
+    fo.check_only = opt.fault_check_only;
+    fo.out = opt.fault_out;
+    fo.baseline = opt.fault_baseline;
+    return mobiwlan::benchsuite::run_fault_bench(fo);
+  }
 
   std::vector<const BenchDef*> selected;
   for (const BenchDef& def : registry())

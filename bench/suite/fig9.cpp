@@ -31,10 +31,11 @@ LinkSimConfig tcp_config() {
 
 /// Run one scheme over the identical channel realization (same seed).
 double fig9_run_scheme(const std::string& scheme, std::uint64_t seed,
-                       MobilityClass cls) {
+                       MobilityClass cls, const FaultPlan& fault) {
   Rng rng(seed);
   Scenario s = make_scenario(cls, rng);
   LinkSimConfig cfg = tcp_config();
+  cfg.fault = fault;
   Rng frame_rng(seed + 77777);
 
   if (scheme == "atheros") {

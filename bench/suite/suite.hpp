@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/mobility_mode.hpp"
+#include "fault/fault.hpp"
 #include "fidelity/fidelity.hpp"
 #include "runtime/experiment.hpp"
 #include "runtime/report.hpp"
@@ -69,9 +70,11 @@ BenchDef fig9_bench();
 BenchDef fig13_bench();
 
 /// One RA scheme over one channel seed (fig9.cpp) — shared with the
-/// fidelity suite so the gate replays exactly the bench's trial code.
+/// fidelity suite so the gate replays exactly the bench's trial code. The
+/// fault-tolerance suite passes a non-zero `fault` plan; the default
+/// (all-zero) plan is bitwise-identical to the historical signature.
 double fig9_run_scheme(const std::string& scheme, std::uint64_t seed,
-                       MobilityClass cls);
+                       MobilityClass cls, const FaultPlan& fault = {});
 
 /// Re-runs the core experiments (Table 1, Fig 2, Fig 4, Fig 9) through the
 /// sharder and records the statistics the paper-fidelity gate asserts on.
@@ -93,5 +96,23 @@ struct ScaleOptions {
 /// count. Everything in the JSON except `timing_*` keys is byte-identical
 /// across `jobs`. Returns a process exit code.
 int run_scale_bench(const ScaleOptions& opt);
+
+/// `mobiwlan-bench --fault` configuration (bench/suite/fault.cpp).
+struct FaultOptions {
+  std::size_t jobs = 0;       ///< pool workers (0 = one per hardware thread)
+  std::uint64_t seed = 0;     ///< master seed (driver passes --seed)
+  bool check = false;         ///< gate against the committed baseline
+  std::string check_only;     ///< re-check this BENCH_fault.json, no re-run
+  std::string out = "BENCH_fault.json";
+  std::string baseline = "ci/fault_baseline.json";
+};
+
+/// The fault-tolerance / graceful-degradation bench: Table-1 classification
+/// accuracy vs CSI+ToF drop rate (0-50%), Fig-9 / Fig-13 mobility-aware vs
+/// stock throughput ratios under export loss, motion-aware roaming under
+/// 30% ToF loss, and an exact zero-fault identity probe. Deterministic for
+/// a fixed seed at any worker count (same flat-JSON contract as the
+/// fidelity report). Returns a process exit code.
+int run_fault_bench(const FaultOptions& opt);
 
 }  // namespace mobiwlan::benchsuite

@@ -9,9 +9,13 @@
 #   4. statistical paper-fidelity gate: ci/fidelity_gate.sh checks the core
 #      experiment statistics against ci/fidelity_baseline.json and diffs the
 #      --jobs 1 vs --jobs 8 reports;
-#   5. scale determinism: the AP-scale bench JSON at --jobs 1 vs --jobs 8
+#   5. fault-injection gate: ci/fault_gate.sh checks graceful degradation
+#      under PHY-observable export loss against ci/fault_baseline.json,
+#      diffs the --jobs 1 vs --jobs 8 reports, and proves the negative
+#      baseline still fails;
+#   6. scale determinism: the AP-scale bench JSON at --jobs 1 vs --jobs 8
 #      must be byte-identical outside the timing_* lines;
-#   6. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
+#   7. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
 #      runtime thread-pool, experiment, and parallel_for tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +44,9 @@ PERF_MIN_TIME="${PERF_MIN_TIME:-0.2}" ./ci/perf_gate.sh
 
 echo "== fidelity gate: paper-shape statistics =="
 ./ci/fidelity_gate.sh
+
+echo "== fault gate: graceful degradation under export loss =="
+./ci/fault_gate.sh
 
 echo "== scale determinism: --jobs 1 vs --jobs 8 =="
 ./build/bench/mobiwlan-bench --scale --jobs 8 --perf-min-time 0.05 \

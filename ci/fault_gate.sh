@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# ci/fault_gate.sh — fault-injection / graceful-degradation gate.
+#
+# Runs the fault-tolerance sweep (`mobiwlan-bench --fault`): Table-1
+# classification accuracy vs CSI+ToF drop rate (must degrade monotonically),
+# Fig-9 / Fig-13 mobility-aware vs stock throughput ratios under export
+# loss, motion-aware roaming under 30% ToF loss (must stay at least as good
+# as default roaming), and the exact zero-fault identity probe (an all-zero
+# FaultPlan must reproduce the raw observables bit for bit). Bounds live in
+# ci/fault_baseline.json. A second run at --jobs 1 must reproduce the
+# --jobs 8 report byte-for-byte outside the "timing" line — faulted runs
+# obey the same determinism contract as everything else.
+#
+# Refresh after an intentional behaviour change with:
+#   ./build/bench/mobiwlan-bench --fault
+# and re-derive the bounds from the printed metrics per EXPERIMENTS.md; the
+# negative baseline (ci/fault_baseline_negative.json) must keep failing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-./build/bench/mobiwlan-bench}"
+OUT="${FAULT_OUT:-/tmp/mobiwlan_fault.json}"
+OUT_J1="${OUT%.json}_j1.json"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "FAIL: ${BENCH} not built (run cmake --build build first)" >&2
+  exit 1
+fi
+
+"${BENCH}" --fault-check --jobs 8 \
+  --fault-out "${OUT}" \
+  --fault-baseline ci/fault_baseline.json
+
+echo "-- fault determinism: --jobs 1 vs --jobs 8 --"
+"${BENCH}" --fault-check --jobs 1 \
+  --fault-out "${OUT_J1}" \
+  --fault-baseline ci/fault_baseline.json >/dev/null
+if ! diff <(grep -v '"timing":' "${OUT}") \
+          <(grep -v '"timing":' "${OUT_J1}"); then
+  echo "FAIL: fault report differs between --jobs 8 and --jobs 1" >&2
+  exit 1
+fi
+echo "ok: fault report byte-identical modulo timing"
+
+echo "-- fault gate negative control --"
+if "${BENCH}" --fault-check-only "${OUT}" \
+     --fault-baseline ci/fault_baseline_negative.json >/dev/null 2>&1; then
+  echo "FAIL: negative baseline passed — the gate cannot catch regressions" >&2
+  exit 1
+fi
+echo "ok: negative baseline fails as intended"

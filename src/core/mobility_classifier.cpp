@@ -23,6 +23,17 @@ void MobilityClassifier::on_csi(double t, const CsiMatrix& csi) {
   // Decimate to the configured sampling period (allow 1% early jitter).
   if (t - last_csi_t_ < config_.csi_period_s * 0.99) return;
 
+  // A hole in the CSI stream (dropped firmware exports): the pending anchor
+  // is too old for Eq. (1)'s consecutive-sample similarity, so re-anchor on
+  // this sample and rebuild the average from genuinely adjacent pairs.
+  if (t - last_csi_t_ > config_.csi_gap_reanchor_factor * config_.csi_period_s) {
+    last_csi_ = csi;
+    last_csi_t_ = t;
+    similarity_avg_.reset();
+    have_similarity_ = false;
+    return;
+  }
+
   const double s = csi_similarity(*last_csi_, csi, sim_scratch_);
   similarity_avg_.add(s);
   have_similarity_ = true;
@@ -51,6 +62,12 @@ void MobilityClassifier::observe(const ChannelSample& sample) {
 std::optional<double> MobilityClassifier::similarity() const {
   if (!have_similarity_) return std::nullopt;
   return similarity_avg_.value();
+}
+
+std::optional<MobilityMode> MobilityClassifier::decision(double t) const {
+  if (!have_similarity_) return std::nullopt;
+  if (t - last_csi_t_ > config_.csi_stale_hold_s) return std::nullopt;
+  return mode_;
 }
 
 void MobilityClassifier::update_mode(double t) {

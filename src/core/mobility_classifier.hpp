@@ -41,6 +41,18 @@ class MobilityClassifier {
     /// trend, bridging the gaps between sliding windows.
     double macro_hold_s = 3.5;
 
+    /// Graceful degradation on CSI starvation (§3: the controller falls back
+    /// when PHY hints are missing). decision(t) keeps reporting the current
+    /// mode for this long past the last accepted CSI sample, then decays to
+    /// "no decision" so consumers can fall back instead of acting on stale
+    /// state. Unfaulted feeds arrive every csi_period_s, far inside the hold.
+    double csi_stale_hold_s = 2.0;
+    /// A CSI sample arriving more than this many periods after the previous
+    /// one re-anchors the similarity stream (Eq. (1) compares *consecutive*
+    /// samples; comparing across a multi-second hole measures the gap, not
+    /// the channel). The similarity average restarts from the fresh anchor.
+    double csi_gap_reanchor_factor = 2.5;
+
     /// §9 AoA augmentation: when enabled, a device-mobile client with no ToF
     /// trend but a steadily swinging Angle-of-Arrival at the AP array is
     /// classified kMacroOrbit instead of micro (a client circling the AP).
@@ -74,6 +86,13 @@ class MobilityClassifier {
 
   /// Current mobility decision.
   MobilityMode mode() const { return mode_; }
+
+  /// The mobility decision a consumer should act on at time t, or nullopt
+  /// when the classifier cannot justify one: similarity is not established
+  /// yet, or the CSI stream has been silent longer than csi_stale_hold_s
+  /// (hold-then-decay on observable starvation). With an on-schedule CSI
+  /// feed this is exactly mode() whenever similarity() is set.
+  std::optional<MobilityMode> decision(double t) const;
 
   /// Moving-average CSI similarity (nullopt until two decimated samples).
   std::optional<double> similarity() const;

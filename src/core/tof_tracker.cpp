@@ -1,5 +1,7 @@
 #include "core/tof_tracker.hpp"
 
+#include <cstdint>
+
 namespace mobiwlan {
 
 TofTracker::TofTracker(Config config)
@@ -10,14 +12,27 @@ void TofTracker::add(double t, double tof_cycles) {
     epoch_start_ = t;
     epoch_open_ = true;
   }
-  // Close out any full aggregation periods that elapsed before this reading.
-  while (t - epoch_start_ >= config_.aggregation_period_s) {
+  // Close out the elapsed aggregation periods in O(1): a reading may arrive
+  // an arbitrary gap after the previous one (dropped or delayed ToF exports),
+  // and iterating period-by-period would cost O(gap/period).
+  //
+  // Gap semantics: the trend window holds *consecutive* per-second medians.
+  // If more than one period elapsed, the seconds in between produced no
+  // median, so whatever pending samples we aggregate are not adjacent to the
+  // window's existing entries — the window restarts rather than pretending
+  // the gap never happened. `last_median_` still records the flushed value
+  // (it is a "latest measurement" for diagnostics, not trend evidence).
+  const double elapsed = t - epoch_start_;
+  if (elapsed >= config_.aggregation_period_s) {
+    const auto periods =
+        static_cast<std::uint64_t>(elapsed / config_.aggregation_period_s);
     if (auto median = aggregator_.flush()) {
-      window_.add(*median);
       last_median_ = *median;
       ++median_count_;
+      if (periods == 1) window_.add(*median);
     }
-    epoch_start_ += config_.aggregation_period_s;
+    if (periods > 1) window_.reset();
+    epoch_start_ += static_cast<double>(periods) * config_.aggregation_period_s;
   }
   aggregator_.add(tof_cycles);
 }

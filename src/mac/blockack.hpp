@@ -39,6 +39,9 @@ class BlockAckWindow {
   void enqueue(double t);
   std::size_t queued() const { return queue_.size(); }
   std::size_t in_flight() const { return in_flight_.size(); }
+  /// MPDUs that failed and await retransmission (neither queued nor in
+  /// flight) — needed for end-of-run conservation accounting.
+  std::size_t pending_retransmit() const { return retransmit_.size(); }
 
   /// MPDUs eligible for the next A-MPDU: pending retransmissions first, then
   /// fresh MPDUs, limited by both `max_mpdus` and the free window space.

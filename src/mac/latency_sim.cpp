@@ -7,6 +7,7 @@ namespace mobiwlan {
 LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
                                   const LatencySimConfig& config, Rng& rng) {
   WirelessChannel& channel = *scenario.channel;
+  DegradedObservables obs(channel, config.fault);
   MobilityClassifier classifier(config.classifier);
   BlockAckWindow window(config.blockack);
 
@@ -19,19 +20,23 @@ LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
   long delivered_bytes = 0;
 
   while (t < config.duration_s) {
-    // CBR arrivals up to now.
-    while (next_arrival_t <= t) {
+    // CBR arrivals up to now. The flow stops at duration_s: arrivals at or
+    // past the horizon are never offered.
+    while (next_arrival_t <= t && next_arrival_t < config.duration_s) {
       window.enqueue(next_arrival_t);
+      ++result.offered;
       next_arrival_t += inter_arrival;
     }
 
     if (config.run_classifier) {
       while (next_csi_t <= t) {
-        classifier.on_csi(next_csi_t, channel.csi_at(next_csi_t));
+        if (auto csi = obs.csi(next_csi_t))
+          classifier.on_csi(next_csi_t, *csi);
         next_csi_t += config.classifier.csi_period_s;
       }
       while (next_tof_t <= t) {
-        classifier.on_tof(next_tof_t, channel.tof_cycles(next_tof_t));
+        if (auto tof = obs.tof_cycles(next_tof_t))
+          classifier.on_tof(next_tof_t, *tof);
         next_tof_t += config.classifier.tof_period_s;
       }
     }
@@ -39,11 +44,12 @@ LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
     TxContext ctx;
     ctx.t = t;
     ctx.mpdu_payload_bytes = config.mpdu_payload_bytes;
-    if (config.run_classifier && classifier.similarity())
-      ctx.mobility = classifier.mode();
+    // Hold-then-decay: no mobility hint once the CSI stream goes stale.
+    if (config.run_classifier) ctx.mobility = classifier.decision(t);
 
     if (window.queued() == 0 && window.in_flight() == 0 &&
         !window.window_stalled()) {
+      if (next_arrival_t >= config.duration_s) break;  // flow is over
       // Idle: jump to the next packet arrival.
       t = std::max(t, next_arrival_t);
       continue;
@@ -66,6 +72,15 @@ LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
     const int n = static_cast<int>(frame.size());
     const double frame_airtime =
         ampdu_airtime_s(entry, n, config.mpdu_payload_bytes, config.airtime);
+    const double ack_t =
+        t + exchange_airtime_s(entry, n, config.mpdu_payload_bytes,
+                               config.airtime);
+    if (ack_t > config.duration_s) {
+      // The final exchange would complete past the horizon; it never counts
+      // toward goodput (which divides by duration_s), so the frame stays
+      // unresolved and its MPDUs land in `leftover`.
+      break;
+    }
     const CsiMatrix h_start = channel.csi_true(t);
     const double eff_snr = effective_snr_db(h_start, channel.snr_db(t));
     const CsiMatrix h_end = channel.csi_true(t + frame_airtime);
@@ -84,8 +99,6 @@ LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
       if (!delivered[static_cast<std::size_t>(i)]) ++n_failed;
     }
 
-    const double ack_t = t + exchange_airtime_s(entry, n, config.mpdu_payload_bytes,
-                                                config.airtime);
     const auto outcome = window.on_block_ack(frame, delivered);
     for (const TrackedMpdu& m : outcome.delivered) {
       result.latencies_s.add(ack_t - m.enqueue_t);
@@ -104,6 +117,17 @@ LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
 
     t = ack_t;
   }
+
+  // Arrivals the service loop never reached (it can exit with t well short
+  // of duration_s) are still offered load; drain them into the queue so the
+  // conservation identity holds.
+  while (next_arrival_t < config.duration_s) {
+    window.enqueue(next_arrival_t);
+    ++result.offered;
+    next_arrival_t += inter_arrival;
+  }
+  result.leftover = static_cast<int>(window.queued() + window.in_flight() +
+                                     window.pending_retransmit());
 
   result.goodput_mbps =
       8.0 * static_cast<double>(delivered_bytes) / config.duration_s / 1e6;

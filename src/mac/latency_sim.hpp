@@ -11,6 +11,7 @@
 
 #include "chan/scenario.hpp"
 #include "core/mobility_classifier.hpp"
+#include "fault/fault.hpp"
 #include "mac/aggregation.hpp"
 #include "mac/blockack.hpp"
 #include "mac/rate_adaptation.hpp"
@@ -32,12 +33,21 @@ struct LatencySimConfig {
   AirtimeConfig airtime;
   MobilityClassifier::Config classifier;
   bool run_classifier = true;
+
+  /// PHY-observable fault injection; an all-zero plan is bitwise-identical
+  /// to the unfaulted path.
+  FaultPlan fault;
 };
 
 struct LatencySimResult {
   SampleSet latencies_s;   ///< enqueue -> acknowledged, per delivered MPDU
-  int delivered = 0;
+  int delivered = 0;       ///< acked at or before duration_s
   int dropped = 0;         ///< retry limit exceeded
+  /// CBR arrivals in [0, duration_s) — every one of them is accounted for:
+  /// offered == delivered + dropped + leftover.
+  int offered = 0;
+  /// Still queued / in flight / awaiting retransmission when time ran out.
+  int leftover = 0;
   double goodput_mbps = 0.0;
 };
 

@@ -10,6 +10,7 @@ namespace mobiwlan {
 LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
                             const LinkSimConfig& config, Rng& rng) {
   WirelessChannel& channel = *scenario.channel;
+  DegradedObservables obs(channel, config.fault);
   MobilityClassifier classifier(config.classifier);
 
   LinkSimResult result;
@@ -38,14 +39,18 @@ LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
 
   while (t < config.duration_s) {
     // --- classifier inputs arrive on their own cadence -----------------
+    // A reading the fault layer drops simply never reaches the classifier
+    // (the export was lost); the classifier's own hold-then-decay covers
+    // the resulting gaps.
     if (config.run_classifier) {
       while (next_classifier_csi_t <= t) {
-        classifier.on_csi(next_classifier_csi_t,
-                          channel.csi_at(next_classifier_csi_t));
+        if (auto csi = obs.csi(next_classifier_csi_t))
+          classifier.on_csi(next_classifier_csi_t, *csi);
         next_classifier_csi_t += config.classifier.csi_period_s;
       }
       while (next_tof_t <= t) {
-        classifier.on_tof(next_tof_t, channel.tof_cycles(next_tof_t));
+        if (auto tof = obs.tof_cycles(next_tof_t))
+          classifier.on_tof(next_tof_t, *tof);
         next_tof_t += config.classifier.tof_period_s;
       }
     }
@@ -54,12 +59,16 @@ LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
     TxContext ctx;
     ctx.t = t;
     ctx.mpdu_payload_bytes = config.mpdu_payload_bytes;
-    if (config.run_classifier && classifier.similarity()) {
+    if (config.run_classifier) {
+      // decision(t) decays to nullopt when the CSI stream has gone silent;
+      // the rate adapter then falls back to its mobility-oblivious path
+      // instead of acting on a stale mode.
+      const std::optional<MobilityMode> decided = classifier.decision(t);
       if (config.mobility_hint_latency_s <= 0.0) {
-        ctx.mobility = classifier.mode();
-      } else {
+        ctx.mobility = decided;
+      } else if (decided) {
         if (t >= next_hint_t) {
-          advertised_mode = classifier.mode();
+          advertised_mode = *decided;
           next_hint_t = t + config.mobility_hint_latency_s;
         }
         ctx.mobility = advertised_mode;
@@ -146,7 +155,10 @@ LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
     }
 
     // --- client PHY feedback for the next frame -------------------------
-    if (config.provide_phy_feedback && frame.block_ack_received) {
+    // The feedback rides the acked frame; its export can be lost too, in
+    // which case the RA keeps the previous frame's view.
+    if (config.provide_phy_feedback && frame.block_ack_received &&
+        obs.feedback_delivered(t)) {
       feedback_esnr = eff_snr;
       feedback_ber = frame_ber_sum / plan.n_mpdus;
     }

@@ -17,6 +17,7 @@
 
 #include "chan/scenario.hpp"
 #include "core/mobility_classifier.hpp"
+#include "fault/fault.hpp"
 #include "mac/aggregation.hpp"
 #include "mac/rate_adaptation.hpp"
 #include "phy/error_model.hpp"
@@ -31,6 +32,11 @@ struct LinkSimConfig {
   AggregationPolicy aggregation;
   ErrorModelConfig error_model;
   AirtimeConfig airtime;
+
+  /// PHY-observable fault injection (CSI/ToF/feedback exports). An all-zero
+  /// plan is bitwise-identical to the unfaulted path. The sensor hint is a
+  /// client accelerometer, not a PHY export, so it is never faulted here.
+  FaultPlan fault;
 
   /// Feed the AP-side classifier and expose its output in TxContext.
   bool run_classifier = true;

@@ -44,6 +44,21 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
   MobilityClassifier classifier(config.classifier);
   std::vector<TofTracker> heading(wlan.n_aps(), TofTracker(config.classifier.tof));
 
+  // Per-AP fault streams over the controller-facing PHY exports (unit = AP
+  // index, so every AP's losses are independent but reproducible). A dropped
+  // reading never touches the channel — the measurement was made but its
+  // export was lost — so an all-zero plan leaves the RNG sequence, and thus
+  // every output, bitwise-identical.
+  std::vector<FaultStream> csi_fault;
+  std::vector<FaultStream> tof_fault;
+  std::vector<FaultStream> rssi_fault;
+  for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+    csi_fault.push_back(make_stream(config.fault, FaultStreamKind::kCsi, ap));
+    tof_fault.push_back(make_stream(config.fault, FaultStreamKind::kTof, ap));
+    rssi_fault.push_back(make_stream(config.fault, FaultStreamKind::kRssi, ap));
+  }
+  const bool rssi_only = config.fault.rssi_only;
+
   double delivered_mbit = 0.0;
   double outage_until = 0.0;
   double next_csi_t = 0.0;
@@ -58,11 +73,19 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
     return true;
   };
 
+  // Dead air is a single extend-only window: overlapping causes (a periodic
+  // scan that immediately triggers a handoff) merge instead of double-counting,
+  // and `result.outage_s` counts exactly the realized window extension.
+  auto add_outage = [&](double t, double dur) {
+    const double until = std::max(outage_until, t + dur);
+    result.outage_s += until - std::max(outage_until, t);
+    outage_until = until;
+  };
+
   auto begin_handoff = [&](double t, std::size_t target, double outage) {
     assoc = target;
-    outage_until = t + outage;
+    add_outage(t, outage);
     ++result.handoffs;
-    result.outage_s += outage;
     result.associations.emplace_back(t, target);
     classifier = MobilityClassifier(config.classifier);
   };
@@ -70,12 +93,16 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
   for (double t = 0.0; t < config.duration_s; t += config.step_s) {
     if (scheme == RoamingScheme::kMotionAware) {
       while (next_csi_t <= t) {
-        classifier.on_csi(next_csi_t, wlan.channel(assoc).csi_at(next_csi_t));
+        if (!rssi_only && csi_fault[assoc].deliver(next_csi_t))
+          classifier.on_csi(next_csi_t, wlan.channel(assoc).csi_at(
+                                            csi_fault[assoc].measured_t(next_csi_t)));
         next_csi_t += config.classifier.csi_period_s;
       }
       while (next_tof_t <= t) {
         for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
-          const double tof = wlan.channel(ap).tof_cycles(next_tof_t);
+          if (rssi_only || !tof_fault[ap].deliver(next_tof_t)) continue;
+          const double tof =
+              wlan.channel(ap).tof_cycles(tof_fault[ap].measured_t(next_tof_t));
           if (ap == assoc)
             classifier.on_tof(next_tof_t, tof);
           else
@@ -89,19 +116,26 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
 
     delivered_mbit += link_rate_mbps(wlan.channel(assoc), t, config) * config.step_s;
 
-    const double current_rssi = wlan.channel(assoc).rssi_dbm(t);
+    // Serving-link RSSI as exported by the AP firmware; the export can be
+    // lost or stale. Scan measurements of *other* APs below are made fresh
+    // by the client itself during the scan, so they are never faulted.
+    std::optional<double> current_rssi;
+    if (rssi_fault[assoc].deliver(t))
+      current_rssi = wlan.channel(assoc).rssi_dbm(rssi_fault[assoc].measured_t(t));
 
     switch (scheme) {
       case RoamingScheme::kDefault:
-        // Stock client: roam only when the serving AP becomes weak.
-        if (weak_signal(t, current_rssi)) {
+        // Stock client: roam only when the serving AP becomes weak. A lost
+        // RSSI export simply means no roam decision this tick — the stock
+        // client degrades to staying put, never to a spurious handoff.
+        if (current_rssi && weak_signal(t, *current_rssi)) {
           const std::size_t target = wlan.strongest_ap(t);
           begin_handoff(t, target, config.handoff_outage_s);
         }
         break;
 
       case RoamingScheme::kSensorHint: {
-        if (weak_signal(t, current_rssi)) {
+        if (current_rssi && weak_signal(t, *current_rssi)) {
           begin_handoff(t, wlan.strongest_ap(t), config.handoff_outage_s);
           break;
         }
@@ -111,11 +145,16 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
         if (moving && t >= next_scan_t) {
           next_scan_t = t + config.scan_interval_s;
           // The periodic scan itself costs airtime whether or not it helps.
-          outage_until = t + config.scan_cost_s;
-          result.outage_s += config.scan_cost_s;
+          add_outage(t, config.scan_cost_s);
+          ++result.scans;
           const std::size_t best = wlan.strongest_ap(t);
+          // A scan re-measures the serving AP too, so a lost passive export
+          // is repaired here at the scan's cost (extra channel read only on
+          // faulted paths — the zero-fault RNG sequence is untouched).
+          const double serving_rssi =
+              current_rssi ? *current_rssi : wlan.channel(assoc).rssi_dbm(t);
           if (best != assoc && wlan.channel(best).rssi_dbm(t) >
-                                   current_rssi + config.better_margin_db) {
+                                   serving_rssi + config.better_margin_db) {
             begin_handoff(t, best, config.handoff_outage_s);
           }
         }
@@ -125,18 +164,23 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
       case RoamingScheme::kMotionAware: {
         // The stock client behaviour still applies underneath (§3.1: "does
         // not impose any changes in the client's association mechanism").
-        if (weak_signal(t, current_rssi)) {
+        if (current_rssi && weak_signal(t, *current_rssi)) {
           begin_handoff(t, wlan.strongest_ap(t), config.handoff_outage_s);
           break;
         }
         if (t < steer_ok_t) break;
-        if (!classifier.similarity() ||
-            classifier.mode() != MobilityMode::kMacroAway)
-          break;
+        // Graceful degradation: steer only on a *fresh* classification.
+        // decision(t) decays to nullopt when the CSI stream goes stale, and
+        // the heading trackers reset their trend windows across ToF gaps, so
+        // under heavy export loss this scheme falls back to the stock
+        // weak-signal behaviour above rather than steering on stale state.
+        const std::optional<MobilityMode> decided = classifier.decision(t);
+        if (!decided || *decided != MobilityMode::kMacroAway) break;
+        if (!current_rssi) break;  // no serving baseline to compare against
         // Candidate set: APs the client is heading toward (their ToF trend
         // decreases) with similar-or-stronger signal.
         std::size_t best_candidate = assoc;
-        double best_rssi = current_rssi - 1.0;  // "similar or higher"
+        double best_rssi = *current_rssi - 1.0;  // "similar or higher"
         for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
           if (ap == assoc) continue;
           if (heading[ap].trend() != TofTrend::kDecreasing) continue;

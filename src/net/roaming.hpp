@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/mobility_classifier.hpp"
+#include "fault/fault.hpp"
 #include "net/deployment.hpp"
 #include "phy/error_model.hpp"
 
@@ -45,12 +46,19 @@ struct RoamingConfig {
   double mac_efficiency = 0.70;
   MobilityClassifier::Config classifier;
   ErrorModelConfig error_model;
+
+  /// PHY-observable fault injection, applied per AP (unit = AP index). The
+  /// passive serving-link RSSI export is faulted; the active scan's fresh
+  /// measurements are not (the client measures those itself). An all-zero
+  /// plan is bitwise-identical to the unfaulted path.
+  FaultPlan fault;
 };
 
 struct RoamingResult {
   double mean_throughput_mbps = 0.0;
   int handoffs = 0;
-  double outage_s = 0.0;
+  int scans = 0;          ///< sensor-hint periodic scans performed
+  double outage_s = 0.0;  ///< realized dead-air (extend-only window)
   /// (time, serving AP) at every association change.
   std::vector<std::pair<double, std::size_t>> associations;
 };

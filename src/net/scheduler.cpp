@@ -5,31 +5,34 @@
 
 namespace mobiwlan {
 
-std::size_t RoundRobinScheduler::pick(const std::vector<ClientSlotInfo>& clients) {
+std::size_t RoundRobinScheduler::pick(
+    const std::vector<ClientSlotInfo>& clients) const {
   if (clients.empty()) throw std::invalid_argument("no clients to schedule");
-  const std::size_t chosen = next_ % clients.size();
-  next_ = (next_ + 1) % clients.size();
-  return chosen;
+  return next_ % clients.size();
 }
 
-void RoundRobinScheduler::on_served(std::size_t, double) {}
+void RoundRobinScheduler::on_served(const std::vector<ClientSlotInfo>& clients,
+                                    std::size_t served) {
+  next_ = clients.empty() ? 0 : (served + 1) % clients.size();
+}
 
 std::size_t ProportionalFairScheduler::pick(
-    const std::vector<ClientSlotInfo>& clients) {
+    const std::vector<ClientSlotInfo>& clients) const {
   if (clients.empty()) throw std::invalid_argument("no clients to schedule");
-  while (averages_.size() < clients.size())
-    averages_.emplace_back(config_.alpha);
-  while (rate_smooth_.size() < clients.size())
-    rate_smooth_.emplace_back(config_.rate_alpha);
 
   std::size_t best = 0;
   double best_metric = -1.0;
   for (std::size_t i = 0; i < clients.size(); ++i) {
-    rate_smooth_[i].add(clients[i].rate_mbps);
-    const double avg =
-        std::max(averages_[i].primed() ? averages_[i].value() : 0.0,
-                 config_.min_average_mbps);
-    const double smooth = std::max(rate_smooth_[i].value(), 1e-6);
+    const double avg = std::max(
+        i < averages_.size() && averages_[i].primed() ? averages_[i].value()
+                                                      : 0.0,
+        config_.min_average_mbps);
+    // Before the first on_served the channel average is unknown; treat the
+    // instantaneous rate as its own average (relative ratio of 1).
+    const double smooth =
+        i < rate_smooth_.size() && rate_smooth_[i].primed()
+            ? std::max(rate_smooth_[i].value(), 1e-6)
+            : std::max(clients[i].rate_mbps, 1e-6);
     const double m = metric(clients[i], avg, smooth);
     if (m > best_metric) {
       best_metric = m;
@@ -39,11 +42,18 @@ std::size_t ProportionalFairScheduler::pick(
   return best;
 }
 
-void ProportionalFairScheduler::on_served(std::size_t client, double rate_mbps) {
-  while (averages_.size() <= client) averages_.emplace_back(config_.alpha);
+void ProportionalFairScheduler::on_served(
+    const std::vector<ClientSlotInfo>& clients, std::size_t served) {
+  while (averages_.size() < clients.size()) averages_.emplace_back(config_.alpha);
+  while (rate_smooth_.size() < clients.size())
+    rate_smooth_.emplace_back(config_.rate_alpha);
   // Every client's average decays each slot; the served one credits its rate.
-  for (std::size_t i = 0; i < averages_.size(); ++i)
-    averages_[i].add(i == client ? rate_mbps : 0.0);
+  // The offered-rate estimate advances once per *slot*, not per pick() call,
+  // so probing a slot twice cannot skew the mobility-aware boost.
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    rate_smooth_[i].add(clients[i].rate_mbps);
+    averages_[i].add(i == served ? clients[i].rate_mbps : 0.0);
+  }
 }
 
 double ProportionalFairScheduler::metric(const ClientSlotInfo& info,

@@ -39,20 +39,25 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
-  /// Index of the client to serve this slot.
-  virtual std::size_t pick(const std::vector<ClientSlotInfo>& clients) = 0;
+  /// Index of the client to serve this slot. Must not mutate scheduler
+  /// state: calling pick() twice on the same slot (e.g. to probe the
+  /// decision) returns the same index as calling it once.
+  virtual std::size_t pick(const std::vector<ClientSlotInfo>& clients) const = 0;
 
-  /// Inform the scheduler of the rate actually delivered to `client`
-  /// (0 for everyone not served).
-  virtual void on_served(std::size_t client, double rate_mbps) = 0;
+  /// Commit one served slot: `clients` is the same snapshot that was passed
+  /// to pick() and `served` the index actually served. All per-slot state
+  /// updates (throughput averages, channel-rate smoothing) happen here.
+  virtual void on_served(const std::vector<ClientSlotInfo>& clients,
+                         std::size_t served) = 0;
 
   virtual std::string_view name() const = 0;
 };
 
 class RoundRobinScheduler final : public Scheduler {
  public:
-  std::size_t pick(const std::vector<ClientSlotInfo>& clients) override;
-  void on_served(std::size_t client, double rate_mbps) override;
+  std::size_t pick(const std::vector<ClientSlotInfo>& clients) const override;
+  void on_served(const std::vector<ClientSlotInfo>& clients,
+                 std::size_t served) override;
   std::string_view name() const override { return "round-robin"; }
 
  private:
@@ -72,8 +77,9 @@ class ProportionalFairScheduler : public Scheduler {
   ProportionalFairScheduler() : ProportionalFairScheduler(Config{}) {}
   explicit ProportionalFairScheduler(Config config) : config_(config) {}
 
-  std::size_t pick(const std::vector<ClientSlotInfo>& clients) override;
-  void on_served(std::size_t client, double rate_mbps) override;
+  std::size_t pick(const std::vector<ClientSlotInfo>& clients) const override;
+  void on_served(const std::vector<ClientSlotInfo>& clients,
+                 std::size_t served) override;
   std::string_view name() const override { return "proportional-fair"; }
 
  protected:

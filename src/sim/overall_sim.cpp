@@ -30,6 +30,21 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
   MobilityClassifier classifier(config.classifier);
   std::vector<TofTracker> heading(wlan.n_aps(), TofTracker(config.classifier.tof));
 
+  // Per-AP fault streams over the controller-facing exports. Dropped CSI/RSSI
+  // readings skip the channel call entirely (export lost, channel RNG
+  // untouched), so an all-zero plan is bitwise-identical. ToF is measured by
+  // a batched sweep across all APs, so the sweep always runs and per-AP drops
+  // are applied to the *export* after the fact.
+  std::vector<FaultStream> csi_fault;
+  std::vector<FaultStream> tof_fault;
+  std::vector<FaultStream> rssi_fault;
+  for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+    csi_fault.push_back(make_stream(config.fault, FaultStreamKind::kCsi, ap));
+    tof_fault.push_back(make_stream(config.fault, FaultStreamKind::kTof, ap));
+    rssi_fault.push_back(make_stream(config.fault, FaultStreamKind::kRssi, ap));
+  }
+  const bool rssi_only = config.fault.rssi_only;
+
   // All CSI/ToF measurement traffic runs through the deployment's batched
   // channel view: same per-link draw order as the csi_at/tof_cycles calls it
   // replaces, but the synthesis path is vectorized and the reused buffers
@@ -53,9 +68,12 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
   bool have_fb = false;
   long delivered_bytes = 0;
 
-  auto current_mode = [&]() -> std::optional<MobilityMode> {
-    if (!config.mobility_aware || !classifier.similarity()) return std::nullopt;
-    return classifier.mode();
+  // Hold-then-decay: decision(now) withholds the mode once the CSI stream
+  // goes stale, so every mobility-aware knob falls back to stock behaviour
+  // under export loss instead of acting on an outdated classification.
+  auto current_mode = [&](double now) -> std::optional<MobilityMode> {
+    if (!config.mobility_aware) return std::nullopt;
+    return classifier.decision(now);
   };
 
   auto begin_handoff = [&](std::size_t target) {
@@ -76,13 +94,21 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
     // --- measurement processes -----------------------------------------
     if (config.mobility_aware) {
       while (next_csi_t <= t) {
-        batch.csi_into(assoc, next_csi_t, meas_csi, scratch);
-        classifier.on_csi(next_csi_t, meas_csi);
+        if (!rssi_only && csi_fault[assoc].deliver(next_csi_t)) {
+          batch.csi_into(assoc, csi_fault[assoc].measured_t(next_csi_t),
+                         meas_csi, scratch);
+          classifier.on_csi(next_csi_t, meas_csi);
+        }
         next_csi_t += config.classifier.csi_period_s;
       }
       while (next_tof_t <= t) {
-        wlan.tof_sweep(next_tof_t, tof_sweep.data());
+        // plan.tof.delay_s is shared by every AP, so the whole (batched)
+        // sweep samples at the delayed instant; drops then lose individual
+        // AP exports without perturbing the shared draw order.
+        const double shifted = next_tof_t - config.fault.tof.delay_s;
+        wlan.tof_sweep(shifted > 0.0 ? shifted : 0.0, tof_sweep.data());
         for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+          if (rssi_only || !tof_fault[ap].deliver(next_tof_t)) continue;
           if (ap == assoc)
             classifier.on_tof(next_tof_t, tof_sweep[ap]);
           else
@@ -92,7 +118,7 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
       }
     }
 
-    const std::optional<MobilityMode> mode = current_mode();
+    const std::optional<MobilityMode> mode = current_mode(t);
     const ProtocolParams params = mode ? mobility_params(*mode) : stock;
 
     // --- CSI feedback sounding (beamforming) ----------------------------
@@ -107,16 +133,21 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
     // --- roaming control loop -------------------------------------------
     if (t >= next_roam_check_t) {
       next_roam_check_t = t + config.roam_check_period_s;
-      const double current_rssi = link.rssi_dbm(t);
-      if (current_rssi < config.rssi_threshold_dbm && t >= threshold_scan_ok_t) {
+      // Serving-link RSSI export; when the export is lost there is nothing
+      // to trigger on this check and the client stays put (no spurious roam).
+      std::optional<double> current_rssi;
+      if (rssi_fault[assoc].deliver(t))
+        current_rssi = link.rssi_dbm(rssi_fault[assoc].measured_t(t));
+      if (current_rssi && *current_rssi < config.rssi_threshold_dbm &&
+          t >= threshold_scan_ok_t) {
         threshold_scan_ok_t = t + config.min_scan_gap_s;
         begin_handoff(wlan.strongest_ap(t));
         continue;
       }
       if (config.mobility_aware && t >= steer_ok_t && mode &&
-          *mode == MobilityMode::kMacroAway) {
+          *mode == MobilityMode::kMacroAway && current_rssi) {
         std::size_t best_candidate = assoc;
-        double best_rssi = current_rssi - 1.0;
+        double best_rssi = *current_rssi - 1.0;
         for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
           if (ap == assoc) continue;
           if (heading[ap].trend() != TofTrend::kDecreasing) continue;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/mobility_classifier.hpp"
+#include "fault/fault.hpp"
 #include "net/deployment.hpp"
 #include "phy/airtime.hpp"
 #include "phy/csi_feedback.hpp"
@@ -34,6 +35,12 @@ struct OverallSimConfig {
   ErrorModelConfig error_model;
   AirtimeConfig airtime;
   CsiFeedbackConfig feedback;
+
+  /// PHY-observable fault injection on the controller-facing exports
+  /// (unit = AP index). The beamforming sounding is an active protocol
+  /// exchange and is never faulted. An all-zero plan is bitwise-identical
+  /// to the unfaulted path.
+  FaultPlan fault;
 };
 
 struct OverallSimResult {

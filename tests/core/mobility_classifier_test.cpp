@@ -157,6 +157,61 @@ TEST(ClassifierUnitTest, ThresholdsConfigurable) {
   EXPECT_EQ(clf.mode(), MobilityMode::kStatic);
 }
 
+TEST(ClassifierUnitTest, DecisionMatchesModeWhileCsiIsFresh) {
+  MobilityClassifier clf;
+  EXPECT_FALSE(clf.decision(0.0).has_value());  // no similarity yet
+  Rng rng(21);
+  const CsiMatrix base = random_csi(rng);
+  for (double t = 0.0; t <= 5.0; t += 0.5) {
+    clf.on_csi(t, perturbed(base, 1e-5, rng));
+    if (clf.similarity()) {
+      const auto d = clf.decision(t);
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(*d, clf.mode());
+    }
+  }
+}
+
+TEST(ClassifierUnitTest, DecisionDecaysAfterCsiStaleHold) {
+  MobilityClassifier clf;
+  Rng rng(22);
+  const CsiMatrix base = random_csi(rng);
+  for (double t = 0.0; t <= 5.0; t += 0.5)
+    clf.on_csi(t, perturbed(base, 1e-5, rng));
+  const double hold = clf.config().csi_stale_hold_s;
+  // Within the hold the last mode is still actionable...
+  ASSERT_TRUE(clf.decision(5.0 + hold).has_value());
+  EXPECT_EQ(*clf.decision(5.0 + hold), MobilityMode::kStatic);
+  // ...past it the classifier declines to decide rather than act on stale
+  // state (consumers fall back to their PHY-hint-free behaviour).
+  EXPECT_FALSE(clf.decision(5.0 + hold + 0.1).has_value());
+}
+
+TEST(ClassifierUnitTest, CsiGapReanchorsSimilarityStream) {
+  MobilityClassifier clf;
+  Rng rng(23);
+  const CsiMatrix base = random_csi(rng);
+  for (double t = 0.0; t <= 3.0; t += 0.5)
+    clf.on_csi(t, perturbed(base, 1e-5, rng));
+  ASSERT_TRUE(clf.similarity().has_value());
+  EXPECT_EQ(clf.mode(), MobilityMode::kStatic);
+  // A 2 s hole (> 2.5 periods): comparing across it would measure the gap,
+  // not the channel. The first post-gap sample must only re-anchor — even a
+  // completely uncorrelated one must not flip the mode by itself.
+  const CsiMatrix anchor = random_csi(rng);
+  clf.on_csi(5.0, anchor);
+  EXPECT_FALSE(clf.similarity().has_value());
+  EXPECT_FALSE(clf.decision(5.0).has_value());
+  EXPECT_EQ(clf.mode(), MobilityMode::kStatic);
+  // Consecutive samples after the re-anchor rebuild the similarity average
+  // from genuinely adjacent pairs and decisions resume.
+  for (double t = 5.5; t <= 8.0; t += 0.5)
+    clf.on_csi(t, perturbed(anchor, 1e-5, rng));
+  ASSERT_TRUE(clf.similarity().has_value());
+  ASSERT_TRUE(clf.decision(8.0).has_value());
+  EXPECT_EQ(*clf.decision(8.0), MobilityMode::kStatic);
+}
+
 // ---------- behavioural tests over the channel simulator -----------------
 
 TEST(ClassifierScenarioTest, StaticScenario) {

@@ -107,20 +107,22 @@ TEST(TofTrackerAdversarialTest, DecreasingMirrorsIncreasing) {
   EXPECT_EQ(at_threshold.trend(), TofTrend::kNone);
 }
 
-TEST(TofTrackerAdversarialTest, SparseReadingsSkipEmptyEpochs) {
-  // Readings 3 s apart: the two empty epochs in between produce no median
-  // (flush of an empty aggregator), so the window must not fill with stale
-  // or zero values.
+TEST(TofTrackerAdversarialTest, SparseReadingsNeverFormATrend) {
+  // Readings 3 s apart: each flush is a valid median of its own epoch (so
+  // median_count advances), but the empty epochs in between break the
+  // consecutive-second evidence chain — the trend window restarts at every
+  // gap instead of stitching medians that are seconds apart into a "4 s"
+  // window actually spanning 12 s.
   TofTracker tracker;
   tracker.add(0.0, 100.0);
   tracker.add(3.0, 101.0);   // flushes epoch 0's median only
   tracker.add(6.0, 102.0);   // flushes epoch 3's median only
   tracker.add(9.0, 103.0);
   EXPECT_EQ(tracker.median_count(), 3u);
-  EXPECT_EQ(tracker.trend(), TofTrend::kNone);  // window (4) not yet full
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);
   tracker.add(12.0, 104.0);
   EXPECT_EQ(tracker.median_count(), 4u);
-  EXPECT_EQ(tracker.trend(), TofTrend::kIncreasing);
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);  // never consecutive
 }
 
 TEST(TofTrackerAdversarialTest, ResetDropsHistoryMidRamp) {

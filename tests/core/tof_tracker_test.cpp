@@ -115,6 +115,38 @@ TEST(TofTrackerTest, ConfigurableWindow) {
   EXPECT_EQ(tracker.trend(), TofTrend::kIncreasing);
 }
 
+TEST(TofTrackerTest, ObservationGapBreaksTrendEvidence) {
+  // Regression: per-second medians on either side of a multi-second hole in
+  // the readings (dropped ToF exports) used to be treated as consecutive,
+  // so a pre-gap ramp kept "trending" on stale evidence. Gap semantics are
+  // now explicit: the trend window restarts at the gap and must refill with
+  // genuinely consecutive seconds before a trend can be declared.
+  TofTracker tracker;
+  Rng rng(20);
+  feed(tracker, 100.0, 0.8, 0.3, 7.0, rng);
+  ASSERT_EQ(tracker.trend(), TofTrend::kIncreasing);
+  // ~3 s of ramp after a 93 s hole: enough for 3 fresh medians, not enough
+  // to refill the 4-median window.
+  feed(tracker, 106.0, 0.8, 0.3, 3.5, rng, /*t0=*/100.0);
+  EXPECT_EQ(tracker.trend(), TofTrend::kNone);
+  // Once the post-gap stream runs long enough, the trend is re-detected
+  // from fresh evidence alone.
+  feed(tracker, 109.0, 0.8, 0.3, 4.0, rng, /*t0=*/103.5);
+  EXPECT_EQ(tracker.trend(), TofTrend::kIncreasing);
+}
+
+TEST(TofTrackerTest, HugeGapCostsConstantTime) {
+  // Regression: closing out elapsed periods looped once per period, so a
+  // reading after a 1e9 s hole spun a billion iterations. Now it is O(1).
+  TofTracker tracker;
+  Rng rng(21);
+  feed(tracker, 100.0, 0.0, 0.0, 1.1, rng);
+  const std::size_t before = tracker.median_count();
+  tracker.add(1.0e9, 100.0);  // must return immediately
+  tracker.add(1.0e9 + 1.0, 100.0);
+  EXPECT_LE(tracker.median_count(), before + 2);
+}
+
 class TrendSlopeNoiseSweep
     : public ::testing::TestWithParam<std::pair<double, double>> {};
 

@@ -49,6 +49,49 @@ TEST(LatencySimTest, GoodputMatchesOfferedLoadWhenUnderCapacity) {
   EXPECT_EQ(r.dropped, 0);
 }
 
+TEST(LatencySimTest, EndOfRunAccountingConserves) {
+  // Every CBR arrival in [0, duration_s) is accounted for exactly once.
+  for (auto cls : {MobilityClass::kStatic, MobilityClass::kMacro}) {
+    Rng rng(50 + static_cast<int>(cls));
+    Scenario s = make_scenario(cls, rng);
+    AtherosRa ra;
+    const LatencySimConfig cfg = quick_config();
+    Rng sim_rng(60 + static_cast<int>(cls));
+    const auto r = simulate_latency(s, ra, cfg, sim_rng);
+    // The analytic arrival count, accumulated the same way the sim steps
+    // its arrival clock (FP accumulation and all).
+    int expected_offered = 0;
+    for (double a = 0.0; a < cfg.duration_s; a += 1.0 / cfg.offered_pps)
+      ++expected_offered;
+    EXPECT_EQ(r.offered, expected_offered);
+    EXPECT_EQ(r.delivered + r.dropped + r.leftover, r.offered);
+  }
+}
+
+TEST(LatencySimTest, NoDeliveryCountedPastTheHorizon) {
+  // Regression: with a horizon shorter than a single frame exchange, the
+  // first frame used to be acked past duration_s and still counted into
+  // delivered_bytes (while goodput divides by duration_s). Now the final
+  // frame is clamped: nothing is delivered, everything offered is leftover.
+  Rng rng(70);
+  Scenario s = make_scenario(MobilityClass::kStatic, rng);
+  AtherosRa ra;
+  LatencySimConfig cfg = quick_config();
+  cfg.duration_s = 1e-4;       // shorter than any A-MPDU exchange
+  cfg.offered_pps = 1e6;       // 100 arrivals inside the horizon
+  Rng sim_rng(71);
+  const auto r = simulate_latency(s, ra, cfg, sim_rng);
+  int expected_offered = 0;
+  for (double a = 0.0; a < cfg.duration_s; a += 1.0 / cfg.offered_pps)
+    ++expected_offered;
+  EXPECT_EQ(r.offered, expected_offered);
+  EXPECT_GT(r.offered, 90);
+  EXPECT_EQ(r.delivered, 0);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_EQ(r.leftover, r.offered);
+  EXPECT_EQ(r.goodput_mbps, 0.0);
+}
+
 TEST(LatencySimTest, MobilityInflatesTailLatencyAtLongAggregation) {
   // The mechanism behind the §9 real-time concern: under macro-mobility,
   // 8 ms frames lose their tails, and retransmission head-of-line blocking

@@ -75,6 +75,28 @@ TEST(RoamingTest, SensorHintScansCostOutageEvenWithoutHandoff) {
   EXPECT_GT(r.outage_s, r.handoffs * short_config().handoff_outage_s - 1e-9);
 }
 
+TEST(RoamingTest, ScanTriggeredHandoffOutageIsExtendOnly) {
+  // Regression: the periodic sensor-hint scan used to add scan_cost_s to
+  // outage_s and then an immediate handoff added handoff_outage_s on top
+  // while *overwriting* the enforcement window — reported outage exceeded
+  // (or with a short handoff, the enforced window undercut) the realized
+  // dead air. With handoff_outage_s < scan_cost_s the realized window per
+  // scan-triggered handoff is exactly the scan cost, so outage_s must be
+  // scans * scan_cost_s — the old code reported extra handoff outage on top.
+  Rng rng(0);
+  WlanDeployment wlan = walking_deployment(9, rng);
+  RoamingConfig cfg = short_config();
+  cfg.duration_s = 90.0;
+  cfg.rssi_threshold_dbm = -200.0;  // no threshold-triggered handoffs
+  cfg.handoff_outage_s = 0.05;      // shorter than the 0.12 s scan window
+  Rng sim_rng(10);
+  const RoamingResult r =
+      simulate_roaming(wlan, RoamingScheme::kSensorHint, cfg, sim_rng);
+  ASSERT_GT(r.scans, 0);
+  ASSERT_GT(r.handoffs, 0);  // the walk must actually trigger steered scans
+  EXPECT_NEAR(r.outage_s, r.scans * cfg.scan_cost_s, 1e-9);
+}
+
 TEST(RoamingTest, MotionAwareBeatsDefaultOnMedianWalk) {
   // The headline §3.2 comparison, on a small sample.
   double aware_total = 0.0;

@@ -16,10 +16,11 @@ ClientSlotInfo client(double rate, std::optional<MobilityMode> mode = std::nullo
 TEST(RoundRobinTest, CyclesThroughClients) {
   RoundRobinScheduler s;
   const std::vector<ClientSlotInfo> clients{client(10), client(20), client(30)};
-  EXPECT_EQ(s.pick(clients), 0u);
-  EXPECT_EQ(s.pick(clients), 1u);
-  EXPECT_EQ(s.pick(clients), 2u);
-  EXPECT_EQ(s.pick(clients), 0u);
+  for (std::size_t expect : {0u, 1u, 2u, 0u}) {
+    const std::size_t who = s.pick(clients);
+    EXPECT_EQ(who, expect);
+    s.on_served(clients, who);
+  }
 }
 
 TEST(RoundRobinTest, EmptyThrows) {
@@ -39,7 +40,7 @@ TEST(ProportionalFairTest, StarvedClientEventuallyServed) {
   bool served_slow = false;
   for (int slot = 0; slot < 200 && !served_slow; ++slot) {
     const std::size_t who = s.pick(clients);
-    s.on_served(who, clients[who].rate_mbps);
+    s.on_served(clients, who);
     if (who == 0) served_slow = true;
   }
   EXPECT_TRUE(served_slow);
@@ -54,7 +55,7 @@ TEST(ProportionalFairTest, LongRunSharesAreFairish) {
         client(20.0 + 10.0 * ((slot / 7) % 2)),
         client(20.0 + 10.0 * ((slot / 11) % 2))};
     const std::size_t who = s.pick(clients);
-    s.on_served(who, clients[who].rate_mbps);
+    s.on_served(clients, who);
     ++served[who];
   }
   const double share0 = served[0] / 2000.0;
@@ -75,7 +76,7 @@ TEST(MobilityAwareTest, RidesMobileClientPeaks) {
         client(30.0, MobilityMode::kStatic),
         client(peak ? 50.0 : 10.0, MobilityMode::kMacroAway)};
     const std::size_t who = s.pick(clients);
-    s.on_served(who, clients[who].rate_mbps);
+    s.on_served(clients, who);
     if (who == 1) (peak ? mobile_served_at_peak : mobile_served_at_trough)++;
   }
   EXPECT_GT(mobile_served_at_peak, 3 * std::max(1, mobile_served_at_trough));
@@ -93,7 +94,7 @@ TEST(MobilityAwareTest, BeatsRoundRobinOnMixedClients) {
           client(30.0, MobilityMode::kStatic),
           client(peak ? 50.0 : 10.0, MobilityMode::kMacroAway)};
       const std::size_t who = s.pick(clients);
-      s.on_served(who, clients[who].rate_mbps);
+      s.on_served(clients, who);
       total += clients[who].rate_mbps;
       if (who == 0) ++static_served;
     }
@@ -106,6 +107,48 @@ TEST(MobilityAwareTest, BeatsRoundRobinOnMixedClients) {
   EXPECT_GT(ma_total, rr_total);
   // Fairness is preserved: the static client still gets a material share.
   EXPECT_GT(ma_static, 4000 / 4);
+}
+
+TEST(SchedulerStateTest, PickTwiceEqualsPickOnce) {
+  // pick() is a pure decision: probing a slot any number of times must not
+  // change the answer, for every scheduler variant.
+  RoundRobinScheduler rr;
+  ProportionalFairScheduler pf;
+  MobilityAwareScheduler ma;
+  const std::vector<ClientSlotInfo> clients{
+      client(30.0, MobilityMode::kStatic),
+      client(45.0, MobilityMode::kMacroAway), client(12.0)};
+  for (Scheduler* s : {static_cast<Scheduler*>(&rr),
+                       static_cast<Scheduler*>(&pf),
+                       static_cast<Scheduler*>(&ma)}) {
+    for (int slot = 0; slot < 50; ++slot) {
+      const std::size_t first = s->pick(clients);
+      EXPECT_EQ(s->pick(clients), first) << s->name() << " slot " << slot;
+      EXPECT_EQ(s->pick(clients), first) << s->name() << " slot " << slot;
+      s->on_served(clients, first);
+    }
+  }
+}
+
+TEST(SchedulerStateTest, ProbingDoesNotSkewMobilityBoost) {
+  // Regression: pick() used to advance the offered-rate EWMA, so an extra
+  // probe pick made a mobile client's old low rate stick in rate_smooth_ and
+  // a later moderate rate look like a huge peak (rate/rate_smooth >> 1),
+  // stealing the slot from a better static client.
+  MobilityAwareScheduler probed;
+  const std::vector<ClientSlotInfo> early{
+      client(40.0, MobilityMode::kStatic),
+      client(10.0, MobilityMode::kMacroAway)};
+  (void)probed.pick(early);  // a probe only — never committed with on_served
+  const std::vector<ClientSlotInfo> now{
+      client(40.0, MobilityMode::kStatic),
+      client(35.0, MobilityMode::kMacroAway)};
+  // Static client: metric 40/0.5 = 80. Mobile client with no committed slots
+  // has no channel average, so its relative ratio is 1: metric 35/0.5 = 70.
+  EXPECT_EQ(probed.pick(now), 0u);
+  // And the probe left no trace: a fresh scheduler agrees.
+  MobilityAwareScheduler fresh;
+  EXPECT_EQ(fresh.pick(now), probed.pick(now));
 }
 
 TEST(MobilityAwareTest, FallsBackToPfWithoutClassification) {
