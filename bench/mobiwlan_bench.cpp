@@ -27,6 +27,12 @@
 //                                         baseline (ci/fault_baseline.json)
 //   mobiwlan-bench --fault-check-only F   re-check an existing
 //                                         BENCH_fault.json, no re-run
+//   mobiwlan-bench --trace                run the record/replay determinism
+//                                         suite and write BENCH_trace.json
+//   mobiwlan-bench --trace-check          also gate against the committed
+//                                         baseline (ci/trace_baseline.json)
+//   mobiwlan-bench --trace-check-only F   re-check an existing
+//                                         BENCH_trace.json, no re-run
 //
 // Determinism contract: for a fixed --seed, the printed tables and every
 // non-"timing" byte of the JSON are identical for --jobs 1 and --jobs N.
@@ -76,7 +82,10 @@ void print_usage() {
       "                      [--scale] [--scale-check] [--scale-out PATH]\n"
       "                      [--fault] [--fault-check]\n"
       "                      [--fault-check-only PATH] [--fault-out PATH]\n"
-      "                      [--fault-baseline PATH]\n");
+      "                      [--fault-baseline PATH]\n"
+      "                      [--trace] [--trace-check]\n"
+      "                      [--trace-check-only PATH] [--trace-out PATH]\n"
+      "                      [--trace-baseline PATH]\n");
 }
 
 struct Options {
@@ -90,6 +99,8 @@ struct Options {
   bool scale_check = false;
   bool fault = false;
   bool fault_check = false;
+  bool trace = false;
+  bool trace_check = false;
   std::string filter;
   std::string json_path;
   std::string perf_out = "BENCH_channel.json";
@@ -101,6 +112,9 @@ struct Options {
   std::string fault_check_only;  // path to an existing BENCH_fault.json
   std::string fault_out = "BENCH_fault.json";
   std::string fault_baseline = "ci/fault_baseline.json";
+  std::string trace_check_only;  // path to an existing BENCH_trace.json
+  std::string trace_out = "BENCH_trace.json";
+  std::string trace_baseline = "ci/trace_baseline.json";
   double perf_min_time = 1.0;
   std::size_t jobs = 0;  // 0 = one worker per hardware thread
   std::uint64_t seed = runtime::kMasterSeed;
@@ -171,6 +185,23 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = value("--fault-out");
       if (!v) return false;
       opt.fault_out = v;
+    } else if (arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--trace-check") {
+      opt.trace = true;
+      opt.trace_check = true;
+    } else if (arg == "--trace-check-only") {
+      const char* v = value("--trace-check-only");
+      if (!v) return false;
+      opt.trace_check_only = v;
+    } else if (arg == "--trace-out") {
+      const char* v = value("--trace-out");
+      if (!v) return false;
+      opt.trace_out = v;
+    } else if (arg == "--trace-baseline") {
+      const char* v = value("--trace-baseline");
+      if (!v) return false;
+      opt.trace_baseline = v;
     } else if (arg == "--fault-baseline") {
       const char* v = value("--fault-baseline");
       if (!v) return false;
@@ -446,6 +477,16 @@ int main(int argc, char** argv) {
     fo.out = opt.fault_out;
     fo.baseline = opt.fault_baseline;
     return mobiwlan::benchsuite::run_fault_bench(fo);
+  }
+  if (opt.trace || !opt.trace_check_only.empty()) {
+    mobiwlan::benchsuite::TraceOptions to;
+    to.jobs = opt.jobs;
+    to.seed = opt.seed;
+    to.check = opt.trace_check;
+    to.check_only = opt.trace_check_only;
+    to.out = opt.trace_out;
+    to.baseline = opt.trace_baseline;
+    return mobiwlan::benchsuite::run_trace_bench(to);
   }
 
   std::vector<const BenchDef*> selected;

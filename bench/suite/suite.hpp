@@ -115,4 +115,23 @@ struct FaultOptions {
 /// fidelity report). Returns a process exit code.
 int run_fault_bench(const FaultOptions& opt);
 
+/// `mobiwlan-bench --trace` configuration (bench/suite/trace.cpp).
+struct TraceOptions {
+  std::size_t jobs = 0;       ///< pool workers (0 = one per hardware thread)
+  std::uint64_t seed = 0;     ///< master seed (driver passes --seed)
+  bool check = false;         ///< gate against the committed baseline
+  std::string check_only;     ///< re-check this BENCH_trace.json, no re-run
+  std::string out = "BENCH_trace.json";
+  std::string baseline = "ci/trace_baseline.json";
+};
+
+/// The trace record/replay determinism bench: every protocol loop recorded
+/// live and replayed from the trace alone with bitwise result comparison,
+/// fault-layer composition onto replay, the arXiv 2002.03905 pitfall probes
+/// (timestamp skew, gap decay, missing streams), a CSV import round-trip,
+/// and a timing-quarantined replay-throughput measurement. Deterministic
+/// for a fixed seed at any worker count outside `"timing` lines. Returns a
+/// process exit code.
+int run_trace_bench(const TraceOptions& opt);
+
 }  // namespace mobiwlan::benchsuite

@@ -13,6 +13,9 @@
 #      under PHY-observable export loss against ci/fault_baseline.json,
 #      diffs the --jobs 1 vs --jobs 8 reports, and proves the negative
 #      baseline still fails;
+#   5b. trace replay gate: ci/trace_gate.sh records every protocol loop,
+#      replays it from the trace alone, and requires bit-identical results
+#      (plus fault-composition and pitfall probes) at --jobs 1 and 8;
 #   6. scale determinism: the AP-scale bench JSON at --jobs 1 vs --jobs 8
 #      must be byte-identical outside the timing_* lines;
 #   7. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
@@ -47,6 +50,9 @@ echo "== fidelity gate: paper-shape statistics =="
 
 echo "== fault gate: graceful degradation under export loss =="
 ./ci/fault_gate.sh
+
+echo "== trace gate: record/replay determinism =="
+./ci/trace_gate.sh
 
 echo "== scale determinism: --jobs 1 vs --jobs 8 =="
 ./build/bench/mobiwlan-bench --scale --jobs 8 --perf-min-time 0.05 \

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# ci/trace_gate.sh — trace record/replay determinism gate.
+#
+# Runs the trace suite (`mobiwlan-bench --trace`): every protocol loop
+# (classifier, link, latency, roaming, overall) is recorded live through a
+# RecordingSource tee and replayed from the trace alone; all result fields
+# must match bit for bit (mismatch counts gated at 0). The suite also
+# composes the PR-5 fault layer onto a replayed trace (drops must skip
+# recorded reads deterministically) and probes the arXiv 2002.03905
+# pitfalls: timestamp-skew detection, gap hold-then-decay, and the
+# missing-stream refusal. Bounds live in ci/trace_baseline.json. A second
+# run at --jobs 1 must reproduce the --jobs 8 report byte-for-byte outside
+# `"timing` lines (the replay-throughput probe is timing-based and carries
+# the `timing.` key prefix so it is quarantined with the wall clock).
+#
+# Refresh after an intentional behaviour change with:
+#   ./build/bench/mobiwlan-bench --trace
+# and re-derive the bounds per EXPERIMENTS.md; the negative baseline
+# (ci/trace_baseline_negative.json) must keep failing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-./build/bench/mobiwlan-bench}"
+OUT="${TRACE_OUT:-/tmp/mobiwlan_trace.json}"
+OUT_J1="${OUT%.json}_j1.json"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "FAIL: ${BENCH} not built (run cmake --build build first)" >&2
+  exit 1
+fi
+
+"${BENCH}" --trace-check --jobs 8 \
+  --trace-out "${OUT}" \
+  --trace-baseline ci/trace_baseline.json
+
+echo "-- trace determinism: --jobs 1 vs --jobs 8 --"
+"${BENCH}" --trace-check --jobs 1 \
+  --trace-out "${OUT_J1}" \
+  --trace-baseline ci/trace_baseline.json >/dev/null
+if ! diff <(grep -v '"timing' "${OUT}") \
+          <(grep -v '"timing' "${OUT_J1}"); then
+  echo "FAIL: trace report differs between --jobs 8 and --jobs 1" >&2
+  exit 1
+fi
+echo "ok: trace report byte-identical modulo timing"
+
+echo "-- trace gate negative control --"
+if "${BENCH}" --trace-check-only "${OUT}" \
+     --trace-baseline ci/trace_baseline_negative.json >/dev/null 2>&1; then
+  echo "FAIL: negative baseline passed — the gate cannot catch regressions" >&2
+  exit 1
+fi
+echo "ok: negative baseline fails as intended"

@@ -4,10 +4,45 @@
 
 namespace mobiwlan {
 
+namespace {
+
+/// Emulator-side observables (ground-truth CSI, SNR) must always be there:
+/// they model the medium itself, not a lossy firmware export. A trace that
+/// cannot serve one cannot drive this loop.
+double ground(std::optional<double> v, const char* what) {
+  if (!v)
+    throw trace::TraceError(trace::TraceError::Code::kMissingStream,
+                            std::string("latency sim: ground-truth observable "
+                                        "unavailable from source: ") +
+                                what);
+  return *v;
+}
+
+void ground_csi(bool ok, const char* what) {
+  if (!ok)
+    throw trace::TraceError(trace::TraceError::Code::kMissingStream,
+                            std::string("latency sim: ground-truth CSI "
+                                        "unavailable from source: ") +
+                                what);
+}
+
+}  // namespace
+
 LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
                                   const LatencySimConfig& config, Rng& rng) {
-  WirelessChannel& channel = *scenario.channel;
-  DegradedObservables obs(channel, config.fault);
+  trace::LiveChannelSource live(*scenario.channel);
+  trace::FaultedSource src(live, config.fault);
+  return simulate_latency(src, ra, config, rng);
+}
+
+LatencySimResult simulate_latency(trace::ObservableSource& src, RateAdapter& ra,
+                                  const LatencySimConfig& config, Rng& rng) {
+  using trace::StreamKind;
+  src.require({StreamKind::kTrueCsi, StreamKind::kSnr}, "latency sim");
+  if (config.run_classifier)
+    src.require({StreamKind::kCsi, StreamKind::kTof},
+                "latency sim classifier");
+
   MobilityClassifier classifier(config.classifier);
   BlockAckWindow window(config.blockack);
 
@@ -18,6 +53,8 @@ LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
   double next_csi_t = 0.0;
   double next_tof_t = 0.0;
   long delivered_bytes = 0;
+
+  CsiMatrix meas_csi, h_start, h_end;
 
   while (t < config.duration_s) {
     // CBR arrivals up to now. The flow stops at duration_s: arrivals at or
@@ -30,12 +67,12 @@ LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
 
     if (config.run_classifier) {
       while (next_csi_t <= t) {
-        if (auto csi = obs.csi(next_csi_t))
-          classifier.on_csi(next_csi_t, *csi);
+        if (src.csi(0, next_csi_t, meas_csi))
+          classifier.on_csi(next_csi_t, meas_csi);
         next_csi_t += config.classifier.csi_period_s;
       }
       while (next_tof_t <= t) {
-        if (auto tof = obs.tof_cycles(next_tof_t))
+        if (auto tof = src.tof_cycles(0, next_tof_t))
           classifier.on_tof(next_tof_t, *tof);
         next_tof_t += config.classifier.tof_period_s;
       }
@@ -81,9 +118,10 @@ LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
       // unresolved and its MPDUs land in `leftover`.
       break;
     }
-    const CsiMatrix h_start = channel.csi_true(t);
-    const double eff_snr = effective_snr_db(h_start, channel.snr_db(t));
-    const CsiMatrix h_end = channel.csi_true(t + frame_airtime);
+    ground_csi(src.csi_true(0, t, h_start), "h_start");
+    const double eff_snr =
+        effective_snr_db(h_start, ground(src.snr_db(0, t), "snr"));
+    ground_csi(src.csi_true(0, t + frame_airtime, h_end), "h_end");
     const double decorr_end = 1.0 - complex_correlation(h_start, h_end);
 
     std::vector<bool> delivered(frame.size());

@@ -16,6 +16,7 @@
 #include "mac/blockack.hpp"
 #include "mac/rate_adaptation.hpp"
 #include "phy/error_model.hpp"
+#include "trace/source.hpp"
 #include "util/stats.hpp"
 
 namespace mobiwlan {
@@ -51,8 +52,16 @@ struct LatencySimResult {
   double goodput_mbps = 0.0;
 };
 
-/// Run a CBR downlink through the Block ACK machinery.
+/// Run a CBR downlink through the Block ACK machinery. Applies config.fault
+/// via a FaultedSource and delegates to the source-driven overload —
+/// bitwise-identical to the historical inline loop.
 LatencySimResult simulate_latency(Scenario& scenario, RateAdapter& ra,
+                                  const LatencySimConfig& config, Rng& rng);
+
+/// Source-driven overload (live channel, recording tee, or trace replay;
+/// unit 0). config.fault is NOT applied here — compose a FaultedSource when
+/// faulting a live or replayed source.
+LatencySimResult simulate_latency(trace::ObservableSource& src, RateAdapter& ra,
                                   const LatencySimConfig& config, Rng& rng);
 
 }  // namespace mobiwlan

@@ -7,10 +7,45 @@
 
 namespace mobiwlan {
 
+namespace {
+
+/// Emulator-side observables (ground-truth CSI, SNR) must always be there:
+/// they model the medium itself, not a lossy firmware export. A trace that
+/// cannot serve one cannot drive this loop.
+double ground(std::optional<double> v, const char* what) {
+  if (!v)
+    throw trace::TraceError(trace::TraceError::Code::kMissingStream,
+                            std::string("link sim: ground-truth observable "
+                                        "unavailable from source: ") +
+                                what);
+  return *v;
+}
+
+void ground_csi(bool ok, const char* what) {
+  if (!ok)
+    throw trace::TraceError(trace::TraceError::Code::kMissingStream,
+                            std::string("link sim: ground-truth CSI "
+                                        "unavailable from source: ") +
+                                what);
+}
+
+}  // namespace
+
 LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
                             const LinkSimConfig& config, Rng& rng) {
-  WirelessChannel& channel = *scenario.channel;
-  DegradedObservables obs(channel, config.fault);
+  trace::LiveChannelSource live(*scenario.channel);
+  trace::FaultedSource src(live, config.fault);
+  return simulate_link(src, ra, config, rng, scenario.truth);
+}
+
+LinkSimResult simulate_link(trace::ObservableSource& src, RateAdapter& ra,
+                            const LinkSimConfig& config, Rng& rng,
+                            std::optional<MobilityClass> sensor_truth) {
+  using trace::StreamKind;
+  src.require({StreamKind::kTrueCsi, StreamKind::kSnr}, "link sim");
+  if (config.run_classifier)
+    src.require({StreamKind::kCsi, StreamKind::kTof}, "link sim classifier");
+
   MobilityClassifier classifier(config.classifier);
 
   LinkSimResult result;
@@ -18,6 +53,8 @@ LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
   double next_classifier_csi_t = 0.0;
   double next_tof_t = 0.0;
   long delivered_bytes = 0;
+
+  CsiMatrix meas_csi, h_start, h_end;
 
   // Client PHY feedback (SoftRate / ESNR) carries the previous frame's view.
   std::optional<double> feedback_esnr;
@@ -39,17 +76,17 @@ LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
 
   while (t < config.duration_s) {
     // --- classifier inputs arrive on their own cadence -----------------
-    // A reading the fault layer drops simply never reaches the classifier
-    // (the export was lost); the classifier's own hold-then-decay covers
-    // the resulting gaps.
+    // A reading the source cannot serve (fault-dropped export, trace gap)
+    // simply never reaches the classifier; the classifier's own
+    // hold-then-decay covers the resulting gaps.
     if (config.run_classifier) {
       while (next_classifier_csi_t <= t) {
-        if (auto csi = obs.csi(next_classifier_csi_t))
-          classifier.on_csi(next_classifier_csi_t, *csi);
+        if (src.csi(0, next_classifier_csi_t, meas_csi))
+          classifier.on_csi(next_classifier_csi_t, meas_csi);
         next_classifier_csi_t += config.classifier.csi_period_s;
       }
       while (next_tof_t <= t) {
-        if (auto tof = obs.tof_cycles(next_tof_t))
+        if (auto tof = src.tof_cycles(0, next_tof_t))
           classifier.on_tof(next_tof_t, *tof);
         next_tof_t += config.classifier.tof_period_s;
       }
@@ -75,8 +112,8 @@ LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
       }
     }
     if (config.provide_sensor_hint)
-      ctx.sensor_in_motion = scenario.truth == MobilityClass::kMicro ||
-                             scenario.truth == MobilityClass::kMacro;
+      ctx.sensor_in_motion = sensor_truth == MobilityClass::kMicro ||
+                             sensor_truth == MobilityClass::kMacro;
     if (config.provide_phy_feedback) {
       ctx.feedback_esnr_db = feedback_esnr;
       ctx.feedback_ber = feedback_ber;
@@ -94,12 +131,12 @@ LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
                         config.airtime);
     }
 
-    const CsiMatrix h_start = channel.csi_true(t);
-    const double snr0 = channel.snr_db(t);
+    ground_csi(src.csi_true(0, t, h_start), "h_start");
+    const double snr0 = ground(src.snr_db(0, t), "snr");
     const double eff_snr = effective_snr_db(h_start, snr0);
     // Channel aging across the frame: correlation between the channel at the
     // preamble (where it is estimated) and at the end of the frame.
-    const CsiMatrix h_end = channel.csi_true(t + plan.frame_airtime_s);
+    ground_csi(src.csi_true(0, t + plan.frame_airtime_s, h_end), "h_end");
     const double decorr_end = 1.0 - complex_correlation(h_start, h_end);
 
     // Advance the interference process past stale bursts.
@@ -158,7 +195,7 @@ LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
     // The feedback rides the acked frame; its export can be lost too, in
     // which case the RA keeps the previous frame's view.
     if (config.provide_phy_feedback && frame.block_ack_received &&
-        obs.feedback_delivered(t)) {
+        src.feedback_delivered(0, t)) {
       feedback_esnr = eff_snr;
       feedback_ber = frame_ber_sum / plan.n_mpdus;
     }

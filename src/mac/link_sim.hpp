@@ -15,12 +15,15 @@
 
 #include <vector>
 
+#include <optional>
+
 #include "chan/scenario.hpp"
 #include "core/mobility_classifier.hpp"
 #include "fault/fault.hpp"
 #include "mac/aggregation.hpp"
 #include "mac/rate_adaptation.hpp"
 #include "phy/error_model.hpp"
+#include "trace/source.hpp"
 #include "util/rng.hpp"
 
 namespace mobiwlan {
@@ -86,8 +89,19 @@ struct LinkSimResult {
   std::vector<std::pair<double, MobilityMode>> mode_series;
 };
 
-/// Run a saturated downlink over the scenario's channel.
+/// Run a saturated downlink over the scenario's channel. Applies
+/// config.fault via a FaultedSource and delegates to the source-driven
+/// overload below — bitwise-identical to the historical inline loop.
 LinkSimResult simulate_link(Scenario& scenario, RateAdapter& ra,
                             const LinkSimConfig& config, Rng& rng);
+
+/// Source-driven overload: the same loop over any ObservableSource (live
+/// channel, recording tee, or trace replay; unit 0). config.fault is NOT
+/// applied here — compose a FaultedSource yourself when faulting a live or
+/// replayed source. `sensor_truth` replaces scenario.truth for the
+/// accelerometer hint (only read when config.provide_sensor_hint).
+LinkSimResult simulate_link(trace::ObservableSource& src, RateAdapter& ra,
+                            const LinkSimConfig& config, Rng& rng,
+                            std::optional<MobilityClass> sensor_truth = {});
 
 }  // namespace mobiwlan

@@ -1,0 +1,71 @@
+// deployment_source.hpp — the live multi-AP ObservableSource.
+//
+// Wraps a WlanDeployment as a trace::ObservableSource (unit = AP index) so
+// the roaming and end-to-end loops run source-driven. The CsiPath flag
+// exists because the batched CSI engine is only ≤1e-12-equivalent to the
+// per-link path (SIMD accumulation order), not bitwise: each loop must keep
+// the exact CSI call path it had before the source interface, or recorded
+// baselines would shift. Scalar observables (RSSI, ToF, SNR) are bitwise
+// identical either way, and the batched scan/sweep overrides keep the fast
+// paths the deployment already provides.
+#pragma once
+
+#include "net/deployment.hpp"
+#include "trace/source.hpp"
+
+namespace mobiwlan {
+
+class LiveDeploymentSource : public trace::ObservableSource {
+ public:
+  enum class CsiPath {
+    kPerLink,  ///< channel(ap).csi_at_into — roaming's historical path
+    kBatched,  ///< batch().csi_into — the end-to-end loop's historical path
+  };
+
+  LiveDeploymentSource(WlanDeployment& wlan, CsiPath path)
+      : wlan_(wlan), path_(path), sweep_(wlan.n_aps()) {}
+
+  std::size_t n_units() const override { return wlan_.n_aps(); }
+  bool has(trace::StreamKind) const override { return true; }
+
+  bool csi(std::uint32_t unit, double t, CsiMatrix& out) override;
+  bool csi_feedback(std::uint32_t unit, double t, CsiMatrix& out) override {
+    return csi(unit, t, out);
+  }
+  bool csi_true(std::uint32_t unit, double t, CsiMatrix& out) override;
+  std::optional<double> rssi_dbm(std::uint32_t unit, double t) override {
+    return wlan_.channel(unit).rssi_dbm(t);
+  }
+  std::optional<double> scan_rssi_dbm(std::uint32_t unit, double t) override {
+    return wlan_.channel(unit).rssi_dbm(t);
+  }
+  std::optional<double> tof_cycles(std::uint32_t unit, double t) override {
+    return wlan_.channel(unit).tof_cycles(t);
+  }
+  std::optional<double> snr_db(std::uint32_t unit, double t) override {
+    return wlan_.channel(unit).snr_db(t);
+  }
+  std::optional<double> true_distance(std::uint32_t unit, double t) override {
+    return wlan_.channel(unit).true_distance(t);
+  }
+
+  /// Controller neighbor sweep: one batched pass (same per-link draw order
+  /// as per-unit tof_cycles calls).
+  void tof_sweep(double t, std::optional<double>* out) override;
+
+  /// Batched scan, first-wins argmax — same draws as per-unit scan reads.
+  std::optional<std::size_t> strongest_unit(double t) override {
+    return wlan_.strongest_ap(t);
+  }
+
+  WlanDeployment& deployment() { return wlan_; }
+
+ private:
+  WlanDeployment& wlan_;
+  CsiPath path_;
+  std::vector<double> sweep_;
+  WirelessChannel::PathScratch scratch_;
+  ChannelBatch::Scratch batch_scratch_;
+};
+
+}  // namespace mobiwlan

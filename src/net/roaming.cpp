@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/tof_tracker.hpp"
+#include "net/deployment_source.hpp"
 #include "phy/mcs.hpp"
 
 namespace mobiwlan {
@@ -18,46 +19,63 @@ std::string_view to_string(RoamingScheme s) {
 
 namespace {
 
-/// Deliverable PHY throughput on a link right now: best MCS at the current
-/// SNR, discounted by MAC efficiency.
-double link_rate_mbps(WirelessChannel& channel, double t,
-                      const RoamingConfig& config) {
-  const double snr = channel.snr_db(t);
+/// Deliverable PHY throughput on a link at the given SNR: best MCS,
+/// discounted by MAC efficiency.
+double link_rate_mbps(double snr, const RoamingConfig& config) {
   const int best = best_mcs(snr, config.mpdu_payload_bytes, 2, config.error_model);
   return expected_throughput_mbps(mcs(best), snr, config.mpdu_payload_bytes,
                                   config.error_model) *
          config.mac_efficiency;
 }
 
+/// Serving-link SNR models the medium itself, not a lossy export; a source
+/// that cannot serve it cannot drive this loop.
+double ground(std::optional<double> v, const char* what) {
+  if (!v)
+    throw trace::TraceError(trace::TraceError::Code::kMissingStream,
+                            std::string("roaming sim: ground-truth observable "
+                                        "unavailable from source: ") +
+                                what);
+  return *v;
+}
+
 }  // namespace
 
 RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
                                const RoamingConfig& config, Rng& rng) {
+  // Per-link CSI path: the historical loop read wlan.channel(ap).csi_at(),
+  // which is only ≤1e-12-equal (not bitwise) to the batched engine.
+  LiveDeploymentSource live(wlan, LiveDeploymentSource::CsiPath::kPerLink);
+  trace::FaultedSource src(live, config.fault);
+  return simulate_roaming(src, scheme, config, rng,
+                          wlan.client().mobility_class());
+}
+
+RoamingResult simulate_roaming(trace::ObservableSource& src,
+                               RoamingScheme scheme,
+                               const RoamingConfig& config, Rng& rng,
+                               MobilityClass client_class) {
+  using trace::StreamKind;
+  src.require({StreamKind::kSnr, StreamKind::kRssi, StreamKind::kScanRssi},
+              "roaming sim");
+  if (scheme == RoamingScheme::kMotionAware)
+    src.require({StreamKind::kCsi, StreamKind::kTof}, "motion-aware roaming");
+
   RoamingResult result;
   (void)rng;
 
-  std::size_t assoc = wlan.strongest_ap(0.0);
+  std::size_t assoc = src.strongest_unit(0.0).value_or(0);
   result.associations.emplace_back(0.0, assoc);
 
   // Motion-aware state: classifier on the serving AP, ToF trackers at every
-  // AP (neighbors measure via periodic NULL frames, §3.1).
+  // AP (neighbors measure via periodic NULL frames, §3.1). Export loss and
+  // staleness live in the source (FaultedSource / a replayed trace): a read
+  // that returns absence simply never reaches the classifier or trackers.
   MobilityClassifier classifier(config.classifier);
-  std::vector<TofTracker> heading(wlan.n_aps(), TofTracker(config.classifier.tof));
+  std::vector<TofTracker> heading(src.n_units(),
+                                  TofTracker(config.classifier.tof));
 
-  // Per-AP fault streams over the controller-facing PHY exports (unit = AP
-  // index, so every AP's losses are independent but reproducible). A dropped
-  // reading never touches the channel — the measurement was made but its
-  // export was lost — so an all-zero plan leaves the RNG sequence, and thus
-  // every output, bitwise-identical.
-  std::vector<FaultStream> csi_fault;
-  std::vector<FaultStream> tof_fault;
-  std::vector<FaultStream> rssi_fault;
-  for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
-    csi_fault.push_back(make_stream(config.fault, FaultStreamKind::kCsi, ap));
-    tof_fault.push_back(make_stream(config.fault, FaultStreamKind::kTof, ap));
-    rssi_fault.push_back(make_stream(config.fault, FaultStreamKind::kRssi, ap));
-  }
-  const bool rssi_only = config.fault.rssi_only;
+  CsiMatrix meas_csi;
 
   double delivered_mbit = 0.0;
   double outage_until = 0.0;
@@ -93,20 +111,19 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
   for (double t = 0.0; t < config.duration_s; t += config.step_s) {
     if (scheme == RoamingScheme::kMotionAware) {
       while (next_csi_t <= t) {
-        if (!rssi_only && csi_fault[assoc].deliver(next_csi_t))
-          classifier.on_csi(next_csi_t, wlan.channel(assoc).csi_at(
-                                            csi_fault[assoc].measured_t(next_csi_t)));
+        if (src.csi(assoc, next_csi_t, meas_csi))
+          classifier.on_csi(next_csi_t, meas_csi);
         next_csi_t += config.classifier.csi_period_s;
       }
       while (next_tof_t <= t) {
-        for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
-          if (rssi_only || !tof_fault[ap].deliver(next_tof_t)) continue;
-          const double tof =
-              wlan.channel(ap).tof_cycles(tof_fault[ap].measured_t(next_tof_t));
+        for (std::size_t ap = 0; ap < src.n_units(); ++ap) {
+          const auto tof =
+              src.tof_cycles(static_cast<std::uint32_t>(ap), next_tof_t);
+          if (!tof) continue;
           if (ap == assoc)
-            classifier.on_tof(next_tof_t, tof);
+            classifier.on_tof(next_tof_t, *tof);
           else
-            heading[ap].add(next_tof_t, tof);
+            heading[ap].add(next_tof_t, *tof);
         }
         next_tof_t += config.classifier.tof_period_s;
       }
@@ -114,14 +131,17 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
 
     if (t < outage_until) continue;  // scanning/associating: no goodput
 
-    delivered_mbit += link_rate_mbps(wlan.channel(assoc), t, config) * config.step_s;
+    delivered_mbit +=
+        link_rate_mbps(ground(src.snr_db(static_cast<std::uint32_t>(assoc), t),
+                              "serving snr"),
+                       config) *
+        config.step_s;
 
     // Serving-link RSSI as exported by the AP firmware; the export can be
     // lost or stale. Scan measurements of *other* APs below are made fresh
     // by the client itself during the scan, so they are never faulted.
-    std::optional<double> current_rssi;
-    if (rssi_fault[assoc].deliver(t))
-      current_rssi = wlan.channel(assoc).rssi_dbm(rssi_fault[assoc].measured_t(t));
+    const std::optional<double> current_rssi =
+        src.rssi_dbm(static_cast<std::uint32_t>(assoc), t);
 
     switch (scheme) {
       case RoamingScheme::kDefault:
@@ -129,33 +149,38 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
         // RSSI export simply means no roam decision this tick — the stock
         // client degrades to staying put, never to a spurious handoff.
         if (current_rssi && weak_signal(t, *current_rssi)) {
-          const std::size_t target = wlan.strongest_ap(t);
-          begin_handoff(t, target, config.handoff_outage_s);
+          if (const auto target = src.strongest_unit(t))
+            begin_handoff(t, *target, config.handoff_outage_s);
         }
         break;
 
       case RoamingScheme::kSensorHint: {
         if (current_rssi && weak_signal(t, *current_rssi)) {
-          begin_handoff(t, wlan.strongest_ap(t), config.handoff_outage_s);
+          if (const auto target = src.strongest_unit(t))
+            begin_handoff(t, *target, config.handoff_outage_s);
           break;
         }
-        const bool moving =
-            wlan.client().mobility_class() == MobilityClass::kMicro ||
-            wlan.client().mobility_class() == MobilityClass::kMacro;
+        const bool moving = client_class == MobilityClass::kMicro ||
+                            client_class == MobilityClass::kMacro;
         if (moving && t >= next_scan_t) {
           next_scan_t = t + config.scan_interval_s;
           // The periodic scan itself costs airtime whether or not it helps.
           add_outage(t, config.scan_cost_s);
           ++result.scans;
-          const std::size_t best = wlan.strongest_ap(t);
+          const auto best = src.strongest_unit(t);
           // A scan re-measures the serving AP too, so a lost passive export
-          // is repaired here at the scan's cost (extra channel read only on
-          // faulted paths — the zero-fault RNG sequence is untouched).
-          const double serving_rssi =
-              current_rssi ? *current_rssi : wlan.channel(assoc).rssi_dbm(t);
-          if (best != assoc && wlan.channel(best).rssi_dbm(t) >
-                                   serving_rssi + config.better_margin_db) {
-            begin_handoff(t, best, config.handoff_outage_s);
+          // is repaired here at the scan's cost (extra read only on faulted
+          // paths — the zero-fault RNG sequence is untouched).
+          const std::optional<double> serving_rssi =
+              current_rssi
+                  ? current_rssi
+                  : src.scan_rssi_dbm(static_cast<std::uint32_t>(assoc), t);
+          if (best && serving_rssi && *best != assoc) {
+            const auto candidate_rssi =
+                src.scan_rssi_dbm(static_cast<std::uint32_t>(*best), t);
+            if (candidate_rssi &&
+                *candidate_rssi > *serving_rssi + config.better_margin_db)
+              begin_handoff(t, *best, config.handoff_outage_s);
           }
         }
         break;
@@ -165,7 +190,8 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
         // The stock client behaviour still applies underneath (§3.1: "does
         // not impose any changes in the client's association mechanism").
         if (current_rssi && weak_signal(t, *current_rssi)) {
-          begin_handoff(t, wlan.strongest_ap(t), config.handoff_outage_s);
+          if (const auto target = src.strongest_unit(t))
+            begin_handoff(t, *target, config.handoff_outage_s);
           break;
         }
         if (t < steer_ok_t) break;
@@ -181,12 +207,13 @@ RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
         // decreases) with similar-or-stronger signal.
         std::size_t best_candidate = assoc;
         double best_rssi = *current_rssi - 1.0;  // "similar or higher"
-        for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+        for (std::size_t ap = 0; ap < src.n_units(); ++ap) {
           if (ap == assoc) continue;
           if (heading[ap].trend() != TofTrend::kDecreasing) continue;
-          const double rssi = wlan.channel(ap).rssi_dbm(t);
-          if (rssi >= best_rssi) {
-            best_rssi = rssi;
+          const auto rssi =
+              src.scan_rssi_dbm(static_cast<std::uint32_t>(ap), t);
+          if (rssi && *rssi >= best_rssi) {
+            best_rssi = *rssi;
             best_candidate = ap;
           }
         }
@@ -212,8 +239,8 @@ std::pair<double, double> oracle_vs_stick(WlanDeployment& wlan,
   int steps = 0;
   for (double t = 0.0; t < config.duration_s; t += config.step_s) {
     const std::size_t best = wlan.strongest_ap(t);
-    best_sum += link_rate_mbps(wlan.channel(best), t, config);
-    stick_sum += link_rate_mbps(wlan.channel(initial), t, config);
+    best_sum += link_rate_mbps(wlan.channel(best).snr_db(t), config);
+    stick_sum += link_rate_mbps(wlan.channel(initial).snr_db(t), config);
     ++steps;
   }
   if (steps == 0) return {0.0, 0.0};

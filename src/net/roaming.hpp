@@ -24,6 +24,7 @@
 #include "fault/fault.hpp"
 #include "net/deployment.hpp"
 #include "phy/error_model.hpp"
+#include "trace/source.hpp"
 
 namespace mobiwlan {
 
@@ -63,9 +64,20 @@ struct RoamingResult {
   std::vector<std::pair<double, std::size_t>> associations;
 };
 
-/// Simulate a download to the walking client under the given scheme.
+/// Simulate a download to the walking client under the given scheme. Applies
+/// config.fault via a FaultedSource over the deployment and delegates to the
+/// source-driven overload — bitwise-identical to the historical inline loop.
 RoamingResult simulate_roaming(WlanDeployment& wlan, RoamingScheme scheme,
                                const RoamingConfig& config, Rng& rng);
+
+/// Source-driven overload: the same control loop over any multi-unit
+/// ObservableSource (unit = AP index). config.fault is NOT applied here —
+/// compose a FaultedSource yourself. `client_class` replaces
+/// wlan.client().mobility_class() for the sensor-hint scheme's accelerometer.
+RoamingResult simulate_roaming(trace::ObservableSource& src,
+                               RoamingScheme scheme,
+                               const RoamingConfig& config, Rng& rng,
+                               MobilityClass client_class);
 
 /// Fig. 7(a) helper: throughput of always using the instantaneous strongest
 /// AP vs. sticking with the AP chosen at t = 0, over the same run. Returns

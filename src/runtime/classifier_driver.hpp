@@ -9,9 +9,11 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "chan/scenario.hpp"
 #include "core/mobility_classifier.hpp"
+#include "trace/source.hpp"
 
 namespace mobiwlan::runtime {
 
@@ -20,5 +22,15 @@ namespace mobiwlan::runtime {
 void run_classifier(const Scenario& s, double duration_s, double warmup_s,
                     const std::function<void(double, MobilityMode)>& on_second,
                     MobilityClassifier::Config cfg = {});
+
+/// The same trial loop over any ObservableSource (live, recording tee, or
+/// trace replay) at the given unit. Reads the source cannot serve simply
+/// never reach the classifier, and `on_second` receives decision(t) — which
+/// decays to nullopt across gaps (hold-then-decay, never interpolation).
+void run_classifier_from_source(
+    trace::ObservableSource& src, std::uint32_t unit, double duration_s,
+    double warmup_s,
+    const std::function<void(double, std::optional<MobilityMode>)>& on_second,
+    MobilityClassifier::Config cfg = {});
 
 }  // namespace mobiwlan::runtime

@@ -212,6 +212,17 @@ MuMimoSimResult simulate_mu_mimo_traces(const std::vector<const CsiTrace*>& clie
   return result;
 }
 
+MuMimoSimResult simulate_mu_mimo_trace_files(
+    const std::vector<std::string>& paths, const BeamformingSimConfig& config) {
+  std::vector<CsiTrace> traces;
+  traces.reserve(paths.size());
+  for (const std::string& path : paths) traces.push_back(CsiTrace::load(path));
+  std::vector<const CsiTrace*> clients;
+  clients.reserve(traces.size());
+  for (const CsiTrace& trace : traces) clients.push_back(&trace);
+  return simulate_mu_mimo_traces(clients, config);
+}
+
 MuMimoSimResult simulate_mu_mimo(std::vector<Scenario*> clients,
                                  const BeamformingSimConfig& config, Rng& rng) {
   (void)rng;

@@ -61,4 +61,10 @@ MuMimoSimResult simulate_mu_mimo(std::vector<Scenario*> clients,
 MuMimoSimResult simulate_mu_mimo_traces(const std::vector<const CsiTrace*>& clients,
                                         const BeamformingSimConfig& config);
 
+/// File-based entry: load each per-client recording (CsiTrace::load — a
+/// malformed or truncated file throws trace::TraceError rather than yielding
+/// a silently-garbled emulation) and replay them through the emulator above.
+MuMimoSimResult simulate_mu_mimo_trace_files(
+    const std::vector<std::string>& paths, const BeamformingSimConfig& config);
+
 }  // namespace mobiwlan

@@ -3,21 +3,58 @@
 #include <algorithm>
 #include <memory>
 
-#include "chan/channel_batch.hpp"
 #include "core/policy.hpp"
 #include "core/tof_tracker.hpp"
 #include "mac/aggregation.hpp"
 #include "mac/atheros_ra.hpp"
+#include "net/deployment_source.hpp"
 #include "phy/beamforming.hpp"
 #include "phy/mcs.hpp"
 
 namespace mobiwlan {
 
+namespace {
+
+double ground(std::optional<double> v, const char* what) {
+  if (!v)
+    throw trace::TraceError(trace::TraceError::Code::kMissingStream,
+                            std::string("overall sim: ground-truth observable "
+                                        "unavailable from source: ") +
+                                what);
+  return *v;
+}
+
+void ground_csi(bool ok, const char* what) {
+  if (!ok)
+    throw trace::TraceError(trace::TraceError::Code::kMissingStream,
+                            std::string("overall sim: ground-truth CSI "
+                                        "unavailable from source: ") +
+                                what);
+}
+
+}  // namespace
+
 OverallSimResult simulate_overall(WlanDeployment& wlan,
                                   const OverallSimConfig& config, Rng& rng) {
+  // Batched CSI path: the historical loop read batch.csi_into(), which is
+  // only ≤1e-12-equal (not bitwise) to the per-link path.
+  LiveDeploymentSource src(wlan, LiveDeploymentSource::CsiPath::kBatched);
+  return simulate_overall(src, config, rng);
+}
+
+OverallSimResult simulate_overall(trace::ObservableSource& src,
+                                  const OverallSimConfig& config, Rng& rng) {
+  using trace::StreamKind;
+  src.require({StreamKind::kTrueCsi, StreamKind::kSnr, StreamKind::kRssi,
+               StreamKind::kScanRssi, StreamKind::kCsiFeedback},
+              "overall sim");
+  if (config.mobility_aware)
+    src.require({StreamKind::kCsi, StreamKind::kTof},
+                "overall sim classifier");
+
   OverallSimResult result;
 
-  std::size_t assoc = wlan.strongest_ap(0.0);
+  std::size_t assoc = src.strongest_unit(0.0).value_or(0);
   result.associations.emplace_back(0.0, assoc);
 
   auto make_ra = [&]() -> std::unique_ptr<AtherosRa> {
@@ -28,31 +65,28 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
   std::unique_ptr<AtherosRa> ra = make_ra();
 
   MobilityClassifier classifier(config.classifier);
-  std::vector<TofTracker> heading(wlan.n_aps(), TofTracker(config.classifier.tof));
+  std::vector<TofTracker> heading(src.n_units(),
+                                  TofTracker(config.classifier.tof));
 
-  // Per-AP fault streams over the controller-facing exports. Dropped CSI/RSSI
-  // readings skip the channel call entirely (export lost, channel RNG
-  // untouched), so an all-zero plan is bitwise-identical. ToF is measured by
-  // a batched sweep across all APs, so the sweep always runs and per-AP drops
-  // are applied to the *export* after the fact.
+  // Per-AP fault streams over the controller-facing exports, gated INSIDE
+  // the loop rather than by a FaultedSource: ToF is measured by a batched
+  // sweep across all APs, so the sweep always runs (every AP's reading is
+  // drawn, keeping the shared draw order) and per-AP drops are applied to
+  // the *export* after the fact. Dropped CSI/RSSI readings skip the source
+  // call entirely (export lost, channel RNG untouched), so an all-zero plan
+  // is bitwise-identical.
   std::vector<FaultStream> csi_fault;
   std::vector<FaultStream> tof_fault;
   std::vector<FaultStream> rssi_fault;
-  for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+  for (std::size_t ap = 0; ap < src.n_units(); ++ap) {
     csi_fault.push_back(make_stream(config.fault, FaultStreamKind::kCsi, ap));
     tof_fault.push_back(make_stream(config.fault, FaultStreamKind::kTof, ap));
     rssi_fault.push_back(make_stream(config.fault, FaultStreamKind::kRssi, ap));
   }
   const bool rssi_only = config.fault.rssi_only;
 
-  // All CSI/ToF measurement traffic runs through the deployment's batched
-  // channel view: same per-link draw order as the csi_at/tof_cycles calls it
-  // replaces, but the synthesis path is vectorized and the reused buffers
-  // make the measurement loops allocation-free in steady state.
-  ChannelBatch& batch = wlan.batch();
-  ChannelBatch::Scratch scratch;
   CsiMatrix meas_csi, h_start, h_end;
-  std::vector<double> tof_sweep(wlan.n_aps());
+  std::vector<std::optional<double>> sweep(src.n_units());
 
   const double fb_airtime = feedback_exchange_airtime_s(config.feedback);
   const ProtocolParams stock = default_params();
@@ -89,15 +123,13 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
   };
 
   while (t < config.duration_s) {
-    WirelessChannel& link = wlan.channel(assoc);
-
     // --- measurement processes -----------------------------------------
     if (config.mobility_aware) {
       while (next_csi_t <= t) {
         if (!rssi_only && csi_fault[assoc].deliver(next_csi_t)) {
-          batch.csi_into(assoc, csi_fault[assoc].measured_t(next_csi_t),
-                         meas_csi, scratch);
-          classifier.on_csi(next_csi_t, meas_csi);
+          if (src.csi(static_cast<std::uint32_t>(assoc),
+                      csi_fault[assoc].measured_t(next_csi_t), meas_csi))
+            classifier.on_csi(next_csi_t, meas_csi);
         }
         next_csi_t += config.classifier.csi_period_s;
       }
@@ -106,13 +138,14 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
         // sweep samples at the delayed instant; drops then lose individual
         // AP exports without perturbing the shared draw order.
         const double shifted = next_tof_t - config.fault.tof.delay_s;
-        wlan.tof_sweep(shifted > 0.0 ? shifted : 0.0, tof_sweep.data());
-        for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+        src.tof_sweep(shifted > 0.0 ? shifted : 0.0, sweep.data());
+        for (std::size_t ap = 0; ap < src.n_units(); ++ap) {
           if (rssi_only || !tof_fault[ap].deliver(next_tof_t)) continue;
+          if (!sweep[ap]) continue;  // trace gap: export never recorded
           if (ap == assoc)
-            classifier.on_tof(next_tof_t, tof_sweep[ap]);
+            classifier.on_tof(next_tof_t, *sweep[ap]);
           else
-            heading[ap].add(next_tof_t, tof_sweep[ap]);
+            heading[ap].add(next_tof_t, *sweep[ap]);
         }
         next_tof_t += config.classifier.tof_period_s;
       }
@@ -123,8 +156,10 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
 
     // --- CSI feedback sounding (beamforming) ----------------------------
     if (t >= next_fb_t) {
-      batch.csi_into(assoc, t, fb_csi, scratch);
-      have_fb = true;
+      // An active protocol exchange, never faulted; the airtime is spent
+      // whether or not a replayed trace can serve the report.
+      if (src.csi_feedback(static_cast<std::uint32_t>(assoc), t, fb_csi))
+        have_fb = true;
       t += fb_airtime;  // sounding + report occupy the medium
       next_fb_t = t + (config.mobility_aware ? params.bf_update_period_s
                                              : stock.bf_update_period_s);
@@ -137,23 +172,27 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
       // to trigger on this check and the client stays put (no spurious roam).
       std::optional<double> current_rssi;
       if (rssi_fault[assoc].deliver(t))
-        current_rssi = link.rssi_dbm(rssi_fault[assoc].measured_t(t));
+        current_rssi = src.rssi_dbm(static_cast<std::uint32_t>(assoc),
+                                    rssi_fault[assoc].measured_t(t));
       if (current_rssi && *current_rssi < config.rssi_threshold_dbm &&
           t >= threshold_scan_ok_t) {
         threshold_scan_ok_t = t + config.min_scan_gap_s;
-        begin_handoff(wlan.strongest_ap(t));
-        continue;
+        if (const auto target = src.strongest_unit(t)) {
+          begin_handoff(*target);
+          continue;
+        }
       }
       if (config.mobility_aware && t >= steer_ok_t && mode &&
           *mode == MobilityMode::kMacroAway && current_rssi) {
         std::size_t best_candidate = assoc;
         double best_rssi = *current_rssi - 1.0;
-        for (std::size_t ap = 0; ap < wlan.n_aps(); ++ap) {
+        for (std::size_t ap = 0; ap < src.n_units(); ++ap) {
           if (ap == assoc) continue;
           if (heading[ap].trend() != TofTrend::kDecreasing) continue;
-          const double rssi = wlan.channel(ap).rssi_dbm(t);
-          if (rssi >= best_rssi) {
-            best_rssi = rssi;
+          const auto rssi =
+              src.scan_rssi_dbm(static_cast<std::uint32_t>(ap), t);
+          if (rssi && *rssi >= best_rssi) {
+            best_rssi = *rssi;
             best_candidate = ap;
           }
         }
@@ -178,11 +217,16 @@ OverallSimResult simulate_overall(WlanDeployment& wlan,
     const AmpduPlan plan =
         plan_ampdu(entry, agg_limit, config.mpdu_payload_bytes, config.airtime);
 
-    batch.csi_true_into(assoc, t, h_start, scratch);
-    double snr = effective_snr_db(h_start, link.snr_db(t));
+    ground_csi(src.csi_true(static_cast<std::uint32_t>(assoc), t, h_start),
+               "h_start");
+    double snr = effective_snr_db(
+        h_start, ground(src.snr_db(static_cast<std::uint32_t>(assoc), t),
+                        "serving snr"));
     if (have_fb) snr += std::max(0.0, su_beamforming_gain_db(h_start, fb_csi));
 
-    batch.csi_true_into(assoc, t + plan.frame_airtime_s, h_end, scratch);
+    ground_csi(src.csi_true(static_cast<std::uint32_t>(assoc),
+                            t + plan.frame_airtime_s, h_end),
+               "h_end");
     const double decorr_end = 1.0 - complex_correlation(h_start, h_end);
 
     int n_failed = 0;

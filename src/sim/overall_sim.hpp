@@ -16,6 +16,7 @@
 #include "phy/airtime.hpp"
 #include "phy/csi_feedback.hpp"
 #include "phy/error_model.hpp"
+#include "trace/source.hpp"
 
 namespace mobiwlan {
 
@@ -50,7 +51,18 @@ struct OverallSimResult {
   std::vector<std::pair<double, std::size_t>> associations;
 };
 
+/// Wraps the deployment in a batched-path LiveDeploymentSource and delegates
+/// to the source-driven overload — bitwise-identical to the historical
+/// inline loop (including its per-AP fault-stream gating, which stays inside
+/// the loop because the batched ToF sweep must always run).
 OverallSimResult simulate_overall(WlanDeployment& wlan,
+                                  const OverallSimConfig& config, Rng& rng);
+
+/// Source-driven overload (unit = AP index). config.fault IS applied here —
+/// the loop gates exports with its own per-AP fault streams (the batched ToF
+/// sweep always draws for every AP; drops lose individual exports after the
+/// fact) — so do NOT also wrap the source in a FaultedSource.
+OverallSimResult simulate_overall(trace::ObservableSource& src,
                                   const OverallSimConfig& config, Rng& rng);
 
 }  // namespace mobiwlan

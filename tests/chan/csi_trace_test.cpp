@@ -3,10 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "chan/scenario.hpp"
+#include "trace/trace_io.hpp"
 
 namespace mobiwlan {
 namespace {
@@ -77,6 +82,193 @@ TEST(CsiTraceTest, LoadGarbageThrows) {
   std::fclose(f);
   EXPECT_THROW(CsiTrace::load(path), std::runtime_error);
   std::remove(path.c_str());
+}
+
+// ---- typed rejection of malformed files ------------------------------------
+//
+// CsiTrace::load persists through the MWTR v2 format, so every malformed
+// input raises a trace::TraceError whose code states the reason. These pin
+// the code (not just "it threw") per failure class.
+
+trace::TraceError::Code load_code(const std::string& path) {
+  try {
+    (void)CsiTrace::load(path);
+  } catch (const trace::TraceError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << path << " was accepted";
+  return trace::TraceError::Code::kOpenFailed;
+}
+
+void append_u32(std::vector<unsigned char>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back((v >> (8 * i)) & 0xFF);
+}
+
+void append_f64(std::vector<unsigned char>& b, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i) b.push_back((bits >> (8 * i)) & 0xFF);
+}
+
+void append_record(std::vector<unsigned char>& b, trace::StreamKind kind,
+                   double t, const std::vector<double>& payload) {
+  b.push_back(static_cast<unsigned char>(kind));
+  b.push_back(0);  // flags
+  b.push_back(0);  // unit lo
+  b.push_back(0);  // unit hi
+  append_f64(b, t);
+  for (const double v : payload) append_f64(b, v);
+}
+
+void write_file(const std::string& path, const std::vector<unsigned char>& b) {
+  std::ofstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.write(reinterpret_cast<const char*>(b.data()),
+          static_cast<std::streamsize>(b.size()));
+}
+
+// The full CsiTrace stream set on a 1x1x1 geometry.
+std::uint32_t csi_trace_mask() {
+  using trace::StreamKind;
+  return trace::stream_bit(StreamKind::kCsi) |
+         trace::stream_bit(StreamKind::kSnr) |
+         trace::stream_bit(StreamKind::kRssi) |
+         trace::stream_bit(StreamKind::kTof) |
+         trace::stream_bit(StreamKind::kTrueDistance);
+}
+
+void append_header(std::vector<unsigned char>& b, std::uint32_t version) {
+  append_u32(b, trace::kMagic);
+  append_u32(b, version);
+  append_u32(b, csi_trace_mask());
+  append_u32(b, 1);  // n_units
+  append_u32(b, 1);  // n_tx
+  append_u32(b, 1);  // n_rx
+  append_u32(b, 1);  // n_sc
+  append_u32(b, 0);  // reserved
+  append_f64(b, 0.0);
+  append_f64(b, 0.0);
+}
+
+/// One full CsiTrace entry at time t (kCsi then the four scalars).
+void append_entry(std::vector<unsigned char>& b, double t) {
+  using trace::StreamKind;
+  append_record(b, StreamKind::kCsi, t, {1.0, 0.0});  // one (re, im) value
+  append_record(b, StreamKind::kSnr, t, {20.0});
+  append_record(b, StreamKind::kRssi, t, {-55.0});
+  append_record(b, StreamKind::kTof, t, {400.0});
+  append_record(b, StreamKind::kTrueDistance, t, {3.0});
+}
+
+TEST(CsiTraceTest, LoadGarbageIsBadMagic) {
+  const std::string path = ::testing::TempDir() + "/ct_badmagic.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "definitely not a recorded trace";
+  }
+  EXPECT_EQ(load_code(path), trace::TraceError::Code::kBadMagic);
+  std::remove(path.c_str());
+}
+
+TEST(CsiTraceTest, LoadLegacyV1IsBadVersion) {
+  const std::string path = ::testing::TempDir() + "/ct_legacy.bin";
+  std::vector<unsigned char> b;
+  append_u32(b, 0x43534954u);  // the legacy "CSIT" magic
+  append_u32(b, 1);
+  append_u32(b, 0);
+  write_file(path, b);
+  EXPECT_EQ(load_code(path), trace::TraceError::Code::kBadVersion);
+  std::remove(path.c_str());
+}
+
+TEST(CsiTraceTest, LoadUnknownVersionIsBadVersion) {
+  const std::string path = ::testing::TempDir() + "/ct_badversion.bin";
+  std::vector<unsigned char> b;
+  append_header(b, trace::kFormatVersion + 7);
+  write_file(path, b);
+  EXPECT_EQ(load_code(path), trace::TraceError::Code::kBadVersion);
+  std::remove(path.c_str());
+}
+
+TEST(CsiTraceTest, LoadTruncatedIsTruncated) {
+  const std::string path = ::testing::TempDir() + "/ct_truncated.bin";
+  const CsiTrace t = small_trace();
+  ASSERT_TRUE(t.save(path));
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 100u);
+  bytes.resize(bytes.size() - 11);  // EOF lands inside the last chunk
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(load_code(path), trace::TraceError::Code::kTruncated);
+  std::remove(path.c_str());
+}
+
+TEST(CsiTraceTest, LoadNonMonotoneTimestampsRejected) {
+  const std::string path = ::testing::TempDir() + "/ct_nonmono.bin";
+  std::vector<unsigned char> b;
+  append_header(b, trace::kFormatVersion);
+  std::vector<unsigned char> records;
+  append_entry(records, 1.0);
+  append_entry(records, 0.5);  // time regresses on every stream
+  append_u32(b, 10);           // record_count (2 entries x 5 records)
+  append_u32(b, static_cast<std::uint32_t>(records.size()));
+  b.insert(b.end(), records.begin(), records.end());
+  write_file(path, b);
+  EXPECT_EQ(load_code(path), trace::TraceError::Code::kNonMonotoneTime);
+  std::remove(path.c_str());
+}
+
+TEST(CsiTraceTest, LoadRefusesTraceWithoutCsiTraceStreams) {
+  // A valid v2 trace that lacks the CsiTrace stream set (here: RSSI only)
+  // must be refused up front as missing-stream, not mis-parsed.
+  const std::string path = ::testing::TempDir() + "/ct_wrongset.bin";
+  {
+    trace::TraceHeader h;
+    h.stream_mask = trace::stream_bit(trace::StreamKind::kRssi);
+    h.n_tx = 1;
+    h.n_rx = 1;
+    h.n_sc = 1;
+    trace::TraceWriter writer(path, h);
+    writer.put_scalar(trace::StreamKind::kRssi, 0, 0.0, -50.0);
+    writer.close();
+  }
+  EXPECT_EQ(load_code(path), trace::TraceError::Code::kMissingStream);
+  std::remove(path.c_str());
+}
+
+// ---- at_time / index_at boundary pins --------------------------------------
+//
+// The MU-MIMO emulator's latest-entry-at-or-before-t lookup. Pinned so the
+// replay semantics can never drift silently: exact hits select that entry,
+// queries before the first entry clamp to index 0, queries past the end
+// clamp to the last entry, and epsilon perturbations round down.
+
+TEST(CsiTraceTest, IndexAtBoundaryPins) {
+  const CsiTrace t = small_trace();  // entries at 0.0, 0.1, ..., 1.0
+  EXPECT_EQ(t.index_at(-5.0), 0u);             // before start: clamp to first
+  EXPECT_EQ(t.index_at(0.0), 0u);              // exact first
+  EXPECT_EQ(t.index_at(0.1), 1u);              // exact interior hit
+  EXPECT_EQ(t.index_at(1.0), t.size() - 1);    // exact last
+  EXPECT_EQ(t.index_at(99.0), t.size() - 1);   // past the end: clamp to last
+}
+
+TEST(CsiTraceTest, IndexAtEpsilonPerturbationsRoundDown) {
+  const CsiTrace t = small_trace();
+  const std::size_t at_exact = t.index_at(0.5);
+  EXPECT_EQ(t.index_at(0.5 + 1e-12), at_exact);      // just after: same entry
+  EXPECT_EQ(t.index_at(0.5 - 1e-12), at_exact - 1);  // just before: previous
+  EXPECT_DOUBLE_EQ(t.at_time(0.5 - 1e-12).t, 0.4);
+}
+
+TEST(CsiTraceTest, AtTimeAndIndexAtAgree) {
+  const CsiTrace t = small_trace();
+  for (const double q : {-1.0, 0.0, 0.05, 0.1, 0.55, 0.999, 1.0, 2.0})
+    EXPECT_DOUBLE_EQ(t.at_time(q).t, t[t.index_at(q)].t) << "q=" << q;
 }
 
 TEST(CsiTraceTest, EmptyTraceRoundTrips) {
