@@ -58,6 +58,7 @@
 #include "suite/suite.hpp"
 #include "util/alloc_count.hpp"
 #include "util/flatjson.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
@@ -302,6 +303,24 @@ int run_perf(const Options& opt) {
       out << buf;
     }
   }
+  // Host-capability and tier provenance, quarantined on timing_* keys (the
+  // same convention the determinism diffs filter on), so perf baselines are
+  // comparable across hosts.
+  std::snprintf(buf, sizeof buf, "  \"timing_host_avx2\": %d,\n",
+                mobiwlan::simd::avx2fma_supported() ? 1 : 0);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"timing_host_avx512\": %d,\n",
+                mobiwlan::simd::avx512_supported() ? 1 : 0);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"timing_active_simd_tier\": %d,\n",
+                static_cast<int>(mobiwlan::simd::active_tier()));
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"timing_active_precision_fp32\": %d,\n",
+                mobiwlan::simd::active_precision() ==
+                        mobiwlan::simd::Precision::kFloat32
+                    ? 1
+                    : 0);
+  out << buf;
   out << "  \"end\": 0\n}\n";
   out.close();
   std::printf("wrote %s (%zu cases)\n", opt.perf_out.c_str(), results.size());

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "chan/channel.hpp"
+#include "chan/channel_batch.hpp"
 #include "chan/trajectory.hpp"
 #include "core/csi_similarity.hpp"
 #include "core/mobility_classifier.hpp"
@@ -28,6 +29,7 @@
 #include "suite/suite.hpp"
 #include "util/alloc_count.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace mobiwlan::benchsuite {
 namespace {
@@ -99,6 +101,43 @@ PerfResult run_channel_synthesis(double min_time_s) {
   });
 }
 
+/// Restores the forced precision tier on scope exit (the fp32 cases must
+/// not leak their override into later cases or the gate run).
+struct PrecisionGuard {
+  explicit PrecisionGuard(int precision) {
+    simd::set_forced_precision(precision);
+  }
+  ~PrecisionGuard() { simd::set_forced_precision(-1); }
+};
+
+/// Batched noiseless synthesis through ChannelBatch — the engine the scale
+/// runs and the classifier driver sit on, at the paper's 3x2x52 layout.
+/// `precision` pins the plane tier: 0 = fp64 (the default contract),
+/// 1 = fp32 (error-bounded tier; see DESIGN.md §5).
+PerfResult run_batch_synthesis_tier(const char* name, double min_time_s,
+                                    int precision) {
+  PrecisionGuard guard(precision);
+  auto ch = perf_channel();
+  ChannelBatch batch;
+  batch.add_link(ch.get());
+  ChannelBatch::Scratch scratch;
+  CsiMatrix m;
+  double t = 0.0;
+  return measure(name, min_time_s, [&] {
+    batch.csi_true_into(0, t, m, scratch);
+    t += 0.001;
+    asm volatile("" : : "r"(&m) : "memory");
+  });
+}
+
+PerfResult run_batch_synthesis(double min_time_s) {
+  return run_batch_synthesis_tier("batch_synthesis", min_time_s, 0);
+}
+
+PerfResult run_batch_synthesis_f32(double min_time_s) {
+  return run_batch_synthesis_tier("batch_synthesis_f32", min_time_s, 1);
+}
+
 PerfResult run_csi_similarity(double min_time_s) {
   auto ch = perf_channel();
   const CsiMatrix a = ch->csi_at(0.0);
@@ -162,6 +201,12 @@ const std::vector<PerfCaseDef>& perf_registry() {
        run_channel_sample},
       {"channel_synthesis", "noiseless 3x2x52 CSI synthesis via csi_true_into",
        run_channel_synthesis},
+      {"batch_synthesis",
+       "batched noiseless synthesis via ChannelBatch (fp64 tier)",
+       run_batch_synthesis},
+      {"batch_synthesis_f32",
+       "batched noiseless synthesis via ChannelBatch (fp32 tier)",
+       run_batch_synthesis_f32},
       {"csi_similarity", "4-pair Pearson CSI similarity with scratch buffers",
        run_csi_similarity},
       {"classifier_csi_step", "MobilityClassifier::on_csi steady-state step",

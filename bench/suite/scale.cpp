@@ -39,6 +39,7 @@
 #include "util/alloc_count.hpp"
 #include "util/flatjson.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace mobiwlan::benchsuite {
 namespace {
@@ -150,6 +151,70 @@ double time_passes(double min_time_s, double& t, Pass&& pass) {
   return 1e9 * elapsed / (static_cast<double>(passes) * kNumClients);
 }
 
+/// Paired fp32-vs-fp64 batched-synthesis ratio at `tier`, on a wideband
+/// (242-subcarrier) link where the synthesis kernels — not the per-path
+/// scalar prep — dominate. The two precisions are measured *interleaved*
+/// (alternating 256-op blocks with a short untimed warm block after each
+/// switch, so the plane working-set swap is not charged to either side) and
+/// the ratio comes from the summed times: background-load drift on a shared
+/// CI host hits both sides equally instead of skewing whichever side ran
+/// second.
+struct F32Speedup {
+  double f64_ns = 0.0;
+  double f32_ns = 0.0;
+  double speedup = 0.0;
+};
+
+F32Speedup measure_f32_synthesis(double min_time_s, int tier) {
+  Rng master(runtime::kMasterSeed);
+  Rng rng = master.stream(7001);
+  ChannelConfig cfg;
+  cfg.n_subcarriers = 242;  // 80 MHz-class width: synthesis-dominated
+  cfg.activity = EnvironmentalActivity::kWeak;
+  auto traj =
+      std::make_shared<LinearTrajectory>(Vec2{9.0, 0.0}, Vec2{1.0, 0.4}, 1.2);
+  auto ch = std::make_unique<WirelessChannel>(cfg, Vec2{0.0, 0.0},
+                                              std::move(traj), rng.split());
+  ChannelBatch batch;
+  batch.add_link(ch.get());
+  ChannelBatch::Scratch scratch;
+  CsiMatrix m;
+  simd::set_forced_tier(tier);
+  double t = 0.1;
+  for (int i = 0; i < 64; ++i) {  // size both precision tiers' planes
+    simd::set_forced_precision(i & 1);
+    batch.csi_true_into(0, t, m, scratch);
+    t += 1e-4;
+  }
+  F32Speedup r;
+  double t64 = 0.0, t32 = 0.0;
+  std::size_t ops = 0;
+  do {
+    for (int precision = 0; precision < 2; ++precision) {
+      simd::set_forced_precision(precision);
+      for (int i = 0; i < 32; ++i) {  // untimed: repopulate caches post-switch
+        batch.csi_true_into(0, t, m, scratch);
+        t += 1e-4;
+      }
+      const auto t0 = clock_type::now();
+      for (int i = 0; i < 256; ++i) {
+        batch.csi_true_into(0, t, m, scratch);
+        t += 1e-4;
+      }
+      const double dt =
+          std::chrono::duration<double>(clock_type::now() - t0).count();
+      (precision == 0 ? t64 : t32) += dt;
+    }
+    ops += 256;
+  } while (t64 + t32 < min_time_s);
+  simd::set_forced_precision(-1);
+  simd::set_forced_tier(-1);
+  r.f64_ns = 1e9 * t64 / static_cast<double>(ops);
+  r.f32_ns = 1e9 * t32 / static_cast<double>(ops);
+  r.speedup = t64 / t32;
+  return r;
+}
+
 }  // namespace
 
 int run_scale_bench(const ScaleOptions& opt) {
@@ -234,6 +299,25 @@ int run_scale_bench(const ScaleOptions& opt) {
                 n, ns, batch_ns / ns, 1e3 / ns);
   }
 
+  // ---- phase 4: fp32 synthesis ratio (timing keys) ----------------------
+  // Gate quantity for ci/perf_gate.sh's fp32 section: the precision-tier
+  // speedup at the host's active SIMD tier, plus the avx2-forced pair so
+  // AVX-512 hosts also publish the narrower tier's ratio.
+  const F32Speedup f32_best = measure_f32_synthesis(opt.min_time_s, -1);
+  std::printf(
+      "  fp32 synthesis (242 sc, %s tier): fp64 %.0f ns, fp32 %.0f ns "
+      "(%.2fx)\n",
+      simd::tier_name(simd::active_tier()), f32_best.f64_ns, f32_best.f32_ns,
+      f32_best.speedup);
+  F32Speedup f32_avx2;
+  if (simd::avx2fma_supported()) {
+    f32_avx2 = measure_f32_synthesis(opt.min_time_s, 1);
+    std::printf(
+        "  fp32 synthesis (242 sc, avx2-forced): fp64 %.0f ns, fp32 %.0f ns "
+        "(%.2fx)\n",
+        f32_avx2.f64_ns, f32_avx2.f32_ns, f32_avx2.speedup);
+  }
+
   // ---- report -----------------------------------------------------------
   std::ofstream out(opt.out, std::ios::binary);
   if (!out) {
@@ -281,6 +365,36 @@ int run_scale_bench(const ScaleOptions& opt) {
     std::snprintf(buf, sizeof buf,
                   "  \"timing_jobs%zu_samples_per_sec\": %.0f,\n",
                   ladder_jobs[k], 1e9 / ladder_ns[k]);
+    out << buf;
+  }
+  // Host-capability and tier provenance, quarantined on timing_* keys: the
+  // deterministic body of the report stays host-independent while baselines
+  // stay comparable across machines.
+  std::snprintf(buf, sizeof buf, "  \"timing_host_avx2\": %d,\n",
+                simd::avx2fma_supported() ? 1 : 0);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"timing_host_avx512\": %d,\n",
+                simd::avx512_supported() ? 1 : 0);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"timing_active_simd_tier\": %d,\n",
+                static_cast<int>(simd::active_tier()));
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"timing_active_precision_fp32\": %d,\n",
+                simd::active_precision() == simd::Precision::kFloat32 ? 1 : 0);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"timing_f32_synthesis_f64_ns\": %.1f,\n",
+                f32_best.f64_ns);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"timing_f32_synthesis_f32_ns\": %.1f,\n",
+                f32_best.f32_ns);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  \"timing_f32_synthesis_speedup\": %.2f,\n",
+                f32_best.speedup);
+  out << buf;
+  if (simd::avx2fma_supported()) {
+    std::snprintf(buf, sizeof buf,
+                  "  \"timing_f32_synthesis_speedup_avx2\": %.2f,\n",
+                  f32_avx2.speedup);
     out << buf;
   }
   out << "  \"end\": 0\n}\n";

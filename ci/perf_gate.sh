@@ -41,3 +41,38 @@ fi
   --perf-min-time "${MIN_TIME}" \
   --scale-out "${SCALE_OUT}" \
   --perf-baseline ci/perf_baseline.json
+
+# ---- fp32 precision-tier section ------------------------------------------
+# The scale bench publishes the paired (interleaved, drift-immune) fp32-vs-
+# fp64 wideband batched-synthesis ratio at the host's active SIMD tier. On
+# AVX2-capable hosts that ratio must clear gate_f32_min_speedup; hosts
+# without the wider ISA tiers skip the corresponding check LOUDLY rather
+# than silently passing.
+flat_key() { grep -o "\"$2\": *-\?[0-9.eE+-]*" "$1" | head -1 | awk '{print $NF}'; }
+
+HOST_AVX2="$(flat_key "${SCALE_OUT}" timing_host_avx2)"
+HOST_AVX512="$(flat_key "${SCALE_OUT}" timing_host_avx512)"
+
+if [[ "${HOST_AVX2}" != "1" ]]; then
+  echo "fp32-check: SKIPPED — host lacks AVX2+FMA; the avx2 and avx512" \
+       "tiers cannot be exercised here and the >=1.6x speedup gate does" \
+       "not apply to the scalar tier" >&2
+else
+  if [[ "${HOST_AVX512}" != "1" ]]; then
+    echo "fp32-check: NOTE — host lacks AVX-512 (f/dq/vl); the avx512 tier" \
+         "falls back to avx2 and the ratio below is gated at the avx2 tier" >&2
+  fi
+  SPEEDUP="$(flat_key "${SCALE_OUT}" timing_f32_synthesis_speedup)"
+  MIN_SPEEDUP="$(flat_key ci/perf_baseline.json gate_f32_min_speedup)"
+  if [[ -z "${SPEEDUP}" || -z "${MIN_SPEEDUP}" ]]; then
+    echo "FAIL: fp32 speedup keys missing (scale json ${SCALE_OUT})" >&2
+    exit 1
+  fi
+  if awk -v s="${SPEEDUP}" -v m="${MIN_SPEEDUP}" 'BEGIN { exit !(s >= m) }'; then
+    echo "fp32-check: batched synthesis fp32 speedup ${SPEEDUP}x >= ${MIN_SPEEDUP}x (active tier)"
+  else
+    echo "FAIL: fp32 batched synthesis speedup ${SPEEDUP}x below the" \
+         "${MIN_SPEEDUP}x floor (ci/perf_baseline.json gate_f32_min_speedup)" >&2
+    exit 1
+  fi
+fi

@@ -299,12 +299,460 @@ __attribute__((target("avx2,fma"))) void vamp_n(const double* len,
 
 #endif  // __x86_64__
 
+// ---------------------------------------------------------------------------
+// fp32 plane tier. Same staging structure as the double path above, but the
+// phasor planes, steering table and MAC run in float: 8 lanes under AVX2,
+// 16 under AVX-512. What stays double, and why (the error budget is in
+// DESIGN.md §5):
+//   * geometry and amplitudes — RSSI/ToF derive from them bitwise;
+//   * the start-phase reduction — a carrier-scale phase (~1e5 rad) carries
+//     only ~1e-2 rad of precision as a float, so it is reduced mod 2pi in
+//     double *before* the float conversion;
+//   * chain seeds and the steering power chains — O(paths) work whose
+//     double evaluation pins the fp32 error budget to the per-subcarrier
+//     recurrence and MAC;
+//   * the wideband power reduction — per-lane partial sums are fp32
+//     (<= ~few hundred similar-magnitude terms), the horizontal reduction
+//     and the noise-variance math are double.
+// ---------------------------------------------------------------------------
+
+// Bring a (possibly carrier-scale) phase into the fp32 sincos domain with a
+// double-precision Cody-Waite reduction mod 2pi; below the threshold the
+// conversion alone is already exact to float rounding. The fused products
+// keep the residual to ~k*1e-32 + 1 ulp — std::remainder would match, but
+// its iterative libm implementation costs more than the whole fp32 sincos.
+constexpr double kInvTwoPi = 0.15915494309189535;   // 1/(2pi)
+constexpr double kTwoPiHi = 6.283185307179586;      // 2pi rounded to double
+constexpr double kTwoPiLo = 2.4492935982947064e-16; // 2pi - kTwoPiHi
+float reduce_phase_f32(double x) {
+  if (std::abs(x) > 512.0) {
+    const double kd = std::nearbyint(x * kInvTwoPi);
+    x = std::fma(-kd, kTwoPiHi, x);
+    x = std::fma(-kd, kTwoPiLo, x);
+  }
+  return static_cast<float>(x);
+}
+
+// Scalar fp32 chain fill: the float port of fill_base_scalar, seeded from
+// the double chain seeds (so the scalar and vector fp32 tiers differ only
+// in recurrence association, a few ulp_f32).
+struct PathChainsF32 {
+  float br[4];
+  float bi[4];
+  float s4r;
+  float s4i;
+};
+
+PathChainsF32 seed_chains_f32(cplx start, cplx step) {
+  const PathChains pc = seed_chains(start, step);
+  PathChainsF32 out;
+  for (int j = 0; j < 4; ++j) {
+    out.br[j] = static_cast<float>(pc.br[j]);
+    out.bi[j] = static_cast<float>(pc.bi[j]);
+  }
+  out.s4r = static_cast<float>(pc.s4r);
+  out.s4i = static_cast<float>(pc.s4i);
+  return out;
+}
+
+void fill_base_scalar_f32(const PathChainsF32& pc, float* bre, float* bim,
+                          std::size_t n_sc) {
+  float br[4], bi[4];
+  for (int j = 0; j < 4; ++j) {
+    br[j] = pc.br[j];
+    bi[j] = pc.bi[j];
+  }
+  std::size_t sc = 0;
+  for (; sc + 4 <= n_sc; sc += 4) {
+    for (int j = 0; j < 4; ++j) {
+      bre[sc + j] = br[j];
+      bim[sc + j] = bi[j];
+      const float nr = br[j] * pc.s4r - bi[j] * pc.s4i;
+      bi[j] = br[j] * pc.s4i + bi[j] * pc.s4r;
+      br[j] = nr;
+    }
+  }
+  for (int j = 0; sc < n_sc; ++sc, ++j) {
+    bre[sc] = br[j];
+    bim[sc] = bi[j];
+  }
+}
+
+#if defined(__x86_64__)
+
+// 8-lane fp32 recurrence: seeds start*step^j for j = 0..3 computed in
+// double (the serial dependency), lanes 4..7 derived with one fp32 vector
+// complex multiply by step^4, one block chain stepping step^8. At most
+// ceil(n_sc/8) - 1 fp32 chain steps, so rounding growth stays at a few
+// ulp_f32.
+__attribute__((target("avx2,fma"))) void seed_lanes8_f32(cplx start, cplx step,
+                                                         __m256& c_re,
+                                                         __m256& c_im) {
+  alignas(16) float sr[4], si[4];
+  cplx c = start;
+  for (int j = 0; j < 4; ++j) {
+    sr[j] = static_cast<float>(c.real());
+    si[j] = static_cast<float>(c.imag());
+    c *= step;
+  }
+  const cplx s2 = step * step;
+  const cplx s4 = s2 * s2;
+  const __m128 a_re = _mm_load_ps(sr);
+  const __m128 a_im = _mm_load_ps(si);
+  const __m128 v4r = _mm_set1_ps(static_cast<float>(s4.real()));
+  const __m128 v4i = _mm_set1_ps(static_cast<float>(s4.imag()));
+  const __m128 b_re = _mm_fmsub_ps(a_re, v4r, _mm_mul_ps(a_im, v4i));
+  const __m128 b_im = _mm_fmadd_ps(a_re, v4i, _mm_mul_ps(a_im, v4r));
+  c_re = _mm256_set_m128(b_re, a_re);
+  c_im = _mm256_set_m128(b_im, a_im);
+}
+
+__attribute__((target("avx2,fma"))) void fill_base_avx2_f32(
+    cplx start, cplx step, float* bre, float* bim, std::size_t n_sc) {
+  __m256 c_re, c_im;
+  seed_lanes8_f32(start, step, c_re, c_im);
+  const cplx s2 = step * step;
+  const cplx s8 = (s2 * s2) * (s2 * s2);
+  const __m256 v8r = _mm256_set1_ps(static_cast<float>(s8.real()));
+  const __m256 v8i = _mm256_set1_ps(static_cast<float>(s8.imag()));
+  std::size_t sc = 0;
+  for (;;) {
+    if (sc + 8 <= n_sc) {
+      _mm256_storeu_ps(bre + sc, c_re);
+      _mm256_storeu_ps(bim + sc, c_im);
+    } else {
+      alignas(32) float tr[8], ti[8];
+      _mm256_store_ps(tr, c_re);
+      _mm256_store_ps(ti, c_im);
+      for (std::size_t l = 0; sc + l < n_sc; ++l) {
+        bre[sc + l] = tr[l];
+        bim[sc + l] = ti[l];
+      }
+    }
+    sc += 8;
+    if (sc >= n_sc) break;
+    const __m256 nr = _mm256_fmsub_ps(c_re, v8r, _mm256_mul_ps(c_im, v8i));
+    c_im = _mm256_fmadd_ps(c_re, v8i, _mm256_mul_ps(c_im, v8r));
+    c_re = nr;
+  }
+}
+
+// 16-lane fp32 recurrence (AVX-512): seeds start*step^j (j = 0..15) in
+// double, one block chain stepping step^16.
+__attribute__((target("avx2,fma,avx512f,avx512dq,avx512vl"))) void
+fill_base_avx512_f32(cplx start, cplx step, float* bre, float* bim,
+                     std::size_t n_sc) {
+  // Lanes 0..7 seeded like the AVX2 kernel (4 serial double multiplies plus
+  // one 4-lane fp32 complex multiply by step^4); lanes 8..15 are that half
+  // times step^8 — the serial seed chain stays 4 long instead of 16.
+  __m256 lo_re, lo_im;
+  seed_lanes8_f32(start, step, lo_re, lo_im);
+  const cplx s2 = step * step;
+  const cplx s4 = s2 * s2;
+  const cplx s8 = s4 * s4;
+  const cplx s16 = s8 * s8;
+  const __m256 v8r = _mm256_set1_ps(static_cast<float>(s8.real()));
+  const __m256 v8i = _mm256_set1_ps(static_cast<float>(s8.imag()));
+  const __m256 hi_re =
+      _mm256_fmsub_ps(lo_re, v8r, _mm256_mul_ps(lo_im, v8i));
+  const __m256 hi_im =
+      _mm256_fmadd_ps(lo_re, v8i, _mm256_mul_ps(lo_im, v8r));
+  __m512 c_re = _mm512_insertf32x8(_mm512_castps256_ps512(lo_re), hi_re, 1);
+  __m512 c_im = _mm512_insertf32x8(_mm512_castps256_ps512(lo_im), hi_im, 1);
+  const __m512 v16r = _mm512_set1_ps(static_cast<float>(s16.real()));
+  const __m512 v16i = _mm512_set1_ps(static_cast<float>(s16.imag()));
+  std::size_t sc = 0;
+  for (;;) {
+    if (sc + 16 <= n_sc) {
+      _mm512_storeu_ps(bre + sc, c_re);
+      _mm512_storeu_ps(bim + sc, c_im);
+    } else {
+      alignas(64) float tr[16], ti[16];
+      _mm512_store_ps(tr, c_re);
+      _mm512_store_ps(ti, c_im);
+      for (std::size_t l = 0; sc + l < n_sc; ++l) {
+        bre[sc + l] = tr[l];
+        bim[sc + l] = ti[l];
+      }
+    }
+    sc += 16;
+    if (sc >= n_sc) break;
+    const __m512 nr = _mm512_fmsub_ps(c_re, v16r, _mm512_mul_ps(c_im, v16i));
+    c_im = _mm512_fmadd_ps(c_re, v16i, _mm512_mul_ps(c_im, v16r));
+    c_re = nr;
+  }
+}
+
+// fp32 register-blocked MAC, 8 subcarriers per slice. Accumulators are
+// float; the CsiMatrix store widens to double (cvtps_pd) so downstream
+// consumers see the same cplx layout on every tier. Per-lane power partials
+// stay fp32, the horizontal reduction is double.
+template <int NB>
+__attribute__((target("avx2,fma"))) void mac_block_avx2_f32(
+    const float* base, const float* steer, std::size_t n_paths,
+    std::size_t n_pairs, std::size_t pair0, std::size_t n_sc, cplx* raw,
+    double& power) {
+  __m256 vpow = _mm256_setzero_ps();
+  // Subcarrier counts that are not lane multiples take the remainder as one
+  // *overlapped* full-width slice anchored at n_sc - 8: the overlapped
+  // element stores are idempotent, and a lane mask keeps the overlap out of
+  // the power sum. Only n_sc < 8 falls back to the scalar loop.
+  const std::size_t full = n_sc & ~std::size_t{7};
+  const std::size_t n_slices =
+      (n_sc >= 8) ? full / 8 + (full != n_sc ? 1 : 0) : 0;
+  for (std::size_t slice = 0; slice < n_slices; ++slice) {
+    const std::size_t sc = std::min<std::size_t>(slice * 8, n_sc - 8);
+    __m256 acc_re[NB], acc_im[NB];
+#pragma GCC unroll 8
+    for (int k = 0; k < NB; ++k) {
+      acc_re[k] = _mm256_setzero_ps();
+      acc_im[k] = _mm256_setzero_ps();
+    }
+    for (std::size_t p = 0; p < n_paths; ++p) {
+      const float* bplane = base + p * 2 * n_sc;
+      const __m256 b_re = _mm256_loadu_ps(bplane + sc);
+      const __m256 b_im = _mm256_loadu_ps(bplane + n_sc + sc);
+      const float* st = steer + (p * n_pairs + pair0) * 2;
+#pragma GCC unroll 8
+      for (int k = 0; k < NB; ++k) {
+        const __m256 sr = _mm256_set1_ps(st[2 * k]);
+        const __m256 si = _mm256_set1_ps(st[2 * k + 1]);
+        acc_re[k] =
+            _mm256_fmadd_ps(sr, b_re, _mm256_fnmadd_ps(si, b_im, acc_re[k]));
+        acc_im[k] =
+            _mm256_fmadd_ps(sr, b_im, _mm256_fmadd_ps(si, b_re, acc_im[k]));
+      }
+    }
+    __m256 keep = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+    if (slice * 8 != sc) {  // overlapped tail: mask lanes < overlap
+      const __m256 idx = _mm256_setr_ps(0, 1, 2, 3, 4, 5, 6, 7);
+      keep = _mm256_cmp_ps(
+          idx, _mm256_set1_ps(static_cast<float>(slice * 8 - sc)),
+          _CMP_GE_OQ);
+    }
+#pragma GCC unroll 8
+    for (int k = 0; k < NB; ++k) {
+      const __m256 lo = _mm256_unpacklo_ps(acc_re[k], acc_im[k]);
+      const __m256 hi = _mm256_unpackhi_ps(acc_re[k], acc_im[k]);
+      double* dst = reinterpret_cast<double*>(raw + (pair0 + k) * n_sc + sc);
+      _mm256_storeu_pd(dst, _mm256_cvtps_pd(_mm256_castps256_ps128(lo)));
+      _mm256_storeu_pd(dst + 4, _mm256_cvtps_pd(_mm256_castps256_ps128(hi)));
+      _mm256_storeu_pd(dst + 8, _mm256_cvtps_pd(_mm256_extractf128_ps(lo, 1)));
+      _mm256_storeu_pd(dst + 12,
+                       _mm256_cvtps_pd(_mm256_extractf128_ps(hi, 1)));
+      const __m256 pre = _mm256_and_ps(acc_re[k], keep);
+      const __m256 pim = _mm256_and_ps(acc_im[k], keep);
+      vpow = _mm256_fmadd_ps(pre, pre, _mm256_fmadd_ps(pim, pim, vpow));
+    }
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, vpow);
+  for (float lane : lanes) power += static_cast<double>(lane);
+  for (std::size_t sc = n_slices * 8; sc < n_sc; ++sc) {  // only n_sc < 8
+    for (int k = 0; k < NB; ++k) {
+      float are = 0.0f, aim = 0.0f;
+      for (std::size_t p = 0; p < n_paths; ++p) {
+        const float* bplane = base + p * 2 * n_sc;
+        const float sr = steer[(p * n_pairs + pair0 + k) * 2];
+        const float si = steer[(p * n_pairs + pair0 + k) * 2 + 1];
+        are += sr * bplane[sc] - si * bplane[n_sc + sc];
+        aim += sr * bplane[n_sc + sc] + si * bplane[sc];
+      }
+      raw[(pair0 + k) * n_sc + sc] = cplx{are, aim};
+      power += static_cast<double>(are) * are + static_cast<double>(aim) * aim;
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void fused_mac_avx2_f32(
+    const float* base, const float* steer, std::size_t n_paths,
+    std::size_t n_pairs, std::size_t n_sc, cplx* raw, double& power) {
+  power = 0.0;
+  for (std::size_t pair0 = 0; pair0 < n_pairs; pair0 += 6) {
+    switch (std::min<std::size_t>(6, n_pairs - pair0)) {
+      case 6:
+        mac_block_avx2_f32<6>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                              power);
+        break;
+      case 5:
+        mac_block_avx2_f32<5>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                              power);
+        break;
+      case 4:
+        mac_block_avx2_f32<4>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                              power);
+        break;
+      case 3:
+        mac_block_avx2_f32<3>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                              power);
+        break;
+      case 2:
+        mac_block_avx2_f32<2>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                              power);
+        break;
+      default:
+        mac_block_avx2_f32<1>(base, steer, n_paths, n_pairs, pair0, n_sc, raw,
+                              power);
+        break;
+    }
+  }
+}
+
+// fp32 MAC, 16 subcarriers per slice (AVX-512). The interleaved double
+// store uses permutex2var on the widened halves.
+template <int NB>
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void mac_block_avx512_f32(
+    const float* base, const float* steer, std::size_t n_paths,
+    std::size_t n_pairs, std::size_t pair0, std::size_t n_sc, cplx* raw,
+    double& power) {
+  __m512 vpow = _mm512_setzero_ps();
+  const __m512i idx_lo = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
+  const __m512i idx_hi = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
+  // Remainder handled as one overlapped full-width slice at n_sc - 16 (see
+  // mac_block_avx2_f32); scalar fallback only below 16 subcarriers.
+  const std::size_t full = n_sc & ~std::size_t{15};
+  const std::size_t n_slices =
+      (n_sc >= 16) ? full / 16 + (full != n_sc ? 1 : 0) : 0;
+  for (std::size_t slice = 0; slice < n_slices; ++slice) {
+    const std::size_t sc = std::min<std::size_t>(slice * 16, n_sc - 16);
+    __m512 acc_re[NB], acc_im[NB];
+#pragma GCC unroll 8
+    for (int k = 0; k < NB; ++k) {
+      acc_re[k] = _mm512_setzero_ps();
+      acc_im[k] = _mm512_setzero_ps();
+    }
+    for (std::size_t p = 0; p < n_paths; ++p) {
+      const float* bplane = base + p * 2 * n_sc;
+      const __m512 b_re = _mm512_loadu_ps(bplane + sc);
+      const __m512 b_im = _mm512_loadu_ps(bplane + n_sc + sc);
+      const float* st = steer + (p * n_pairs + pair0) * 2;
+#pragma GCC unroll 8
+      for (int k = 0; k < NB; ++k) {
+        const __m512 sr = _mm512_set1_ps(st[2 * k]);
+        const __m512 si = _mm512_set1_ps(st[2 * k + 1]);
+        acc_re[k] =
+            _mm512_fmadd_ps(sr, b_re, _mm512_fnmadd_ps(si, b_im, acc_re[k]));
+        acc_im[k] =
+            _mm512_fmadd_ps(sr, b_im, _mm512_fmadd_ps(si, b_re, acc_im[k]));
+      }
+    }
+    __mmask16 keep = 0xffff;
+    if (slice * 16 != sc)  // overlapped tail: drop lanes < overlap
+      keep = static_cast<__mmask16>(0xffffu << (slice * 16 - sc));
+#pragma GCC unroll 8
+    for (int k = 0; k < NB; ++k) {
+      const __m512d re_lo =
+          _mm512_cvtps_pd(_mm512_castps512_ps256(acc_re[k]));
+      const __m512d im_lo =
+          _mm512_cvtps_pd(_mm512_castps512_ps256(acc_im[k]));
+      const __m512d re_hi =
+          _mm512_cvtps_pd(_mm512_extractf32x8_ps(acc_re[k], 1));
+      const __m512d im_hi =
+          _mm512_cvtps_pd(_mm512_extractf32x8_ps(acc_im[k], 1));
+      double* dst = reinterpret_cast<double*>(raw + (pair0 + k) * n_sc + sc);
+      _mm512_storeu_pd(dst, _mm512_permutex2var_pd(re_lo, idx_lo, im_lo));
+      _mm512_storeu_pd(dst + 8, _mm512_permutex2var_pd(re_lo, idx_hi, im_lo));
+      _mm512_storeu_pd(dst + 16,
+                       _mm512_permutex2var_pd(re_hi, idx_lo, im_hi));
+      _mm512_storeu_pd(dst + 24,
+                       _mm512_permutex2var_pd(re_hi, idx_hi, im_hi));
+      const __m512 pre = _mm512_maskz_mov_ps(keep, acc_re[k]);
+      const __m512 pim = _mm512_maskz_mov_ps(keep, acc_im[k]);
+      vpow = _mm512_fmadd_ps(pre, pre, _mm512_fmadd_ps(pim, pim, vpow));
+    }
+  }
+  alignas(64) float lanes[16];
+  _mm512_store_ps(lanes, vpow);
+  for (float lane : lanes) power += static_cast<double>(lane);
+  for (std::size_t sc = n_slices * 16; sc < n_sc; ++sc) {  // only n_sc < 16
+    for (int k = 0; k < NB; ++k) {
+      float are = 0.0f, aim = 0.0f;
+      for (std::size_t p = 0; p < n_paths; ++p) {
+        const float* bplane = base + p * 2 * n_sc;
+        const float sr = steer[(p * n_pairs + pair0 + k) * 2];
+        const float si = steer[(p * n_pairs + pair0 + k) * 2 + 1];
+        are += sr * bplane[sc] - si * bplane[n_sc + sc];
+        aim += sr * bplane[n_sc + sc] + si * bplane[sc];
+      }
+      raw[(pair0 + k) * n_sc + sc] = cplx{are, aim};
+      power += static_cast<double>(are) * are + static_cast<double>(aim) * aim;
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void fused_mac_avx512_f32(
+    const float* base, const float* steer, std::size_t n_paths,
+    std::size_t n_pairs, std::size_t n_sc, cplx* raw, double& power) {
+  power = 0.0;
+  for (std::size_t pair0 = 0; pair0 < n_pairs; pair0 += 6) {
+    switch (std::min<std::size_t>(6, n_pairs - pair0)) {
+      case 6:
+        mac_block_avx512_f32<6>(base, steer, n_paths, n_pairs, pair0, n_sc,
+                                raw, power);
+        break;
+      case 5:
+        mac_block_avx512_f32<5>(base, steer, n_paths, n_pairs, pair0, n_sc,
+                                raw, power);
+        break;
+      case 4:
+        mac_block_avx512_f32<4>(base, steer, n_paths, n_pairs, pair0, n_sc,
+                                raw, power);
+        break;
+      case 3:
+        mac_block_avx512_f32<3>(base, steer, n_paths, n_pairs, pair0, n_sc,
+                                raw, power);
+        break;
+      case 2:
+        mac_block_avx512_f32<2>(base, steer, n_paths, n_pairs, pair0, n_sc,
+                                raw, power);
+        break;
+      default:
+        mac_block_avx512_f32<1>(base, steer, n_paths, n_pairs, pair0, n_sc,
+                                raw, power);
+        break;
+    }
+  }
+}
+
+// Staged fp32 sincos passes over lane-padded arrays.
+__attribute__((target("avx2,fma"))) void vsincos_n_f8(const float* x,
+                                                      std::size_t n, float* s,
+                                                      float* c) {
+  for (std::size_t i = 0; i < n; i += 8) {
+    __m256 vs, vc;
+    simdmath::vsincos_f8(_mm256_loadu_ps(x + i), vs, vc);
+    _mm256_storeu_ps(s + i, vs);
+    _mm256_storeu_ps(c + i, vc);
+  }
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void vsincos_n_f16(
+    const float* x, std::size_t n, float* s, float* c) {
+  for (std::size_t i = 0; i < n; i += 16) {
+    __m512 vs, vc;
+    simdmath::vsincos_f16(_mm512_loadu_ps(x + i), vs, vc);
+    _mm512_storeu_ps(s + i, vs);
+    _mm512_storeu_ps(c + i, vc);
+  }
+}
+
+#endif  // __x86_64__
+
 std::size_t pad4(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+std::size_t pad16(std::size_t n) { return (n + 15) & ~std::size_t{15}; }
 
 }  // namespace
 
 struct ChannelBatch::SynthSpec {
-  bool avx2 = false;  ///< dispatch resolved once per range call
+  simd::Tier tier = simd::Tier::kScalar;  ///< dispatch, resolved per range call
+  bool avx2 = false;                      ///< tier >= kAvx2 (geometry pass)
+  bool fp32 = false;                      ///< float32 plane tier active
+
+  static SynthSpec resolve() {
+    const simd::Tier tier = simd::active_tier();
+    return SynthSpec{tier, tier >= simd::Tier::kAvx2,
+                     simd::active_precision() == simd::Precision::kFloat32};
+  }
 };
 
 // Scalar geometry pass (MOBIWLAN_FORCE_SCALAR / non-AVX2 hosts, and the
@@ -532,6 +980,10 @@ void ChannelBatch::geometries(const WirelessChannel& ch, double t,
 void ChannelBatch::synthesize(const WirelessChannel& ch, const SynthSpec& spec,
                               Scratch& scratch, CsiMatrix& out,
                               double& power_mw) const {
+  if (spec.fp32) {
+    synthesize_f32(ch, spec, scratch, out, power_mw);
+    return;
+  }
   const ChannelConfig& cfg = ch.config_;
   const std::size_t n_sc = cfg.n_subcarriers;
   const std::size_t n_pairs = cfg.n_tx * cfg.n_rx;
@@ -642,6 +1094,138 @@ void ChannelBatch::synthesize(const WirelessChannel& ch, const SynthSpec& spec,
   power_mw = power_sum;
 }
 
+// The float32 plane tier of synthesize: same per-path staging, with the
+// sincos pass, the phasor recurrence, the steering table and the MAC in
+// fp32 (8-lane AVX2 / 16-lane AVX-512 / scalar float). The start phase is
+// reduced mod 2pi in double before the float conversion — the one stage a
+// float cannot survive — and chain seeds plus the steering power chains are
+// evaluated in double from the fp32 sincos results, so scalar and vector
+// fp32 tiers differ only in recurrence/MAC association (a few ulp_f32).
+// CSI agrees with the fp64 path to <= 1e-4 scale-relative; the power sum
+// feeding the noise variance reduces in double.
+void ChannelBatch::synthesize_f32(const WirelessChannel& ch,
+                                  const SynthSpec& spec, Scratch& scratch,
+                                  CsiMatrix& out, double& power_mw) const {
+  const ChannelConfig& cfg = ch.config_;
+  const std::size_t n_sc = cfg.n_subcarriers;
+  const std::size_t n_pairs = cfg.n_tx * cfg.n_rx;
+  const std::size_t n_paths = scratch.geom.paths.size();
+  out.resize_for_overwrite(cfg.n_tx, cfg.n_rx, n_sc);
+  scratch.basef.resize(n_paths * 2 * n_sc);
+  scratch.steerf.resize(n_paths * n_pairs * 2);
+  const double half = static_cast<double>(n_sc - 1) / 2.0;
+
+  // Per-path phase set {step, start, tx steering, rx steering}, computed in
+  // double and reduced into the fp32 sincos domain. step and the steering
+  // phases are already small (|x| <= pi + spacing*tau); only the start
+  // phase carries the carrier term.
+  const std::size_t n_args = 4 * n_paths;
+  scratch.argf.resize(pad16(n_args));
+  scratch.sinvf.resize(scratch.argf.size());
+  scratch.cosvf.resize(scratch.argf.size());
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    const WirelessChannel::PathGeometry& path = scratch.geom.paths[p];
+    const double tau = path.length_m / kSpeedOfLight;
+    const double centre_phase =
+        -2.0 * kPi * cfg.carrier_hz * tau + path.phase0;
+    const double step_arg = -2.0 * kPi * cfg.subcarrier_spacing_hz * tau;
+    const double start_arg =
+        centre_phase + 2.0 * kPi * cfg.subcarrier_spacing_hz * tau * half;
+    scratch.argf[4 * p] = reduce_phase_f32(step_arg);
+    scratch.argf[4 * p + 1] = reduce_phase_f32(start_arg);
+    scratch.argf[4 * p + 2] = static_cast<float>(-kPi * path.cos_aod);
+    scratch.argf[4 * p + 3] = static_cast<float>(-kPi * path.cos_aoa);
+  }
+  for (std::size_t i = n_args; i < scratch.argf.size(); ++i)
+    scratch.argf[i] = 0.0f;
+
+#if defined(__x86_64__)
+  if (spec.tier == simd::Tier::kAvx512) {
+    vsincos_n_f16(scratch.argf.data(), scratch.argf.size(),
+                  scratch.sinvf.data(), scratch.cosvf.data());
+  } else if (spec.tier >= simd::Tier::kAvx2) {
+    vsincos_n_f8(scratch.argf.data(), scratch.argf.size(),
+                 scratch.sinvf.data(), scratch.cosvf.data());
+  } else
+#endif
+  {
+    for (std::size_t i = 0; i < n_args; ++i)
+      fastmath::sincos_f32(scratch.argf[i], scratch.sinvf[i],
+                           scratch.cosvf[i]);
+  }
+
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    const double amp = scratch.geom.paths[p].amplitude;
+    const cplx step{static_cast<double>(scratch.cosvf[4 * p]),
+                    static_cast<double>(scratch.sinvf[4 * p])};
+    const cplx start{amp * static_cast<double>(scratch.cosvf[4 * p + 1]),
+                     amp * static_cast<double>(scratch.sinvf[4 * p + 1])};
+    float* bplane = scratch.basef.data() + p * 2 * n_sc;
+#if defined(__x86_64__)
+    if (spec.tier == simd::Tier::kAvx512)
+      fill_base_avx512_f32(start, step, bplane, bplane + n_sc, n_sc);
+    else if (spec.tier >= simd::Tier::kAvx2)
+      fill_base_avx2_f32(start, step, bplane, bplane + n_sc, n_sc);
+    else
+      fill_base_scalar_f32(seed_chains_f32(start, step), bplane,
+                           bplane + n_sc, n_sc);
+#else
+    fill_base_scalar_f32(seed_chains_f32(start, step), bplane, bplane + n_sc,
+                         n_sc);
+#endif
+
+    // Steering power chains in double (O(paths * pairs) — negligible),
+    // stored as the fp32 steering table the MAC broadcasts from.
+    const cplx w_tx{static_cast<double>(scratch.cosvf[4 * p + 2]),
+                    static_cast<double>(scratch.sinvf[4 * p + 2])};
+    const cplx w_rx{static_cast<double>(scratch.cosvf[4 * p + 3]),
+                    static_cast<double>(scratch.sinvf[4 * p + 3])};
+    float* st = scratch.steerf.data() + p * n_pairs * 2;
+    cplx steer_tx{1.0, 0.0};
+    for (std::size_t tx = 0; tx < cfg.n_tx; ++tx) {
+      cplx steer = steer_tx;
+      for (std::size_t rx = 0; rx < cfg.n_rx; ++rx) {
+        *st++ = static_cast<float>(steer.real());
+        *st++ = static_cast<float>(steer.imag());
+        steer *= w_rx;
+      }
+      steer_tx *= w_tx;
+    }
+  }
+
+  double power_sum = 0.0;
+#if defined(__x86_64__)
+  if (spec.tier == simd::Tier::kAvx512) {
+    fused_mac_avx512_f32(scratch.basef.data(), scratch.steerf.data(), n_paths,
+                         n_pairs, n_sc, out.raw().data(), power_sum);
+    power_mw = power_sum;
+    return;
+  }
+  if (spec.tier >= simd::Tier::kAvx2) {
+    fused_mac_avx2_f32(scratch.basef.data(), scratch.steerf.data(), n_paths,
+                       n_pairs, n_sc, out.raw().data(), power_sum);
+    power_mw = power_sum;
+    return;
+  }
+#endif
+  for (std::size_t pair = 0; pair < n_pairs; ++pair) {
+    for (std::size_t sc = 0; sc < n_sc; ++sc) {
+      float are = 0.0f, aim = 0.0f;
+      for (std::size_t p = 0; p < n_paths; ++p) {
+        const float* bplane = scratch.basef.data() + p * 2 * n_sc;
+        const float sr = scratch.steerf[(p * n_pairs + pair) * 2];
+        const float si = scratch.steerf[(p * n_pairs + pair) * 2 + 1];
+        are += sr * bplane[sc] - si * bplane[n_sc + sc];
+        aim += sr * bplane[n_sc + sc] + si * bplane[sc];
+      }
+      out.raw()[pair * n_sc + sc] = cplx{are, aim};
+      power_sum +=
+          static_cast<double>(are) * are + static_cast<double>(aim) * aim;
+    }
+  }
+  power_mw = power_sum;
+}
+
 void ChannelBatch::sample_one(WirelessChannel& ch, const SynthSpec& spec,
                               double t, ChannelSample& out, Scratch& scratch) {
   out.t = t;
@@ -681,7 +1265,7 @@ void ChannelBatch::sample_one(WirelessChannel& ch, const SynthSpec& spec,
 
 void ChannelBatch::sample_range(double t, std::size_t begin, std::size_t end,
                                 ChannelSample* out, Scratch& scratch) {
-  const SynthSpec spec{simd::use_avx2fma()};
+  const SynthSpec spec = SynthSpec::resolve();
   for (std::size_t i = begin; i < end; ++i)
     sample_one(*links_[i], spec, t, out[i], scratch);
 }
@@ -689,7 +1273,7 @@ void ChannelBatch::sample_range(double t, std::size_t begin, std::size_t end,
 void ChannelBatch::csi_into(std::size_t i, double t, CsiMatrix& out,
                             Scratch& scratch) {
   WirelessChannel& ch = *links_[i];
-  const SynthSpec spec{simd::use_avx2fma()};
+  const SynthSpec spec = SynthSpec::resolve();
   geometries(ch, t, spec, scratch);
   double csi_power_sum = 0.0;
   synthesize(ch, spec, scratch, out, csi_power_sum);
@@ -708,14 +1292,14 @@ void ChannelBatch::csi_into(std::size_t i, double t, CsiMatrix& out,
 void ChannelBatch::csi_true_into(std::size_t i, double t, CsiMatrix& out,
                                  Scratch& scratch) const {
   const WirelessChannel& ch = *links_[i];
-  const SynthSpec spec{simd::use_avx2fma()};
+  const SynthSpec spec = SynthSpec::resolve();
   geometries(ch, t, spec, scratch);
   double csi_power_sum = 0.0;
   synthesize(ch, spec, scratch, out, csi_power_sum);
 }
 
 void ChannelBatch::rssi_all(double t, Scratch& scratch) {
-  const SynthSpec spec{simd::use_avx2fma()};
+  const SynthSpec spec = SynthSpec::resolve();
   scratch.rssi.resize(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
     WirelessChannel& ch = *links_[i];

@@ -31,6 +31,14 @@
 // unbatched engine — a link can move between batched and per-link sampling
 // mid-run without forking its randomness.
 //
+// Precision tiers: the default (simd::Precision::kFloat64) holds the
+// contract above. Under MOBIWLAN_PRECISION=fp32 the phasor planes, the
+// steering table and the steer x base MAC run in float32 (8-lane AVX2 /
+// 16-lane AVX-512), with an error-bounded contract instead: CSI agrees with
+// the fp64 reference to <= 1e-4 scale-relative, while geometry and every
+// RNG draw stay double so RSSI/ToF readings and RNG state remain *bitwise*
+// identical across precision tiers. See DESIGN.md §5 "Precision tiers".
+//
 // Thread safety: links may be partitioned across workers (e.g. via
 // ThreadPool::parallel_for) as long as every worker owns a disjoint link
 // range and its own Scratch — sampling mutates only per-link state (rng_)
@@ -59,6 +67,11 @@ class ChannelBatch {
     // Staging planes for the 4-lane transcendental passes (oscillator
     // arguments, squared lengths, loss exponents), padded to lane multiples.
     std::vector<double> arg, sinv, cosv, len, dxs, amp;
+    // fp32 tier planes (simd::Precision::kFloat32): the phasor/steering
+    // planes and the sincos staging in float, contiguous so the batch
+    // kernel stays GPU-portable. Geometry (geom/len/dxs/amp) and the RSSI
+    // plane stay double on every tier.
+    std::vector<float> basef, steerf, argf, sinvf, cosvf;
   };
 
   ChannelBatch() = default;
@@ -106,6 +119,9 @@ class ChannelBatch {
                          Scratch& scratch) const;
   void synthesize(const WirelessChannel& ch, const SynthSpec& spec,
                   Scratch& scratch, CsiMatrix& out, double& power_mw) const;
+  void synthesize_f32(const WirelessChannel& ch, const SynthSpec& spec,
+                      Scratch& scratch, CsiMatrix& out,
+                      double& power_mw) const;
   void sample_one(WirelessChannel& ch, const SynthSpec& spec, double t,
                   ChannelSample& out, Scratch& scratch);
 

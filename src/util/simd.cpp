@@ -8,13 +8,53 @@ namespace mobiwlan::simd {
 
 namespace {
 
-bool env_force_scalar() {
-  const char* v = std::getenv("MOBIWLAN_FORCE_SCALAR");
+// Sentinels for the forced-tier cell: kDeferToEnv consults the environment,
+// kUnforcedBest ignores both the hook and the environment (the legacy
+// set_force_scalar(0) semantics: "un-force, let cpuid decide").
+constexpr int kDeferToEnv = -1;
+constexpr int kUnforcedBest = 3;
+
+bool truthy(const char* v) {
   return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
 }
 
-// -1 = defer to the environment; 0/1 = test-hook override.
-std::atomic<int> g_forced{-1};
+/// The tier the environment requests: 0/1/2, or kDeferToEnv when neither
+/// MOBIWLAN_SIMD_TIER nor the legacy MOBIWLAN_FORCE_SCALAR alias is set.
+/// An unrecognized MOBIWLAN_SIMD_TIER value is ignored (best tier).
+int env_tier_request() {
+  const char* tier = std::getenv("MOBIWLAN_SIMD_TIER");
+  if (tier != nullptr && tier[0] != '\0') {
+    if (std::strcmp(tier, "scalar") == 0) return 0;
+    if (std::strcmp(tier, "avx2") == 0) return 1;
+    if (std::strcmp(tier, "avx512") == 0) return 2;
+    return kUnforcedBest;
+  }
+  if (truthy(std::getenv("MOBIWLAN_FORCE_SCALAR"))) return 0;
+  return kDeferToEnv;
+}
+
+/// fp32 when MOBIWLAN_PRECISION is fp32/float32/f32; fp64 otherwise.
+int env_precision_request() {
+  const char* p = std::getenv("MOBIWLAN_PRECISION");
+  if (p == nullptr || p[0] == '\0') return kDeferToEnv;
+  if (std::strcmp(p, "fp32") == 0 || std::strcmp(p, "float32") == 0 ||
+      std::strcmp(p, "f32") == 0)
+    return 1;
+  return 0;
+}
+
+std::atomic<int> g_forced_tier{kDeferToEnv};
+std::atomic<int> g_forced_precision{kDeferToEnv};
+
+/// The requested tier after the hook-then-environment cascade:
+/// 0/1/2 = explicit tier, kUnforcedBest = best supported, kDeferToEnv =
+/// nothing requested anywhere (also best supported).
+int tier_request() {
+  const int forced = g_forced_tier.load(std::memory_order_relaxed);
+  if (forced != kDeferToEnv) return forced;
+  static const int from_env = env_tier_request();
+  return from_env;
+}
 
 }  // namespace
 
@@ -28,17 +68,83 @@ bool avx2fma_supported() {
 #endif
 }
 
-bool force_scalar() {
-  const int forced = g_forced.load(std::memory_order_relaxed);
-  if (forced >= 0) return forced != 0;
-  static const bool from_env = env_force_scalar();
-  return from_env;
+bool avx512_supported() {
+#if defined(__x86_64__)
+  static const bool supported =
+      avx2fma_supported() && __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512vl");
+  return supported;
+#else
+  return false;
+#endif
 }
+
+Tier best_supported_tier() {
+  if (avx512_supported()) return Tier::kAvx512;
+  if (avx2fma_supported()) return Tier::kAvx2;
+  return Tier::kScalar;
+}
+
+Tier active_tier() {
+  const int req = tier_request();
+  const Tier best = best_supported_tier();
+  if (req == kDeferToEnv || req == kUnforcedBest) return best;
+  // Graceful fallback: a tier the host lacks degrades to the best it has
+  // (avx512 -> avx2 -> scalar); a tier below the best is honored as-is.
+  const Tier requested = static_cast<Tier>(req);
+  return requested < best ? requested : best;
+}
+
+void set_forced_tier(int tier) {
+  if (tier < 0)
+    g_forced_tier.store(kDeferToEnv, std::memory_order_relaxed);
+  else
+    g_forced_tier.store(tier > 2 ? 2 : tier, std::memory_order_relaxed);
+}
+
+Precision active_precision() {
+  int req = g_forced_precision.load(std::memory_order_relaxed);
+  if (req == kDeferToEnv) {
+    static const int from_env = env_precision_request();
+    req = from_env;
+  }
+  return req == 1 ? Precision::kFloat32 : Precision::kFloat64;
+}
+
+void set_forced_precision(int precision) {
+  if (precision < 0)
+    g_forced_precision.store(kDeferToEnv, std::memory_order_relaxed);
+  else
+    g_forced_precision.store(precision != 0 ? 1 : 0,
+                             std::memory_order_relaxed);
+}
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+const char* precision_name(Precision precision) {
+  return precision == Precision::kFloat32 ? "fp32" : "fp64";
+}
+
+bool force_scalar() { return tier_request() == 0; }
 
 void set_force_scalar(int forced) {
-  g_forced.store(forced < 0 ? -1 : (forced != 0), std::memory_order_relaxed);
+  if (forced < 0)
+    g_forced_tier.store(kDeferToEnv, std::memory_order_relaxed);
+  else if (forced != 0)
+    g_forced_tier.store(0, std::memory_order_relaxed);
+  else
+    g_forced_tier.store(kUnforcedBest, std::memory_order_relaxed);
 }
 
-bool use_avx2fma() { return avx2fma_supported() && !force_scalar(); }
+bool use_avx2fma() { return active_tier() >= Tier::kAvx2; }
+
+bool use_avx512() { return active_tier() == Tier::kAvx512; }
 
 }  // namespace mobiwlan::simd

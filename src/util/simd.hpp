@@ -1,36 +1,88 @@
 // simd.hpp — one switch for every runtime-dispatched SIMD kernel.
 //
-// The channel synthesis MAC (chan/channel.cpp) and the Box-Muller noise fill
-// (util/rng.cpp) each carry an AVX2+FMA variant selected at runtime so the
-// build stays baseline x86-64. Selection used to be a static-init cpuid
-// check per translation unit, which left the scalar fallback unreachable on
-// AVX2 hosts — i.e. never exercised in CI. This header centralizes the
-// decision and adds two overrides:
+// The channel synthesis MAC (chan/channel.cpp), the batched engine
+// (chan/channel_batch.cpp) and the Box-Muller noise fill (util/rng.cpp)
+// carry ISA-specific variants selected at runtime so the build stays
+// baseline x86-64. Selection used to be a static-init cpuid check per
+// translation unit, which left the scalar fallback unreachable on AVX2
+// hosts — i.e. never exercised in CI. This header centralizes the decision
+// along two independent axes:
 //
-//   * MOBIWLAN_FORCE_SCALAR=1 in the environment pins every kernel to its
-//     scalar variant for the whole process (read once, at first query);
-//   * set_force_scalar() overrides both the environment and cpuid from test
-//     code, so one binary can run both variants and compare them.
+//   * the **instruction tier** (scalar / AVX2+FMA / AVX-512), overridable
+//     with MOBIWLAN_SIMD_TIER=scalar|avx2|avx512 in the environment (read
+//     once, at first query) or set_forced_tier() from test code. A
+//     requested tier the host cannot run degrades gracefully
+//     (avx512 → avx2 → scalar); CI uses the override to force-exercise
+//     every dispatch path on one host. MOBIWLAN_FORCE_SCALAR=1 is kept as
+//     an alias for MOBIWLAN_SIMD_TIER=scalar.
+//   * the **precision tier** (fp64 / fp32) of the batched channel-synthesis
+//     plane math, overridable with MOBIWLAN_PRECISION=fp32|fp64 or
+//     set_forced_precision(). The default is fp64, which preserves every
+//     bitwise determinism contract; the fp32 tier trades ≤~1e-5
+//     scale-relative CSI agreement for 8/16-lane plane kernels (geometry
+//     and RNG stay double either way — see DESIGN.md §5 "Precision
+//     tiers").
 //
-// Kernels must consult use_avx2fma() per call (not cache it in a static):
-// that is what makes the test hook effective.
+// Kernels must consult use_avx2fma()/active_tier()/active_precision() per
+// call (not cache them in a static): that is what makes the test hooks
+// effective.
 #pragma once
 
 namespace mobiwlan::simd {
 
+/// Instruction tiers, ordered: a host that runs tier T runs every tier
+/// below it. kAvx512 means AVX-512F + AVX-512DQ + AVX-512VL (the subsets
+/// the fp32 plane kernels use) on top of AVX2+FMA.
+enum class Tier { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Precision of the batched synthesis plane math (not of geometry or RNG,
+/// which are always double).
+enum class Precision { kFloat64 = 0, kFloat32 = 1 };
+
 /// True if the host CPU supports AVX2 and FMA (cpuid; cached).
 bool avx2fma_supported();
 
-/// True if scalar kernels are forced — by set_force_scalar(), or else by
-/// MOBIWLAN_FORCE_SCALAR being set to anything but "0" or empty.
+/// True if the host CPU supports AVX-512F/DQ/VL (cpuid; cached).
+bool avx512_supported();
+
+/// The best tier the host supports (cpuid only, ignoring overrides).
+Tier best_supported_tier();
+
+/// The tier dispatch sites must use: the forced/env-requested tier clamped
+/// to host support, or the best supported tier when nothing is forced.
+Tier active_tier();
+
+/// Test hook: -1 defers to the environment (the default); 0/1/2 request
+/// kScalar/kAvx2/kAvx512 (clamped to host support at query time). Takes
+/// effect on the next active_tier() query.
+void set_forced_tier(int tier);
+
+/// The active precision tier: MOBIWLAN_PRECISION=fp32 selects kFloat32,
+/// anything else (or unset) keeps the default kFloat64.
+Precision active_precision();
+
+/// Test hook: -1 defers to the environment (the default), 0 forces fp64,
+/// 1 forces fp32. Takes effect on the next active_precision() query.
+void set_forced_precision(int precision);
+
+/// Display names ("scalar"/"avx2"/"avx512", "fp64"/"fp32") for reports.
+const char* tier_name(Tier tier);
+const char* precision_name(Precision precision);
+
+/// True if scalar kernels are explicitly requested — by set_forced_tier(0)
+/// / set_force_scalar(), or by the environment (MOBIWLAN_SIMD_TIER=scalar,
+/// or the legacy MOBIWLAN_FORCE_SCALAR set to anything but "0" or empty).
 bool force_scalar();
 
-/// Test hook: -1 defers to the environment (the default), 0 un-forces, and
-/// 1 forces scalar kernels. Takes effect on the next use_avx2fma() query.
+/// Legacy test hook, kept for existing call sites: -1 defers to the
+/// environment, 1 forces scalar kernels, 0 un-forces (best supported tier,
+/// ignoring the environment). Forwards onto set_forced_tier().
 void set_force_scalar(int forced);
 
-/// The one question dispatch sites ask: AVX2+FMA available and not forced
-/// off.
+/// The question AVX2-tier dispatch sites ask: active tier >= kAvx2.
 bool use_avx2fma();
+
+/// The question AVX-512 dispatch sites ask: active tier == kAvx512.
+bool use_avx512();
 
 }  // namespace mobiwlan::simd

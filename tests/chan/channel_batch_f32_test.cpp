@@ -1,0 +1,222 @@
+// channel_batch_f32_test — the float32 precision tier of ChannelBatch.
+//
+// The fp32 tier replaces the per-subcarrier plane synthesis (base phasors,
+// steering entries, MAC) with float kernels while geometry, path state and
+// every RNG draw stay double. The contract under test:
+//   * CSI agrees with the fp64 tier to 1e-4 of the link's CSI scale (the
+//     documented budget; the measured worst case is ~2e-6 — see DESIGN.md
+//     §5). Scale-relative, like the fp64 equivalence suite, because
+//     deep-faded elements carry the same absolute error as every other
+//     element at magnitudes that carry no signal.
+//   * RSSI and ToF are bitwise identical across tiers: they come from the
+//     double geometry/RNG path, which the precision selector must not
+//     touch. SNR routes the CSI power through the double reduction either
+//     way, so it agrees to the fp32 CSI budget rather than bitwise.
+//   * The RNG stream stays in lockstep: switching precision mid-run must
+//     not shift any draw (quantized outputs after a switch match a
+//     never-switched fp64 reference exactly).
+//   * The fp32 path honors the zero-allocation steady state (this binary
+//     links the counting allocator).
+// CMake re-runs this binary under each MOBIWLAN_SIMD_TIER (label
+// `precision`), so every fp32 kernel tier gets the same checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "chan/channel.hpp"
+#include "chan/channel_batch.hpp"
+#include "channel_golden_cases.hpp"
+#include "util/alloc_count.hpp"
+#include "util/simd.hpp"
+
+namespace mobiwlan {
+namespace {
+
+using goldencase::kNumCases;
+using goldencase::make_golden_channel;
+
+/// Forces the precision tier for one scope, always restoring the default.
+struct PrecisionGuard {
+  explicit PrecisionGuard(int precision) {
+    simd::set_forced_precision(precision);
+  }
+  ~PrecisionGuard() { simd::set_forced_precision(-1); }
+};
+
+/// Two identical realizations of the golden channels, each in its own
+/// batch: one synthesized at fp32, one at fp64. Lockstep call sequences
+/// keep the RNG streams comparable.
+struct GoldenTierPair {
+  std::vector<std::unique_ptr<WirelessChannel>> f32_links;
+  std::vector<std::unique_ptr<WirelessChannel>> f64_links;
+  ChannelBatch f32_batch;
+  ChannelBatch f64_batch;
+
+  GoldenTierPair() {
+    for (std::size_t idx = 0; idx < kNumCases; ++idx) {
+      f32_links.push_back(make_golden_channel(idx));
+      f64_links.push_back(make_golden_channel(idx));
+      f32_batch.add_link(f32_links.back().get());
+      f64_batch.add_link(f64_links.back().get());
+    }
+  }
+};
+
+double csi_scale(const CsiMatrix& m) {
+  double scale = 0.0;
+  for (const cplx& z : m.raw())
+    scale = std::max({scale, std::abs(z.real()), std::abs(z.imag())});
+  return std::max(scale, 1e-300);
+}
+
+/// The fp32 acceptance bound: 1e-4 of the CSI scale (documented budget,
+/// ~50x above the measured worst case so a real kernel regression — a
+/// wrong constant, a dropped correction term — still trips it).
+void expect_csi_f32_close(const CsiMatrix& got, const CsiMatrix& want,
+                          const char* what, std::size_t link) {
+  ASSERT_EQ(got.raw().size(), want.raw().size());
+  const double tol = 1e-4 * csi_scale(want);
+  for (std::size_t k = 0; k < want.raw().size(); ++k) {
+    EXPECT_NEAR(got.raw()[k].real(), want.raw()[k].real(), tol)
+        << what << " link " << link << " element " << k;
+    EXPECT_NEAR(got.raw()[k].imag(), want.raw()[k].imag(), tol)
+        << what << " link " << link << " element " << k;
+  }
+}
+
+TEST(ChannelBatchF32, TrueCsiWithinBudgetOfFp64) {
+  GoldenTierPair g;
+  ChannelBatch::Scratch s32, s64;
+  CsiMatrix got, want;
+  for (const double t : {0.0, 0.25, 0.5, 1.0, 2.0, 3.5}) {
+    for (std::size_t i = 0; i < kNumCases; ++i) {
+      SCOPED_TRACE(::testing::Message()
+                   << goldencase::case_name(i) << " at t=" << t);
+      {
+        PrecisionGuard guard(1);
+        g.f32_batch.csi_true_into(i, t, got, s32);
+      }
+      g.f64_batch.csi_true_into(i, t, want, s64);
+      expect_csi_f32_close(got, want, "csi_true_into", i);
+    }
+  }
+}
+
+TEST(ChannelBatchF32, MeasuredCsiWithinBudgetOfFp64) {
+  GoldenTierPair g;
+  ChannelBatch::Scratch s32, s64;
+  CsiMatrix got, want;
+  // csi_into draws measurement noise; identical draw order on both sides
+  // keeps the noise realizations equal, leaving only the synthesis delta.
+  for (std::size_t i = 0; i < kNumCases; ++i) {
+    SCOPED_TRACE(goldencase::case_name(i));
+    {
+      PrecisionGuard guard(1);
+      g.f32_batch.csi_into(i, 0.75, got, s32);
+    }
+    g.f64_batch.csi_into(i, 0.75, want, s64);
+    expect_csi_f32_close(got, want, "csi_into", i);
+  }
+}
+
+TEST(ChannelBatchF32, QuantizedOutputsBitwiseAcrossTiers) {
+  GoldenTierPair g;
+  ChannelBatch::Scratch s32, s64;
+  std::vector<ChannelSample> out32(kNumCases), out64(kNumCases);
+  for (const double t : {0.0, 0.5, 1.0, 2.0}) {
+    {
+      PrecisionGuard guard(1);
+      g.f32_batch.sample_range(t, 0, kNumCases, out32.data(), s32);
+    }
+    g.f64_batch.sample_range(t, 0, kNumCases, out64.data(), s64);
+    for (std::size_t i = 0; i < kNumCases; ++i) {
+      SCOPED_TRACE(::testing::Message()
+                   << goldencase::case_name(i) << " at t=" << t);
+      // Geometry + RNG stay double: bitwise, not merely close.
+      EXPECT_EQ(out32[i].rssi_dbm, out64[i].rssi_dbm);
+      EXPECT_EQ(out32[i].tof_cycles, out64[i].tof_cycles);
+      EXPECT_EQ(out32[i].t, out64[i].t);
+      EXPECT_EQ(out32[i].true_distance_m, out64[i].true_distance_m);
+      // SNR funnels the fp32 CSI through the power sum: near-equal.
+      EXPECT_NEAR(out32[i].snr_db, out64[i].snr_db,
+                  1e-4 * std::max(1.0, std::abs(out64[i].snr_db)));
+      expect_csi_f32_close(out32[i].csi, out64[i].csi, "sample_range", i);
+    }
+  }
+}
+
+TEST(ChannelBatchF32, TiersAgreeOnFp32Plane) {
+  // The fp32 kernels themselves across SIMD tiers: scalar vs the widest
+  // tier the host has. Much tighter than the fp64 budget — the tiers run
+  // the same float operations in a different lane order, so only the MAC
+  // reassociation differs (measured <= ~5e-7 of scale).
+  if (simd::active_tier() == simd::Tier::kScalar)
+    GTEST_SKIP() << "host (or forced tier) is scalar-only: nothing to compare";
+  GoldenTierPair g;  // f32 batch at best tier, f64 batch forced scalar
+  ChannelBatch::Scratch s_wide, s_scalar;
+  CsiMatrix wide, scalar;
+  PrecisionGuard precision(1);
+  for (std::size_t i = 0; i < kNumCases; ++i) {
+    SCOPED_TRACE(goldencase::case_name(i));
+    g.f32_batch.csi_true_into(i, 1.25, wide, s_wide);
+    simd::set_forced_tier(0);
+    g.f64_batch.csi_true_into(i, 1.25, scalar, s_scalar);
+    simd::set_forced_tier(-1);
+    ASSERT_EQ(wide.raw().size(), scalar.raw().size());
+    const double tol = 5e-6 * csi_scale(scalar);
+    for (std::size_t k = 0; k < scalar.raw().size(); ++k) {
+      EXPECT_NEAR(wide.raw()[k].real(), scalar.raw()[k].real(), tol)
+          << "element " << k;
+      EXPECT_NEAR(wide.raw()[k].imag(), scalar.raw()[k].imag(), tol)
+          << "element " << k;
+    }
+  }
+}
+
+TEST(ChannelBatchF32, RngLockstepAcrossPrecisionSwitches) {
+  // Alternating tiers every step must leave the draw sequence untouched:
+  // quantized outputs from the switching batch match the never-switched
+  // fp64 reference bitwise at every step.
+  GoldenTierPair g;
+  ChannelBatch::Scratch s_mix, s_ref;
+  std::vector<ChannelSample> mix(kNumCases), ref(kNumCases);
+  for (int step = 0; step < 8; ++step) {
+    const double t = 0.25 * step;
+    {
+      PrecisionGuard guard(step & 1);
+      g.f32_batch.sample_range(t, 0, kNumCases, mix.data(), s_mix);
+    }
+    g.f64_batch.sample_range(t, 0, kNumCases, ref.data(), s_ref);
+    for (std::size_t i = 0; i < kNumCases; ++i) {
+      SCOPED_TRACE(::testing::Message()
+                   << goldencase::case_name(i) << " step " << step);
+      EXPECT_EQ(mix[i].rssi_dbm, ref[i].rssi_dbm);
+      EXPECT_EQ(mix[i].tof_cycles, ref[i].tof_cycles);
+    }
+  }
+}
+
+TEST(ChannelBatchF32, SteadyStateAllocatesNothing) {
+  PrecisionGuard guard(1);
+  GoldenTierPair g;
+  ChannelBatch::Scratch scratch;
+  std::vector<ChannelSample> out(kNumCases);
+  CsiMatrix m;
+  // Warm every fp32 scratch plane (base, steering, staging) once.
+  g.f32_batch.sample_range(0.0, 0, kNumCases, out.data(), scratch);
+  g.f32_batch.csi_true_into(0, 0.0, m, scratch);
+  const std::uint64_t before = alloc_count();
+  for (int step = 1; step <= 64; ++step) {
+    const double t = 0.01 * step;
+    g.f32_batch.sample_range(t, 0, kNumCases, out.data(), scratch);
+    g.f32_batch.csi_true_into(step % kNumCases, t, m, scratch);
+  }
+  EXPECT_EQ(alloc_count(), before)
+      << "fp32 steady-state sampling touched the heap";
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,270 @@
+// simd_math domain edges: every vector transcendental documents an input
+// domain (|x| <= kSincosWideMaxArg for vsincos, |x| <= 256 for vexp2,
+// positive normal finite for vlog_pos, and the fp32 analogues). This suite
+// pins two things:
+//   1. the extreme *valid* inputs — exactly at the documented edges —
+//      produce finite results that agree with the scalar reference (a
+//      regression net for the reduction constants, whose failure mode is
+//      precisely "fine in the middle, garbage at the edge");
+//   2. in debug builds (MOBIWLAN_SIMD_MATH_CHECKS), an out-of-domain lane
+//      trips the range assertion instead of silently returning garbage —
+//      death tests, compiled out of NDEBUG builds where the assertions are
+//      no-ops by design.
+#include "util/simd_math.hpp"
+
+#include <bit>
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "util/fastmath.hpp"
+#include "util/simd.hpp"
+
+#if defined(__x86_64__)
+
+namespace mobiwlan {
+namespace {
+
+std::uint64_t ulp_distance(double a, double b) {
+  auto ordered = [](double x) -> std::int64_t {
+    const std::int64_t bits = std::bit_cast<std::int64_t>(x);
+    return bits >= 0 ? bits : std::int64_t(0x8000000000000000ULL) - bits;
+  };
+  const std::int64_t da = ordered(a);
+  const std::int64_t db = ordered(b);
+  return static_cast<std::uint64_t>(da > db ? da - db : db - da);
+}
+
+std::uint32_t ulp_distance_f32(float a, float b) {
+  auto ordered = [](float x) -> std::int32_t {
+    const std::int32_t bits = std::bit_cast<std::int32_t>(x);
+    return bits >= 0 ? bits : std::int32_t(0x80000000UL) - bits;
+  };
+  const std::int32_t da = ordered(a);
+  const std::int32_t db = ordered(b);
+  return static_cast<std::uint32_t>(da > db ? da - db : db - da);
+}
+
+// The vexp2 kernel documents |x| <= 256 (see the assertion in
+// simd_math.hpp); the fp64 result stays finite through the whole range.
+constexpr double kVexp2MaxArg = 256.0;
+
+// Wrappers with the matching target attribute: a baseline-ISA function
+// cannot inline the always_inline kernels. Each takes 4/8/16 scalar inputs
+// and returns the lanes so the checks below run in plain code.
+
+__attribute__((target("avx2,fma"))) void sincos4(const double* x, double* s,
+                                                 double* c) {
+  __m256d vs, vc;
+  simdmath::vsincos(_mm256_loadu_pd(x), vs, vc);
+  _mm256_storeu_pd(s, vs);
+  _mm256_storeu_pd(c, vc);
+}
+
+__attribute__((target("avx2,fma"))) void log4(const double* x, double* out) {
+  _mm256_storeu_pd(out, simdmath::vlog_pos(_mm256_loadu_pd(x)));
+}
+
+__attribute__((target("avx2,fma"))) void exp24(const double* x, double* out) {
+  _mm256_storeu_pd(out, simdmath::vexp2(_mm256_loadu_pd(x)));
+}
+
+__attribute__((target("avx2,fma"))) void sincos8_f32(const float* x, float* s,
+                                                     float* c) {
+  __m256 vs, vc;
+  simdmath::vsincos_f8(_mm256_loadu_ps(x), vs, vc);
+  _mm256_storeu_ps(s, vs);
+  _mm256_storeu_ps(c, vc);
+}
+
+__attribute__((target("avx2,fma"))) void log8_f32(const float* x, float* out) {
+  _mm256_storeu_ps(out, simdmath::vlog_pos_f8(_mm256_loadu_ps(x)));
+}
+
+__attribute__((target("avx2,fma"))) void exp28_f32(const float* x, float* out) {
+  _mm256_storeu_ps(out, simdmath::vexp2_f8(_mm256_loadu_ps(x)));
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void exp216_f32(
+    const float* x, float* out) {
+  _mm512_storeu_ps(out, simdmath::vexp2_f16(_mm512_loadu_ps(x)));
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void log16_f32(
+    const float* x, float* out) {
+  _mm512_storeu_ps(out, simdmath::vlog_pos_f16(_mm512_loadu_ps(x)));
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void sincos16_f32(
+    const float* x, float* s, float* c) {
+  __m512 vs, vc;
+  simdmath::vsincos_f16(_mm512_loadu_ps(x), vs, vc);
+  _mm512_storeu_ps(s, vs);
+  _mm512_storeu_ps(c, vc);
+}
+
+TEST(SimdMathTest, Fp64DomainEdgesMatchScalar) {
+  if (!simd::avx2fma_supported())
+    GTEST_SKIP() << "host lacks AVX2+FMA: vector kernels unavailable";
+
+  // vsincos at the wide-reduction limit, both signs, plus one ulp inside.
+  const double lim = fastmath::kSincosWideMaxArg;
+  const double xs[4] = {lim, -lim, std::nextafter(lim, 0.0),
+                        std::nextafter(-lim, 0.0)};
+  double s[4], c[4];
+  sincos4(xs, s, c);
+  for (int i = 0; i < 4; ++i) {
+    double rs, rc;
+    fastmath::sincos_wide(xs[i], rs, rc);
+    EXPECT_TRUE(std::isfinite(s[i]) && std::isfinite(c[i])) << "x=" << xs[i];
+    EXPECT_LE(ulp_distance(s[i], rs), 1u) << "sin x=" << xs[i];
+    EXPECT_LE(ulp_distance(c[i], rc), 1u) << "cos x=" << xs[i];
+  }
+
+  // vlog_pos at the extremes of the positive normal range.
+  const double xl[4] = {DBL_MIN, DBL_MAX, std::nextafter(DBL_MIN, 1.0),
+                        std::nextafter(DBL_MAX, 0.0)};
+  double l[4];
+  log4(xl, l);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(l[i])) << "x=" << xl[i];
+    EXPECT_LE(ulp_distance(l[i], fastmath::log_pos(xl[i])), 1u)
+        << "log x=" << xl[i];
+  }
+
+  // vexp2 at its documented +/-256 edge: finite (2^256 ~ 1.2e77, and
+  // 2^-256 is a normal double) and within the scalar budget of std::exp2.
+  const double xe[4] = {kVexp2MaxArg, -kVexp2MaxArg,
+                        std::nextafter(kVexp2MaxArg, 0.0),
+                        std::nextafter(-kVexp2MaxArg, 0.0)};
+  double e[4];
+  exp24(xe, e);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(std::isfinite(e[i]) && e[i] > 0.0) << "x=" << xe[i];
+    EXPECT_LE(ulp_distance(e[i], std::exp2(xe[i])), 4u) << "exp2 x=" << xe[i];
+  }
+}
+
+TEST(SimdMathTest, Fp32DomainEdgesMatchScalar) {
+  if (!simd::avx2fma_supported())
+    GTEST_SKIP() << "host lacks AVX2+FMA: vector kernels unavailable";
+
+  // 8 lanes loaded with the edges (padded by repeating the first).
+  const float tlim = fastmath::kSincosF32MaxArg;
+  const float xt[8] = {tlim, -tlim, std::nextafterf(tlim, 0.0f),
+                       std::nextafterf(-tlim, 0.0f), 0.0f, -0.0f, tlim, -tlim};
+  float s[16], c[16];
+  sincos8_f32(xt, s, c);
+  for (int i = 0; i < 8; ++i) {
+    float rs, rc;
+    fastmath::sincos_f32(xt[i], rs, rc);
+    EXPECT_TRUE(std::isfinite(s[i]) && std::isfinite(c[i])) << "x=" << xt[i];
+    EXPECT_LE(ulp_distance_f32(s[i], rs), 1u) << "sin x=" << xt[i];
+    EXPECT_LE(ulp_distance_f32(c[i], rc), 1u) << "cos x=" << xt[i];
+  }
+
+  const float xl[8] = {FLT_MIN, FLT_MAX, std::nextafterf(FLT_MIN, 1.0f),
+                       std::nextafterf(FLT_MAX, 0.0f), 1.0f,
+                       std::nextafterf(1.0f, 0.0f),
+                       std::nextafterf(1.0f, 2.0f), 2.0f};
+  float l[16];
+  log8_f32(xl, l);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(std::isfinite(l[i])) << "x=" << xl[i];
+    EXPECT_LE(ulp_distance_f32(l[i], fastmath::log_pos_f32(xl[i])), 1u)
+        << "log x=" << xl[i];
+  }
+
+  const float elim = fastmath::kExp2F32MaxArg;
+  const float xe[8] = {elim, -elim, std::nextafterf(elim, 0.0f),
+                       std::nextafterf(-elim, 0.0f), 0.0f, 0.5f, -0.5f, 1.0f};
+  float e[16];
+  exp28_f32(xe, e);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(std::isfinite(e[i]) && e[i] > 0.0f) << "x=" << xe[i];
+    // The -126 edge must stay a *normal* float (the documented guarantee).
+    EXPECT_GE(e[i], FLT_MIN) << "x=" << xe[i];
+    EXPECT_LE(ulp_distance_f32(e[i], fastmath::exp2_f32(xe[i])), 1u)
+        << "exp2 x=" << xe[i];
+  }
+
+  if (simd::avx512_supported()) {
+    // Same edges through the 16-lane ports: bitwise-equal to the 8-lane
+    // results (identical operations, twice the width).
+    float x16[16], got[16];
+    for (int i = 0; i < 16; ++i) x16[i] = xe[i % 8];
+    exp216_f32(x16, got);
+    for (int i = 0; i < 16; ++i)
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(got[i]),
+                std::bit_cast<std::uint32_t>(e[i % 8]))
+          << "exp2 lane " << i;
+    for (int i = 0; i < 16; ++i) x16[i] = xl[i % 8];
+    log16_f32(x16, got);
+    for (int i = 0; i < 16; ++i)
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(got[i]),
+                std::bit_cast<std::uint32_t>(l[i % 8]))
+          << "log lane " << i;
+    float s16[16], c16[16];
+    for (int i = 0; i < 16; ++i) x16[i] = xt[i % 8];
+    sincos16_f32(x16, s16, c16);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(s16[i]),
+                std::bit_cast<std::uint32_t>(s[i % 8]))
+          << "sin lane " << i;
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(c16[i]),
+                std::bit_cast<std::uint32_t>(c[i % 8]))
+          << "cos lane " << i;
+    }
+  } else {
+    std::fputs(
+        "[  NOTE    ] host lacks AVX-512 (f/dq/vl): 16-lane edge checks "
+        "not run\n",
+        stderr);
+  }
+}
+
+#if defined(MOBIWLAN_SIMD_MATH_CHECKS)
+
+// Debug builds only: one out-of-domain lane must trip the range assertion.
+// NDEBUG builds compile the assertions to no-ops, so these tests vanish
+// with them — the release contract stays "caller's responsibility".
+
+using SimdMathDeathTest = ::testing::Test;
+
+TEST(SimdMathDeathTest, Fp64OutOfDomainTrips) {
+  if (!simd::avx2fma_supported())
+    GTEST_SKIP() << "host lacks AVX2+FMA: vector kernels unavailable";
+  double out[4], s[4], c[4];
+  const double bad_exp[4] = {0.0, 0.0, kVexp2MaxArg * 2.0, 0.0};
+  EXPECT_DEATH(exp24(bad_exp, out), "");
+  const double bad_log[4] = {1.0, -1.0, 1.0, 1.0};  // negative lane
+  EXPECT_DEATH(log4(bad_log, out), "");
+  const double bad_trig[4] = {0.0, fastmath::kSincosWideMaxArg * 2.0, 0.0,
+                              0.0};
+  EXPECT_DEATH(sincos4(bad_trig, s, c), "");
+}
+
+TEST(SimdMathDeathTest, Fp32OutOfDomainTrips) {
+  if (!simd::avx2fma_supported())
+    GTEST_SKIP() << "host lacks AVX2+FMA: vector kernels unavailable";
+  float out[8], s[8], c[8];
+  const float bad_exp[8] = {0.0f, 0.0f, 0.0f, 0.0f,
+                            0.0f, 200.0f, 0.0f, 0.0f};
+  EXPECT_DEATH(exp28_f32(bad_exp, out), "");
+  const float bad_log[8] = {1.0f, 1.0f, 1.0f, 0.0f,  // zero lane
+                            1.0f, 1.0f, 1.0f, 1.0f};
+  EXPECT_DEATH(log8_f32(bad_log, out), "");
+  const float bad_trig[8] = {0.0f, 0.0f, 0.0f, 0.0f,
+                             2048.0f, 0.0f, 0.0f, 0.0f};
+  EXPECT_DEATH(sincos8_f32(bad_trig, s, c), "");
+}
+
+#endif  // MOBIWLAN_SIMD_MATH_CHECKS
+
+}  // namespace
+}  // namespace mobiwlan
+
+#endif  // defined(__x86_64__)
