@@ -33,6 +33,12 @@
 //                                         baseline (ci/trace_baseline.json)
 //   mobiwlan-bench --trace-check-only F   re-check an existing
 //                                         BENCH_trace.json, no re-run
+//   mobiwlan-bench --campus               run the campus shard-invariance
+//                                         matrix and write BENCH_campus.json
+//   mobiwlan-bench --campus-check         also gate against the committed
+//                                         baseline (ci/campus_baseline.json)
+//   mobiwlan-bench --campus-check-only F  re-check an existing
+//                                         BENCH_campus.json, no re-run
 //
 // Determinism contract: for a fixed --seed, the printed tables and every
 // non-"timing" byte of the JSON are identical for --jobs 1 and --jobs N.
@@ -86,7 +92,10 @@ void print_usage() {
       "                      [--fault-baseline PATH]\n"
       "                      [--trace] [--trace-check]\n"
       "                      [--trace-check-only PATH] [--trace-out PATH]\n"
-      "                      [--trace-baseline PATH]\n");
+      "                      [--trace-baseline PATH]\n"
+      "                      [--campus] [--campus-check]\n"
+      "                      [--campus-check-only PATH] [--campus-out PATH]\n"
+      "                      [--campus-baseline PATH]\n");
 }
 
 struct Options {
@@ -102,6 +111,8 @@ struct Options {
   bool fault_check = false;
   bool trace = false;
   bool trace_check = false;
+  bool campus = false;
+  bool campus_check = false;
   std::string filter;
   std::string json_path;
   std::string perf_out = "BENCH_channel.json";
@@ -116,6 +127,9 @@ struct Options {
   std::string trace_check_only;  // path to an existing BENCH_trace.json
   std::string trace_out = "BENCH_trace.json";
   std::string trace_baseline = "ci/trace_baseline.json";
+  std::string campus_check_only;  // path to an existing BENCH_campus.json
+  std::string campus_out = "BENCH_campus.json";
+  std::string campus_baseline = "ci/campus_baseline.json";
   double perf_min_time = 1.0;
   std::size_t jobs = 0;  // 0 = one worker per hardware thread
   std::uint64_t seed = runtime::kMasterSeed;
@@ -203,6 +217,23 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = value("--trace-baseline");
       if (!v) return false;
       opt.trace_baseline = v;
+    } else if (arg == "--campus") {
+      opt.campus = true;
+    } else if (arg == "--campus-check") {
+      opt.campus = true;
+      opt.campus_check = true;
+    } else if (arg == "--campus-check-only") {
+      const char* v = value("--campus-check-only");
+      if (!v) return false;
+      opt.campus_check_only = v;
+    } else if (arg == "--campus-out") {
+      const char* v = value("--campus-out");
+      if (!v) return false;
+      opt.campus_out = v;
+    } else if (arg == "--campus-baseline") {
+      const char* v = value("--campus-baseline");
+      if (!v) return false;
+      opt.campus_baseline = v;
     } else if (arg == "--fault-baseline") {
       const char* v = value("--fault-baseline");
       if (!v) return false;
@@ -506,6 +537,16 @@ int main(int argc, char** argv) {
     to.out = opt.trace_out;
     to.baseline = opt.trace_baseline;
     return mobiwlan::benchsuite::run_trace_bench(to);
+  }
+  if (opt.campus || !opt.campus_check_only.empty()) {
+    mobiwlan::benchsuite::CampusOptions co;
+    co.jobs = opt.jobs;
+    co.seed = opt.seed;
+    co.check = opt.campus_check;
+    co.check_only = opt.campus_check_only;
+    co.out = opt.campus_out;
+    co.baseline = opt.campus_baseline;
+    return mobiwlan::benchsuite::run_campus_bench(co);
   }
 
   std::vector<const BenchDef*> selected;

@@ -1,0 +1,304 @@
+// Campus shard-invariance suite (`mobiwlan-bench --campus`): the
+// partitioning-determinism gate for the campus-scale simulation
+// (src/campus/). One scenario — a 32x32 AP grid (1024 APs) absorbing 100k
+// client sessions over an 80-epoch arrival window, everyone departed by the
+// 130-epoch horizon — is run under four partitionings:
+//
+//      1 shard  x J workers      (the unsharded reference)
+//      4 shards x J workers
+//     16 shards x J workers
+//     16 shards x 1 worker       (the scheduling cross-check)
+//
+// and every shard-invariant observable — the aggregate counters, per-mode
+// step counts, bitwise float sums, the per-session FNV digest combiners and
+// the histogram quantiles — must agree exactly across all four runs. The
+// mismatch count is a gated metric (campus.invariance_mismatches, bound
+// 0 == 0), so the committed baseline fails the build the moment any
+// partitioning detail leaks into a session observable.
+//
+// Partition-variant transport counters (handover messages, deferred
+// handovers, mailbox high-water depth) are reported per shard count. They
+// are deterministic for a fixed seed at any worker count — handovers are
+// staged into per-(src,dst) SPSC lanes and drained at an epoch barrier — so
+// they are exact-gated too, and the whole report survives the jobs-1-vs-8
+// byte diff in ci/campus_gate.sh. Keys matching `"timing` carry wall-clock
+// rates and are quarantined by the usual convention.
+//
+// CSI synthesis is pinned to the scalar fp64 tier for the whole matrix
+// (campus.simd_tier records the pin): the committed digests are then
+// host-portable — an AVX-512 host and a scalar host write the same bytes.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "campus/campus.hpp"
+#include "fidelity/fidelity.hpp"
+#include "suite/suite.hpp"
+#include "util/flatjson.hpp"
+#include "util/simd.hpp"
+
+namespace mobiwlan::benchsuite {
+namespace {
+
+using fidelity::FidelityReport;
+
+/// MobilityMode ordinals, in enum order (core/mobility_mode.hpp).
+constexpr const char* kModeNames[campus::kModeCount] = {
+    "static", "environmental", "micro",
+    "macro_toward", "macro_away", "macro_orbit"};
+
+struct CampusRun {
+  std::size_t shards = 0;
+  std::size_t jobs = 0;
+  campus::CampusAggregate agg;
+  std::uint64_t arrived = 0;
+  std::uint64_t departed = 0;
+  std::uint64_t active_end = 0;
+  std::uint64_t handovers = 0;
+  std::uint64_t deferred = 0;
+  std::uint64_t mailbox_depth = 0;
+  double wall_s = 0.0;
+};
+
+CampusRun run_one(std::size_t shards, std::size_t jobs, std::uint64_t seed) {
+  campus::CampusConfig cfg = campus::campus_default_config();
+  cfg.shards = shards;
+  cfg.jobs = jobs;
+  cfg.master_seed = seed;
+  const auto start = std::chrono::steady_clock::now();
+  campus::CampusSim sim(cfg);
+  sim.run();
+  CampusRun r;
+  r.shards = shards;
+  r.jobs = jobs;
+  r.agg = sim.aggregate();
+  r.arrived = sim.arrived();
+  r.departed = sim.departed();
+  r.active_end = sim.active();
+  r.handovers = sim.handovers_sent();
+  r.deferred = sim.deferred_handovers();
+  r.mailbox_depth = sim.mailbox_max_depth();
+  r.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return r;
+}
+
+int count_if_differs(bool differs) { return differs ? 1 : 0; }
+
+/// Field-by-field comparison of everything the determinism contract says
+/// must not depend on the partitioning. Floats compare with !=, not within
+/// a tolerance: the campus folds departures in ascending session-id order
+/// on purpose, so the sums are bitwise reproducible.
+int invariance_mismatches(const CampusRun& a, const CampusRun& b) {
+  const campus::CampusAggregate& x = a.agg;
+  const campus::CampusAggregate& y = b.agg;
+  int m = 0;
+  m += count_if_differs(x.sessions != y.sessions);
+  m += count_if_differs(x.steps != y.steps);
+  m += count_if_differs(x.mac_steps != y.mac_steps);
+  m += count_if_differs(x.mpdus_sent != y.mpdus_sent);
+  m += count_if_differs(x.mpdus_failed != y.mpdus_failed);
+  m += count_if_differs(x.ap_handovers != y.ap_handovers);
+  for (std::size_t i = 0; i < campus::kModeCount; ++i)
+    m += count_if_differs(x.mode_steps[i] != y.mode_steps[i]);
+  m += count_if_differs(x.sum_mean_rssi_dbm != y.sum_mean_rssi_dbm);
+  m += count_if_differs(x.sum_mean_similarity != y.sum_mean_similarity);
+  m += count_if_differs(x.sum_mean_goodput_mbps != y.sum_mean_goodput_mbps);
+  m += count_if_differs(x.sum_dwell_epochs != y.sum_dwell_epochs);
+  m += count_if_differs(x.digest_xor != y.digest_xor);
+  m += count_if_differs(x.digest_sum != y.digest_sum);
+  m += count_if_differs(x.rssi_hist.total() != y.rssi_hist.total());
+  m += count_if_differs(x.dwell_hist.total() != y.dwell_hist.total());
+  m += count_if_differs(x.similarity_hist.total() != y.similarity_hist.total());
+  for (const double q : {0.5, 0.9}) {
+    m += count_if_differs(x.rssi_hist.quantile(q) != y.rssi_hist.quantile(q));
+    m += count_if_differs(x.dwell_hist.quantile(q) != y.dwell_hist.quantile(q));
+    m += count_if_differs(x.similarity_hist.quantile(q) !=
+                          y.similarity_hist.quantile(q));
+  }
+  m += count_if_differs(a.arrived != b.arrived);
+  m += count_if_differs(a.departed != b.departed);
+  m += count_if_differs(a.active_end != b.active_end);
+  return m;
+}
+
+/// uint64 values (the FNV digests) do not fit a double exactly, so they are
+/// reported as two exact 32-bit halves.
+void add_u64_split(FidelityReport& rep, const std::string& key,
+                   std::uint64_t v) {
+  rep.add(key + "_hi", static_cast<double>(v >> 32));
+  rep.add(key + "_lo", static_cast<double>(v & 0xffffffffULL));
+}
+
+int check_report(const FidelityReport& rep, std::uint64_t run_seed,
+                 const std::string& baseline_path,
+                 fidelity::CheckResult& check) {
+  const auto baseline = load_flat_json(baseline_path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "mobiwlan-bench: no campus baseline at %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  check = rep.check(baseline, run_seed);
+  std::printf("\ncampus-check against %s (seed %llu):\n", baseline_path.c_str(),
+              static_cast<unsigned long long>(run_seed));
+  std::fputs(fidelity::render_check(check).c_str(), stdout);
+  if (!check.pass()) {
+    std::fprintf(stderr,
+                 "mobiwlan-bench: shard-invariance gate FAILED (baseline %s)\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::printf("campus-check: all bounds hold\n");
+  return 0;
+}
+
+}  // namespace
+
+int run_campus_bench(const CampusOptions& opt) {
+  if (!opt.check_only.empty()) {
+    const auto doc = load_flat_json(opt.check_only);
+    if (doc.empty()) {
+      std::fprintf(stderr, "mobiwlan-bench: cannot read campus report %s\n",
+                   opt.check_only.c_str());
+      return 1;
+    }
+    std::uint64_t seed = 0;
+    const FidelityReport rep = fidelity::report_from_flat_json(doc, seed);
+    fidelity::CheckResult check;
+    return check_report(rep, seed, opt.baseline, check);
+  }
+
+  std::size_t jobs = opt.jobs;
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw ? hw : 1;
+  }
+
+  const campus::CampusConfig defaults = campus::campus_default_config();
+  std::printf("campus: %zux%zu APs, %llu sessions over %llu epochs — shard "
+              "matrix 1/4/16 (seed %llu, %zu workers)\n",
+              defaults.cols, defaults.rows,
+              static_cast<unsigned long long>(defaults.n_sessions),
+              static_cast<unsigned long long>(defaults.horizon_epochs),
+              static_cast<unsigned long long>(opt.seed), jobs);
+
+  // Pin CSI synthesis to the scalar fp64 tier for the whole matrix, so the
+  // digests in the committed baseline are host-portable.
+  simd::set_forced_tier(0);
+  simd::set_forced_precision(0);
+
+  const struct {
+    std::size_t shards;
+    std::size_t jobs;
+  } parts[] = {{1, jobs}, {4, jobs}, {16, jobs}, {16, 1}};
+  CampusRun runs[4];
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 4; ++i) {
+    runs[i] = run_one(parts[i].shards, parts[i].jobs, opt.seed);
+    std::printf("  %2zu shards x %zu workers: %llu arrived, %llu departed, "
+                "%llu handovers (%llu deferred, depth %llu), %.2fs\n",
+                runs[i].shards, runs[i].jobs,
+                static_cast<unsigned long long>(runs[i].arrived),
+                static_cast<unsigned long long>(runs[i].departed),
+                static_cast<unsigned long long>(runs[i].handovers),
+                static_cast<unsigned long long>(runs[i].deferred),
+                static_cast<unsigned long long>(runs[i].mailbox_depth),
+                runs[i].wall_s);
+  }
+  simd::set_forced_precision(-1);
+  simd::set_forced_tier(-1);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  int invariance = 0;
+  for (int i = 1; i < 4; ++i)
+    invariance += invariance_mismatches(runs[0], runs[i]);
+  // runs[2] vs runs[3] share the partitioning and differ only in worker
+  // count, so even the partition-variant transport counters must agree.
+  int transport = 0;
+  transport += count_if_differs(runs[2].handovers != runs[3].handovers);
+  transport += count_if_differs(runs[2].deferred != runs[3].deferred);
+  transport += count_if_differs(runs[2].mailbox_depth != runs[3].mailbox_depth);
+  std::printf("  invariance: %d mismatches across the matrix, %d transport "
+              "mismatches across worker counts\n",
+              invariance, transport);
+
+  FidelityReport rep;
+  rep.add("campus.invariance_mismatches", invariance);
+  rep.add("campus.jobs_transport_mismatches", transport);
+
+  const campus::CampusAggregate& agg = runs[0].agg;
+  rep.add("campus.sessions", static_cast<double>(agg.sessions));
+  rep.add("campus.arrived", static_cast<double>(runs[0].arrived));
+  rep.add("campus.departed", static_cast<double>(runs[0].departed));
+  rep.add("campus.active_end", static_cast<double>(runs[0].active_end));
+  rep.add("campus.steps", static_cast<double>(agg.steps));
+  rep.add("campus.mac_steps", static_cast<double>(agg.mac_steps));
+  rep.add("campus.mpdus_sent", static_cast<double>(agg.mpdus_sent));
+  rep.add("campus.mpdus_failed", static_cast<double>(agg.mpdus_failed));
+  rep.add("campus.ap_handovers", static_cast<double>(agg.ap_handovers));
+  for (std::size_t i = 0; i < campus::kModeCount; ++i)
+    rep.add(std::string("campus.mode_steps.") + kModeNames[i],
+            static_cast<double>(agg.mode_steps[i]));
+  const double n =
+      agg.sessions ? static_cast<double>(agg.sessions) : 1.0;
+  rep.add("campus.mean_rssi_dbm", agg.sum_mean_rssi_dbm / n);
+  rep.add("campus.mean_similarity", agg.sum_mean_similarity / n);
+  rep.add("campus.mean_goodput_mbps", agg.sum_mean_goodput_mbps / n);
+  rep.add("campus.mean_dwell_epochs", agg.sum_dwell_epochs / n);
+  add_u64_split(rep, "campus.digest_xor", agg.digest_xor);
+  add_u64_split(rep, "campus.digest_sum", agg.digest_sum);
+  rep.add("campus.rssi_p50", agg.rssi_hist.quantile(0.5));
+  rep.add("campus.rssi_p90", agg.rssi_hist.quantile(0.9));
+  rep.add("campus.dwell_p50", agg.dwell_hist.quantile(0.5));
+  rep.add("campus.dwell_p90", agg.dwell_hist.quantile(0.9));
+  rep.add("campus.similarity_p50", agg.similarity_hist.quantile(0.5));
+  rep.add("campus.similarity_sessions",
+          static_cast<double>(agg.similarity_hist.total()));
+  for (int i = 0; i < 3; ++i) {
+    const std::string p =
+        "campus.partition" + std::to_string(parts[i].shards);
+    rep.add(p + ".handovers", static_cast<double>(runs[i].handovers));
+    rep.add(p + ".deferred", static_cast<double>(runs[i].deferred));
+    rep.add(p + ".mailbox_depth", static_cast<double>(runs[i].mailbox_depth));
+  }
+  rep.add("campus.simd_tier", 0.0);
+  if (wall_s > 0.0) {
+    double total_steps = 0.0;
+    for (const CampusRun& r : runs) total_steps += static_cast<double>(r.agg.steps);
+    rep.add("timing.session_steps_per_s", total_steps / wall_s);
+  }
+  for (int i = 0; i < 4; ++i)
+    rep.add("timing.run" + std::to_string(i) + "_wall_s", runs[i].wall_s);
+
+  for (const auto& [key, v] : rep.metrics())
+    std::printf("  %-44s %.6g\n", key.c_str(), v);
+  std::printf("[campus: 4 runs, %.2fs wall]\n", wall_s);
+
+  fidelity::CheckResult check;
+  int rc = 0;
+  const fidelity::CheckResult* check_ptr = nullptr;
+  if (opt.check) {
+    rc = check_report(rep, opt.seed, opt.baseline, check);
+    check_ptr = &check;
+  }
+
+  std::ofstream out(opt.out, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "mobiwlan-bench: cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  out << rep.to_json(opt.seed, wall_s, check_ptr);
+  out.close();
+  std::printf("wrote %s (%zu metrics)\n", opt.out.c_str(),
+              rep.metrics().size());
+  return rc;
+}
+
+}  // namespace mobiwlan::benchsuite

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "campus/campus.hpp"
 #include "chan/channel.hpp"
 #include "chan/channel_batch.hpp"
 #include "chan/trajectory.hpp"
@@ -192,6 +193,31 @@ PerfResult run_pool_post_many(double min_time_s) {
   });
 }
 
+PerfResult run_campus_step(double min_time_s) {
+  // A steady-state campus shard step: 512 resident sessions on an 8x8 grid
+  // over 4 shards, all arrived at epoch 1 and none departing within the
+  // measured horizon. The hysteresis is pinned high so no session
+  // re-associates mid-measurement — the case times the shard step loop
+  // (batch rebuild + batched sample + per-session step + mailbox sweep),
+  // not channel re-construction, and its allocs/op column gates the
+  // zero-allocation contract of that loop.
+  campus::CampusConfig cfg = campus::campus_default_config();
+  cfg.cols = 8;
+  cfg.rows = 8;
+  cfg.shards = 4;
+  cfg.jobs = 1;
+  cfg.n_sessions = 512;
+  cfg.arrival_window_epochs = 1;
+  cfg.min_dwell_epochs = 100000;
+  cfg.mean_extra_dwell_epochs = 0.0;
+  cfg.max_dwell_epochs = 100000;
+  cfg.horizon_epochs = 200000;
+  cfg.session.handover_hysteresis_m = 1e9;
+  campus::CampusSim sim(cfg);
+  sim.step_epoch();  // admits (and primes) every session
+  return measure("campus_step", min_time_s, [&] { sim.step_epoch(); });
+}
+
 }  // namespace
 
 const std::vector<PerfCaseDef>& perf_registry() {
@@ -213,6 +239,8 @@ const std::vector<PerfCaseDef>& perf_registry() {
        run_classifier_csi_step},
       {"pool_post_many", "64-task batched enqueue + drain on a 1-worker pool",
        run_pool_post_many},
+      {"campus_step", "one campus epoch: 512 resident sessions on 4 shards",
+       run_campus_step},
   };
   return cases;
 }

@@ -12,7 +12,8 @@
 //   2. *Batch throughput* — aggregate CSI samples/s of the batched engine
 //      vs the per-link loop, single-threaded, plus a thread-scaling ladder
 //      (1/2/4/8 executors via ThreadPool::parallel_for, grain 64, one
-//      Scratch per slot).
+//      Scratch per slot; widths above the host's hardware concurrency are
+//      skipped — they would measure oversubscription, not scaling).
 //   3. *Allocation discipline* — a steady-state batch pass must perform
 //      zero heap allocations (counted via the mobiwlan_alloc_hook that
 //      mobiwlan-bench links).
@@ -28,6 +29,7 @@
 #include <memory>
 #include <numbers>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chan/channel.hpp"
@@ -285,9 +287,18 @@ int run_scale_bench(const ScaleOptions& opt) {
               per_link_ns, batch_ns, speedup, 1e3 / batch_ns);
 
   // Thread-scaling ladder: N executors = a pool of N-1 helpers plus the
-  // calling thread (jobs 1 reuses the single-thread number above).
+  // calling thread (jobs 1 reuses the single-thread number above). A width
+  // beyond the hardware concurrency measures scheduler thrash, not scaling,
+  // so the ladder only reports widths the host can actually run in
+  // parallel; hardware_concurrency() == 0 means "unknown" and keeps the
+  // full ladder. The procedure is documented in EXPERIMENTS.md.
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<std::size_t> ladder_widths{1};
+  for (std::size_t n : {2u, 4u, 8u})
+    if (hw == 0 || n <= hw) ladder_widths.push_back(n);
   std::vector<double> ladder_ns{batch_ns};
-  for (std::size_t n : {2u, 4u, 8u}) {
+  for (std::size_t k = 1; k < ladder_widths.size(); ++k) {
+    const std::size_t n = ladder_widths[k];
     runtime::ThreadPool ladder_pool(n - 1);
     std::vector<ChannelBatch::Scratch> ladder_scratch(ladder_pool.size() + 1);
     const double ns = time_passes(opt.min_time_s, t_time, [&](double t) {
@@ -298,6 +309,10 @@ int run_scale_bench(const ScaleOptions& opt) {
                 "samples/s)\n",
                 n, ns, batch_ns / ns, 1e3 / ns);
   }
+  if (ladder_widths.size() == 1)
+    std::printf("  thread ladder: host has %u hardware thread(s); wider "
+                "widths skipped\n",
+                hw);
 
   // ---- phase 4: fp32 synthesis ratio (timing keys) ----------------------
   // Gate quantity for ci/perf_gate.sh's fp32 section: the precision-tier
@@ -357,14 +372,15 @@ int run_scale_bench(const ScaleOptions& opt) {
   std::snprintf(buf, sizeof buf,
                 "  \"timing_batch_samples_per_sec\": %.0f,\n", 1e9 / batch_ns);
   out << buf;
-  const std::size_t ladder_jobs[] = {1, 2, 4, 8};
+  std::snprintf(buf, sizeof buf, "  \"timing_hw_concurrency\": %u,\n", hw);
+  out << buf;
   for (std::size_t k = 0; k < ladder_ns.size(); ++k) {
     std::snprintf(buf, sizeof buf, "  \"timing_jobs%zu_sample_ns\": %.1f,\n",
-                  ladder_jobs[k], ladder_ns[k]);
+                  ladder_widths[k], ladder_ns[k]);
     out << buf;
     std::snprintf(buf, sizeof buf,
                   "  \"timing_jobs%zu_samples_per_sec\": %.0f,\n",
-                  ladder_jobs[k], 1e9 / ladder_ns[k]);
+                  ladder_widths[k], 1e9 / ladder_ns[k]);
     out << buf;
   }
   // Host-capability and tier provenance, quarantined on timing_* keys: the

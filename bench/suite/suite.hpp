@@ -134,4 +134,23 @@ struct TraceOptions {
 /// process exit code.
 int run_trace_bench(const TraceOptions& opt);
 
+/// `mobiwlan-bench --campus` configuration (bench/suite/campus.cpp).
+struct CampusOptions {
+  std::size_t jobs = 0;       ///< workers per campus run (0 = one per hw thread)
+  std::uint64_t seed = 0;     ///< master seed (driver passes --seed)
+  bool check = false;         ///< gate against the committed baseline
+  std::string check_only;     ///< re-check this BENCH_campus.json, no re-run
+  std::string out = "BENCH_campus.json";
+  std::string baseline = "ci/campus_baseline.json";
+};
+
+/// The campus shard-invariance bench: one 1024-AP / 100k-session churn
+/// scenario run under 1/4/16-shard partitionings (plus a 16-shard
+/// single-worker cross-check), with every shard-invariant observable —
+/// aggregate counters, bitwise float sums, per-session digest combiners,
+/// histogram quantiles — compared exactly across the matrix and gated.
+/// Deterministic for a fixed seed at any shard/worker count outside
+/// `"timing` lines. Returns a process exit code.
+int run_campus_bench(const CampusOptions& opt);
+
 }  // namespace mobiwlan::benchsuite

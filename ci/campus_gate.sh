@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# ci/campus_gate.sh — campus shard-invariance gate.
+#
+# Runs the campus suite (`mobiwlan-bench --campus`): one 1024-AP / 100k-
+# session churn scenario under 1/4/16-shard partitionings (plus a 16-shard
+# single-worker cross-check). Every shard-invariant observable — aggregate
+# counters, bitwise float sums, the per-session FNV digest combiners and
+# histogram quantiles — is compared exactly across the matrix inside the
+# bench (campus.invariance_mismatches, gated 0 == 0), and every gated key in
+# ci/campus_baseline.json is an exact min == max pair, so a single changed
+# session-step observable fails the build. A second run at --jobs 1 must
+# reproduce the --jobs 8 report byte-for-byte outside `"timing` lines.
+#
+# Refresh after an intentional behaviour change with:
+#   ./build/bench/mobiwlan-bench --campus
+# and copy the campus.* values into ci/campus_baseline.json as min/max
+# pairs; the negative baseline (ci/campus_baseline_negative.json, one
+# digest bit off) must keep failing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-./build/bench/mobiwlan-bench}"
+OUT="${CAMPUS_OUT:-/tmp/mobiwlan_campus.json}"
+OUT_J1="${OUT%.json}_j1.json"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "FAIL: ${BENCH} not built (run cmake --build build first)" >&2
+  exit 1
+fi
+
+"${BENCH}" --campus-check --jobs 8 \
+  --campus-out "${OUT}" \
+  --campus-baseline ci/campus_baseline.json
+
+echo "-- campus determinism: --jobs 1 vs --jobs 8 --"
+"${BENCH}" --campus-check --jobs 1 \
+  --campus-out "${OUT_J1}" \
+  --campus-baseline ci/campus_baseline.json >/dev/null
+if ! diff <(grep -v '"timing' "${OUT}") \
+          <(grep -v '"timing' "${OUT_J1}"); then
+  echo "FAIL: campus report differs between --jobs 8 and --jobs 1" >&2
+  exit 1
+fi
+echo "ok: campus report byte-identical modulo timing"
+
+echo "-- campus gate negative control --"
+if "${BENCH}" --campus-check-only "${OUT}" \
+     --campus-baseline ci/campus_baseline_negative.json >/dev/null 2>&1; then
+  echo "FAIL: negative baseline passed — the gate cannot catch regressions" >&2
+  exit 1
+fi
+echo "ok: negative baseline fails as intended"

@@ -16,10 +16,16 @@
 #   5b. trace replay gate: ci/trace_gate.sh records every protocol loop,
 #      replays it from the trace alone, and requires bit-identical results
 #      (plus fault-composition and pitfall probes) at --jobs 1 and 8;
+#   5c. campus shard-invariance gate: ci/campus_gate.sh runs the 1024-AP /
+#      100k-session churn scenario under 1/4/16-shard partitionings and
+#      requires bitwise-identical per-session aggregates across the matrix
+#      and across --jobs 1 vs 8, plus a failing negative baseline;
 #   6. scale determinism: the AP-scale bench JSON at --jobs 1 vs --jobs 8
 #      must be byte-identical outside the timing_* lines;
 #   7. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
-#      runtime thread-pool, experiment, and parallel_for tests.
+#      runtime thread-pool, experiment, and parallel_for tests plus the
+#      campus mailbox stress test (concurrent SPSC producers against a
+#      live consumer).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,6 +60,9 @@ echo "== fault gate: graceful degradation under export loss =="
 echo "== trace gate: record/replay determinism =="
 ./ci/trace_gate.sh
 
+echo "== campus gate: shard-invariance across 1/4/16 partitionings =="
+./ci/campus_gate.sh
+
 echo "== scale determinism: --jobs 1 vs --jobs 8 =="
 ./build/bench/mobiwlan-bench --scale --jobs 8 --perf-min-time 0.05 \
   --scale-out /tmp/mobiwlan_scale_a.json >/dev/null
@@ -70,9 +79,11 @@ echo "== ThreadSanitizer: runtime tests =="
 cmake -B build-tsan -S . -DMOBIWLAN_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j"${JOBS}" \
-  --target thread_pool_test experiment_test parallel_for_test
+  --target thread_pool_test experiment_test parallel_for_test \
+           mailbox_stress_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/experiment_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_for_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/mailbox_stress_test
 
 echo "== all checks passed =="

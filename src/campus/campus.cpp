@@ -1,0 +1,221 @@
+#include "campus/campus.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/alloc_count.hpp"
+
+namespace mobiwlan::campus {
+
+ChannelConfig campus_channel_config() {
+  ChannelConfig cfg;
+  cfg.n_tx = 1;
+  cfg.n_rx = 1;
+  cfg.n_subcarriers = 16;
+  cfg.n_paths = 4;
+  cfg.activity = EnvironmentalActivity::kNone;
+  return cfg;
+}
+
+CampusConfig campus_default_config() {
+  CampusConfig cfg;
+  cfg.session.channel = campus_channel_config();
+  return cfg;
+}
+
+namespace {
+
+bool id_less(const std::unique_ptr<Session>& a,
+             const std::unique_ptr<Session>& b) {
+  return a->id() < b->id();
+}
+
+}  // namespace
+
+CampusSim::CampusSim(const CampusConfig& config)
+    : config_(config),
+      map_(config.cols, config.rows, config.pitch_m),
+      shards_(config.shards == 0 ? 1 : config.shards),
+      mailbox_(shards_.size(), config.mailbox_lane_capacity) {
+  config_.shards = shards_.size();
+  if (config_.jobs > 1)
+    pool_ = std::make_unique<runtime::ThreadPool>(config_.jobs - 1);
+
+  // The arrival schedule is drawn per session id from its own counter-based
+  // substream, so the (epoch, dwell) pair for id i is independent of every
+  // other id and of the iteration order here.
+  const Rng arrivals_root = Rng(config_.master_seed).stream(kArrivalSalt);
+  schedule_.reserve(config_.n_sessions);
+  const int window =
+      config_.arrival_window_epochs < 1
+          ? 1
+          : static_cast<int>(config_.arrival_window_epochs);
+  for (std::uint64_t id = 0; id < config_.n_sessions; ++id) {
+    Rng a = arrivals_root.stream(id);
+    const auto epoch = static_cast<std::uint64_t>(a.uniform_int(1, window));
+    const auto extra = static_cast<std::uint64_t>(
+        a.exponential(config_.mean_extra_dwell_epochs));
+    std::uint64_t dwell = config_.min_dwell_epochs + extra;
+    if (dwell > config_.max_dwell_epochs) dwell = config_.max_dwell_epochs;
+    if (dwell < 2) dwell = 2;  // at least one batched step before departure
+    schedule_.push_back(Arrival{epoch, id, dwell});
+  }
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const Arrival& x, const Arrival& y) {
+              return x.epoch != y.epoch ? x.epoch < y.epoch : x.id < y.id;
+            });
+}
+
+std::uint64_t CampusSim::active() const {
+  std::uint64_t n = 0;
+  for (const Shard& sh : shards_) n += sh.sessions.size();
+  return n;
+}
+
+template <typename Fn>
+void CampusSim::for_each_shard(Fn&& body) {
+  if (pool_) {
+    // One chunk per shard; parallel_for's return is the epoch barrier.
+    pool_->parallel_for(shards_.size(), 1,
+                        [&](std::size_t, std::size_t begin, std::size_t end) {
+                          for (std::size_t s = begin; s < end; ++s) body(s);
+                        });
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) body(s);
+  }
+}
+
+void CampusSim::phase_prepare(std::size_t s) {
+  Shard& sh = shards_[s];
+  auto& v = sh.sessions;
+
+  // Stage departures (dwell expired) before the batch is rebuilt, so a
+  // session's last batched step is epoch depart-1 in every partitioning.
+  std::size_t w = 0;
+  for (auto& sp : v) {
+    if (sp->depart_epoch() <= epoch_)
+      sh.departing.push_back(std::move(sp));
+    else
+      v[w++] = std::move(sp);
+  }
+  v.resize(w);
+
+  sh.batch.clear();
+  const std::size_t presized = sh.samples.size();
+  if (sh.samples.size() < v.size()) sh.samples.resize(v.size());
+  const ChannelConfig& ch = config_.session.channel;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    sh.batch.add_link(v[i]->channel());
+    // Pre-size fresh sample slots here so the hot phase never allocates.
+    if (i >= presized)
+      sh.samples[i].csi.resize(ch.n_tx, ch.n_rx, ch.n_subcarriers);
+  }
+}
+
+void CampusSim::phase_hot(std::size_t s) {
+  Shard& sh = shards_[s];
+  const std::size_t n = sh.sessions.size();
+  if (n == 0) return;
+  const double t = static_cast<double>(epoch_) * config_.session.tick_s;
+  sh.batch.sample_range(t, 0, n, sh.samples.data(), sh.scratch);
+  for (std::size_t i = 0; i < n; ++i)
+    sh.sessions[i]->step(epoch_, sh.samples[i]);
+}
+
+void CampusSim::phase_post(std::size_t s) {
+  Shard& sh = shards_[s];
+  auto& v = sh.sessions;
+  const double t = static_cast<double>(epoch_) * config_.session.tick_s;
+  std::size_t w = 0;
+  for (auto& sp : v) {
+    sp->maybe_roam(t);
+    const std::size_t dst =
+        map_.shard_of_ap(sp->serving_ap(), shards_.size());
+    if (dst != s) {
+      if (mailbox_.try_send(s, dst, sp)) continue;  // moved to dst's lane
+      // Lane full: keep hosting for one more epoch. The session computes
+      // the same observables here as it would on dst, so back-pressure is
+      // observably invisible — it only shows up in this counter.
+      ++deferred_handovers_;
+    }
+    v[w++] = std::move(sp);
+  }
+  v.resize(w);
+}
+
+void CampusSim::drain_mailbox() {
+  for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+    Shard& sh = shards_[dst];
+    const std::size_t delivered =
+        mailbox_.drain_to(dst, [&](std::unique_ptr<Session> sp) {
+          sh.sessions.push_back(std::move(sp));
+        });
+    handovers_sent_ += delivered;
+    if (delivered > 0)
+      std::sort(sh.sessions.begin(), sh.sessions.end(), id_less);
+  }
+}
+
+void CampusSim::admit_arrivals() {
+  // Early-out keeps arrival-free epochs allocation-free (the steady-state
+  // phase the campus_step perf case gates).
+  if (next_arrival_ >= schedule_.size() ||
+      schedule_[next_arrival_].epoch != epoch_)
+    return;
+  std::vector<bool> touched(shards_.size(), false);
+  while (next_arrival_ < schedule_.size() &&
+         schedule_[next_arrival_].epoch == epoch_) {
+    const Arrival& a = schedule_[next_arrival_++];
+    auto sp = std::make_unique<Session>(a.id, config_.master_seed, map_,
+                                        config_.session, a.epoch, a.dwell);
+    sp->prime(prime_scratch_, prime_sample_);
+    const std::size_t dst =
+        map_.shard_of_ap(sp->serving_ap(), shards_.size());
+    shards_[dst].sessions.push_back(std::move(sp));
+    touched[dst] = true;
+    ++arrived_;
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    if (touched[s])
+      std::sort(shards_[s].sessions.begin(), shards_[s].sessions.end(),
+                id_less);
+}
+
+void CampusSim::fold_departures() {
+  departed_stats_.clear();
+  for (Shard& sh : shards_) {
+    for (auto& sp : sh.departing) departed_stats_.push_back(sp->stats());
+    sh.departing.clear();
+  }
+  if (departed_stats_.empty()) return;
+  std::sort(departed_stats_.begin(), departed_stats_.end(),
+            [](const SessionStats& x, const SessionStats& y) {
+              return x.id < y.id;
+            });
+  for (const SessionStats& st : departed_stats_) aggregate_.fold(st);
+  departed_ += departed_stats_.size();
+}
+
+void CampusSim::step_epoch() {
+  ++epoch_;
+
+  for_each_shard([this](std::size_t s) { phase_prepare(s); });
+
+  const std::uint64_t allocs_before = alloc_count();
+  for_each_shard([this](std::size_t s) { phase_hot(s); });
+  if (!pool_) hot_phase_allocs_ += alloc_count() - allocs_before;
+
+  for_each_shard([this](std::size_t s) { phase_post(s); });
+
+  // Serial tail: everything order-sensitive runs here, between barriers,
+  // in fixed (shard id, session id) order.
+  drain_mailbox();
+  admit_arrivals();
+  fold_departures();
+}
+
+void CampusSim::run() {
+  while (epoch_ < config_.horizon_epochs) step_epoch();
+}
+
+}  // namespace mobiwlan::campus

@@ -1,0 +1,167 @@
+// campus.hpp — campus-scale sharded deployment with live client churn.
+//
+// CampusSim runs thousands of APs partitioned into shards. Each shard owns
+// a ChannelBatch over the sessions it currently hosts and steps them with
+// the batched engine; client sessions arrive by a seeded process, walk
+// between shards, and depart, folding their statistics into a streamed
+// aggregate (stats_stream.hpp) — per-session records are never
+// materialized. Cross-shard handover travels through the bounded lock-free
+// HandoverMailbox (mailbox.hpp).
+//
+// Determinism contract (the property the shard-invariance suite gates):
+// every per-session observable — and therefore the campus aggregate — is
+// bitwise identical for any shard count and any worker count. Three
+// mechanisms carry the proof:
+//
+//   1. Session state is a pure function of (master seed, session id, time):
+//      all randomness comes from counter-derived Rng substreams keyed by
+//      the session id, never by the hosting shard or worker (session.hpp).
+//   2. Epochs are barriered: the parallel phases (prepare / hot step /
+//      handover post) each end at a ThreadPool::parallel_for barrier, and
+//      everything order-sensitive (mailbox drain, arrivals, departure
+//      folding) runs serially between barriers in fixed (shard id, session
+//      id) order. Worker count can change who executes a shard, never what
+//      the shard computes.
+//   3. Handover moves the Session object wholesale — classifier
+//      hold-then-decay state, rate-adaptation state, channel RNG and all —
+//      so hosting is invisible. A handover deferred by mailbox back-pressure
+//      just steps one more epoch in the source shard, which by (1) computes
+//      the same observables the destination would have.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "campus/mailbox.hpp"
+#include "campus/session.hpp"
+#include "campus/stats_stream.hpp"
+#include "chan/channel_batch.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace mobiwlan::campus {
+
+/// Campus-wide knobs. The defaults are the `--campus` bench scenario:
+/// a 32x32 AP grid (1024 APs) absorbing 100k sessions over an 80-epoch
+/// arrival window, everyone departed by the 130-epoch horizon.
+struct CampusConfig {
+  std::size_t cols = 32;             ///< AP grid columns
+  std::size_t rows = 32;             ///< AP grid rows
+  double pitch_m = 30.0;             ///< AP spacing
+  std::size_t shards = 4;            ///< partition of the AP index space
+  std::size_t jobs = 1;              ///< worker threads stepping shards
+  std::uint64_t master_seed = 20140204;  // runtime::kMasterSeed
+
+  std::uint64_t n_sessions = 100000;
+  std::uint64_t arrival_window_epochs = 80;  ///< arrivals in epochs [1, window]
+  std::uint64_t min_dwell_epochs = 4;
+  double mean_extra_dwell_epochs = 8.0;      ///< exponential tail on dwell
+  std::uint64_t max_dwell_epochs = 40;
+  std::uint64_t horizon_epochs = 130;        ///< epochs run() executes
+
+  std::size_t mailbox_lane_capacity = 1024;  ///< per (src,dst) lane bound
+
+  SessionParams session;  ///< per-session knobs (campus_channel_config() etc.)
+};
+
+/// The ChannelConfig every campus session uses unless overridden: a light
+/// 1x1 link with 16 subcarriers and 4 scatterer paths, so a hundred
+/// thousand sessions stay affordable while every classifier-relevant
+/// mechanism (per-path phase rotation, ToF trend, shadowing) is intact.
+ChannelConfig campus_channel_config();
+
+/// CampusConfig with campus_channel_config() applied — the `--campus`
+/// scenario defaults.
+CampusConfig campus_default_config();
+
+/// The sharded campus simulation. Construct, then run() (or step_epoch()
+/// in a loop); read the aggregate and conservation counters afterwards.
+class CampusSim {
+ public:
+  explicit CampusSim(const CampusConfig& config);
+
+  /// Advances one epoch: barriered parallel phases over shards (stage
+  /// departures + rebuild batches; batched sample + step; roam + handover
+  /// send), then the serial tail (mailbox drain, arrivals, departure fold).
+  void step_epoch();
+
+  /// Runs step_epoch() up to config.horizon_epochs.
+  void run();
+
+  const CampusConfig& config() const { return config_; }
+  const CampusMap& map() const { return map_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// The streamed campus rollup over every departed session.
+  const CampusAggregate& aggregate() const { return aggregate_; }
+
+  // -- conservation + health counters (the soak test's invariants) ---------
+  std::uint64_t arrived() const { return arrived_; }
+  std::uint64_t departed() const { return departed_; }
+  std::uint64_t active() const;            ///< sessions currently hosted
+  std::uint64_t handovers_sent() const { return handovers_sent_; }
+  std::uint64_t deferred_handovers() const { return deferred_handovers_; }
+  std::size_t mailbox_max_depth() const { return mailbox_.max_depth(); }
+
+  /// Heap allocations observed inside the hot phase (batched sample + step)
+  /// since construction. Only meters when jobs == 1 (the serial soak
+  /// configuration): with a pool, the phase-dispatch std::function itself
+  /// allocates on the calling thread. Counts only advance when the
+  /// mobiwlan_alloc_hook override is linked.
+  std::uint64_t hot_phase_allocs() const { return hot_phase_allocs_; }
+
+  /// Per-shard session count (tests assert the partition actually spreads).
+  std::size_t shard_session_count(std::size_t shard) const {
+    return shards_[shard].sessions.size();
+  }
+
+ private:
+  struct Shard {
+    std::vector<std::unique_ptr<Session>> sessions;  ///< ascending id
+    std::vector<std::unique_ptr<Session>> departing;  ///< staged this epoch
+    ChannelBatch batch;
+    std::vector<ChannelSample> samples;
+    ChannelBatch::Scratch scratch;  ///< one worker per shard per phase
+  };
+
+  struct Arrival {
+    std::uint64_t epoch;
+    std::uint64_t id;
+    std::uint64_t dwell;
+  };
+
+  template <typename Fn>
+  void for_each_shard(Fn&& body);  ///< parallel when a pool exists; barrier
+
+  void phase_prepare(std::size_t s);   // departures out, batch rebuilt
+  void phase_hot(std::size_t s);       // batched sample + step (zero-alloc)
+  void phase_post(std::size_t s);      // roam, handover send or defer
+  void drain_mailbox();                // serial, fixed (dst, src) order
+  void admit_arrivals();               // serial, ascending (epoch, id)
+  void fold_departures();              // serial, ascending session id
+
+  CampusConfig config_;
+  CampusMap map_;
+  std::vector<Shard> shards_;
+  HandoverMailbox<std::unique_ptr<Session>> mailbox_;
+  std::unique_ptr<runtime::ThreadPool> pool_;  ///< null when jobs == 1
+
+  std::vector<Arrival> schedule_;  ///< sorted by (epoch, id)
+  std::size_t next_arrival_ = 0;
+
+  // Serial-phase scratch, reused across epochs.
+  WirelessChannel::PathScratch prime_scratch_;
+  ChannelSample prime_sample_;
+  std::vector<SessionStats> departed_stats_;
+
+  CampusAggregate aggregate_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t arrived_ = 0;
+  std::uint64_t departed_ = 0;
+  std::uint64_t handovers_sent_ = 0;
+  std::uint64_t deferred_handovers_ = 0;
+  std::uint64_t hot_phase_allocs_ = 0;
+};
+
+}  // namespace mobiwlan::campus

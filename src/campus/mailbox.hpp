@@ -1,0 +1,93 @@
+// mailbox.hpp — the bounded lock-free handover mailbox between campus shards.
+//
+// Cross-shard handover is the only communication between shards inside an
+// epoch, and it must never serialize the shard step loops on a mutex.
+// HandoverMailbox arranges S*S SPSC rings (runtime/spsc_ring.hpp) into the
+// multi-producer/single-consumer shape the campus needs — every
+// (source, destination) shard pair gets a private lane, so no two producers
+// ever touch the same ring — and drains a destination's lanes in fixed
+// source order, which keeps delivery order a pure function of the topology
+// rather than of thread timing.
+//
+// Capacity is a hard bound: try_send on a full lane fails instead of
+// blocking, and the campus treats a failed handover push as "carry the
+// session one more epoch in the source shard" — back-pressure degrades to
+// deferred bookkeeping, never to a deadlock or a dropped session. Because a
+// session computes identical observables wherever it is hosted, a deferred
+// transfer is observably invisible (see DESIGN.md §8).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "runtime/spsc_ring.hpp"
+
+namespace mobiwlan::campus {
+
+/// S*S SPSC lanes indexed (source, destination): a bounded MPSC mailbox per
+/// destination shard built from per-sender SPSC lanes, giving FIFO delivery
+/// per sender and a deterministic drain order across senders.
+///
+/// Threading contract (the epoch-barrier discipline): during a parallel
+/// phase, the thread stepping shard s is the sole producer on every lane
+/// (s, *); after the barrier, a single thread drains. The barrier provides
+/// the cross-epoch happens-before; the rings provide it within an epoch.
+template <typename T>
+class HandoverMailbox {
+ public:
+  HandoverMailbox(std::size_t shards, std::size_t lane_capacity)
+      : shards_(shards) {
+    lanes_.reserve(shards * shards);
+    for (std::size_t i = 0; i < shards * shards; ++i)
+      lanes_.push_back(
+          std::make_unique<runtime::SpscRing<T>>(lane_capacity));
+  }
+
+  std::size_t shards() const { return shards_; }
+  std::size_t lane_capacity() const { return lanes_[0]->capacity(); }
+
+  /// Producer: enqueue onto the (src, dst) lane. The message is consumed
+  /// only on success; false means the lane is full and the caller keeps it
+  /// (the campus retries next epoch).
+  bool try_send(std::size_t src, std::size_t dst, T& msg) {
+    return lane(src, dst).try_push(msg);
+  }
+
+  /// Consumer: pop every queued message for `dst`, lanes in ascending
+  /// source order, FIFO within a lane, calling `fn(msg)` for each. Also
+  /// updates the high-water depth probe. Returns messages delivered.
+  template <typename Fn>
+  std::size_t drain_to(std::size_t dst, Fn&& fn) {
+    std::size_t delivered = 0;
+    for (std::size_t src = 0; src < shards_; ++src) {
+      runtime::SpscRing<T>& l = lane(src, dst);
+      const std::size_t depth = l.size();
+      if (depth > max_depth_) max_depth_ = depth;
+      T msg;
+      while (l.try_pop(msg)) {
+        fn(std::move(msg));
+        ++delivered;
+      }
+    }
+    return delivered;
+  }
+
+  /// Highest per-lane occupancy ever observed at drain time — the soak
+  /// test's bounded-depth probe. Consumer-side only.
+  std::size_t max_depth() const { return max_depth_; }
+
+ private:
+  runtime::SpscRing<T>& lane(std::size_t src, std::size_t dst) {
+    return *lanes_[src * shards_ + dst];
+  }
+
+  std::size_t shards_;
+  // One allocation per lane: SpscRing is pinned (atomics, deleted moves),
+  // and separate allocations keep each lane's cursors on their own lines.
+  std::vector<std::unique_ptr<runtime::SpscRing<T>>> lanes_;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace mobiwlan::campus

@@ -1,0 +1,177 @@
+// stats_stream.hpp — streamed per-session statistics for the campus.
+//
+// A campus run touches hundreds of thousands of sessions; materializing a
+// per-session record for offline aggregation would defeat the point of the
+// exercise. Instead every session carries a handful of online scalars
+// (sums, counts, a running FNV-1a digest of its per-step observables) and
+// folds them into a CampusAggregate at departure. The aggregate itself is
+// streamed too: ordered float sums, fixed-bin histograms for the quantile
+// views, and order-insensitive digest combiners.
+//
+// Determinism contract: every field here is a pure function of the
+// per-session observable streams, and sessions are always folded in
+// ascending session-id order (CampusSim sorts departures before folding).
+// That makes the float sums — and therefore every derived mean — bitwise
+// identical across shard counts and worker counts. The histograms bin into
+// integer counters, so their quantiles are grid values (bin edges) that
+// compare exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace mobiwlan::campus {
+
+/// FNV-1a over 64-bit words — the per-step observable digest. Cheap enough
+/// to run on every session-step, and any single-bit change in any step of
+/// any session changes the final value.
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_mix(std::uint64_t h, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  return fnv1a_mix(h, bits);
+}
+
+/// Number of MobilityMode enumerators (core/mobility_mode.hpp) — the
+/// per-mode step counters are indexed by the mode's ordinal.
+inline constexpr std::size_t kModeCount = 6;
+
+/// The online per-session state: everything the campus ever reports about a
+/// session derives from these scalars, updated once per step.
+struct SessionStats {
+  std::uint64_t id = 0;
+  std::uint64_t arrival_epoch = 0;
+  std::uint64_t depart_epoch = 0;
+
+  std::uint64_t steps = 0;       ///< observed samples (prime + batched)
+  std::uint64_t mac_steps = 0;   ///< rate-adaptation exchanges (batched only)
+  double sum_rssi_dbm = 0.0;
+  double sum_tof_cycles = 0.0;
+  double sum_similarity = 0.0;
+  std::uint64_t similarity_steps = 0;
+  double sum_goodput_mbps = 0.0;  ///< realized rate*(delivered/sent) per exchange
+  std::uint64_t mpdus_sent = 0;
+  std::uint64_t mpdus_failed = 0;
+  std::uint64_t ap_handovers = 0;
+  std::uint64_t mode_steps[kModeCount] = {};
+
+  /// Running FNV-1a over (rssi, tof, similarity, mode, mcs, losses,
+  /// serving AP, epoch) of every step — the shard-invariance witness.
+  std::uint64_t digest = kFnvOffset;
+};
+
+/// Fixed-bin streaming histogram. Bin edges are a pure function of the
+/// construction parameters, so quantile() returns grid values that compare
+/// bitwise across runs; out-of-range samples clamp to the edge bins.
+class StreamHistogram {
+ public:
+  StreamHistogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {}
+
+  void add(double x) {
+    const double span = hi_ - lo_;
+    double f = (x - lo_) / span;
+    if (f < 0.0) f = 0.0;
+    std::size_t i = static_cast<std::size_t>(f * static_cast<double>(counts_.size()));
+    if (i >= counts_.size()) i = counts_.size() - 1;
+    ++counts_[i];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  /// Lower edge of the bin where the cumulative count first reaches
+  /// q * total (q in [0, 1]); lo on an empty histogram.
+  double quantile(double q) const {
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cum += counts_[i];
+      if (static_cast<double>(cum) >= target)
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                         static_cast<double>(counts_.size());
+    }
+    return hi_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// The campus-wide rollup. fold() must be called in ascending session-id
+/// order; the digest combiners (xor + wrapping sum) are order-insensitive
+/// on top of that, so the pair cross-checks the ordered fold.
+struct CampusAggregate {
+  std::uint64_t sessions = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t mac_steps = 0;
+  std::uint64_t mpdus_sent = 0;
+  std::uint64_t mpdus_failed = 0;
+  std::uint64_t ap_handovers = 0;
+  std::uint64_t mode_steps[kModeCount] = {};
+
+  double sum_mean_rssi_dbm = 0.0;
+  double sum_mean_similarity = 0.0;
+  double sum_mean_goodput_mbps = 0.0;
+  double sum_dwell_epochs = 0.0;
+
+  std::uint64_t digest_xor = 0;
+  std::uint64_t digest_sum = 0;
+
+  StreamHistogram rssi_hist{-95.0, -20.0, 60};
+  StreamHistogram dwell_hist{0.0, 200.0, 50};
+  StreamHistogram similarity_hist{0.0, 1.0, 50};
+
+  void fold(const SessionStats& s) {
+    ++sessions;
+    steps += s.steps;
+    mac_steps += s.mac_steps;
+    mpdus_sent += s.mpdus_sent;
+    mpdus_failed += s.mpdus_failed;
+    ap_handovers += s.ap_handovers;
+    for (std::size_t m = 0; m < kModeCount; ++m) mode_steps[m] += s.mode_steps[m];
+
+    const double mean_rssi =
+        s.steps ? s.sum_rssi_dbm / static_cast<double>(s.steps) : 0.0;
+    const double mean_sim =
+        s.similarity_steps
+            ? s.sum_similarity / static_cast<double>(s.similarity_steps)
+            : 0.0;
+    const double mean_goodput =
+        s.mac_steps ? s.sum_goodput_mbps / static_cast<double>(s.mac_steps)
+                    : 0.0;
+    const double dwell =
+        static_cast<double>(s.depart_epoch - s.arrival_epoch);
+    sum_mean_rssi_dbm += mean_rssi;
+    sum_mean_similarity += mean_sim;
+    sum_mean_goodput_mbps += mean_goodput;
+    sum_dwell_epochs += dwell;
+    rssi_hist.add(mean_rssi);
+    dwell_hist.add(dwell);
+    if (s.similarity_steps) similarity_hist.add(mean_sim);
+
+    // Bind the id to the digest so two sessions with swapped streams cannot
+    // cancel in the xor.
+    const std::uint64_t d = fnv1a_mix(s.digest, s.id);
+    digest_xor ^= d;
+    digest_sum += d;
+  }
+};
+
+}  // namespace mobiwlan::campus

@@ -80,6 +80,11 @@ class ChannelBatch {
   /// order fixes the link index used by the range calls.
   void add_link(WirelessChannel* channel) { links_.push_back(channel); }
 
+  /// Forgets every link, keeping the registration buffer — callers that
+  /// rebuild the batch each epoch (the campus shards) re-add links without
+  /// re-allocating.
+  void clear() { links_.clear(); }
+
   std::size_t size() const { return links_.size(); }
   WirelessChannel& link(std::size_t i) { return *links_[i]; }
   const WirelessChannel& link(std::size_t i) const { return *links_[i]; }

@@ -5,7 +5,11 @@
 namespace mobiwlan {
 
 TofTracker::TofTracker(Config config)
-    : config_(config), window_(config.trend_window, config.slack_cycles) {}
+    // 64 pending readings covers a full aggregation period at the paper's
+    // 20 ms sampling cadence, so steady-state add() never allocates.
+    : config_(config),
+      aggregator_(64),
+      window_(config.trend_window, config.slack_cycles) {}
 
 void TofTracker::add(double t, double tof_cycles) {
   if (!epoch_open_) {
@@ -44,7 +48,7 @@ TofTrend TofTracker::trend() const {
 }
 
 void TofTracker::reset() {
-  aggregator_ = MedianAggregator{};
+  aggregator_.clear();  // keeps capacity: reset never re-allocates
   window_.reset();
   epoch_open_ = false;
   last_median_.reset();

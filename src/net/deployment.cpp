@@ -29,6 +29,18 @@ std::vector<Vec2> WlanDeployment::corridor_layout(std::size_t n_aps,
   return out;
 }
 
+std::vector<Vec2> WlanDeployment::grid_layout(std::size_t cols,
+                                              std::size_t rows,
+                                              double pitch_m) {
+  std::vector<Vec2> out;
+  out.reserve(cols * rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      out.push_back({static_cast<double>(c) * pitch_m,
+                     static_cast<double>(r) * pitch_m});
+  return out;
+}
+
 std::shared_ptr<WalkTrajectory> WlanDeployment::corridor_walk(Rng& rng,
                                                               std::size_t n_aps,
                                                               double spacing_m) {

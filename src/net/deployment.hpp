@@ -46,6 +46,11 @@ class WlanDeployment {
   static std::vector<Vec2> corridor_layout(std::size_t n_aps = 6,
                                            double spacing_m = 35.0);
 
+  /// A cols x rows AP grid at `pitch_m` spacing, row-major from the origin —
+  /// the building-scale layout the campus simulation partitions into shards.
+  static std::vector<Vec2> grid_layout(std::size_t cols, std::size_t rows,
+                                       double pitch_m);
+
   /// A natural walk confined to the corridor covered by corridor_layout():
   /// the workload of the paper's roaming (§3.2) and end-to-end (§7) tests.
   static std::shared_ptr<WalkTrajectory> corridor_walk(Rng& rng,

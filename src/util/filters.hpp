@@ -77,11 +77,19 @@ class MovingAverage {
 /// after the first full period the aggregator stops allocating.
 class MedianAggregator {
  public:
+  MedianAggregator() = default;
+  /// Preallocates the pending buffer so the first period never allocates
+  /// either — for hot loops that meter allocations from the first sample.
+  explicit MedianAggregator(std::size_t reserve) { pending_.reserve(reserve); }
+
   void add(double x) { pending_.push_back(x); }
   std::size_t pending_count() const { return pending_.size(); }
 
   /// Median of the pending samples, or nullopt if none; clears the buffer.
   std::optional<double> flush();
+
+  /// Drops pending samples, keeping the buffer capacity.
+  void clear() { pending_.clear(); }
 
  private:
   std::vector<double> pending_;

@@ -1,0 +1,103 @@
+// Shared helpers for the campus suite: flatten a finished CampusSim into a
+// comparable summary and assert two summaries are bitwise identical.
+//
+// Equality here is deliberately exact — the shard-invariance contract
+// (campus.hpp) promises bitwise-equal observables across shard and worker
+// counts, so float fields are compared on their bit patterns, not within a
+// tolerance.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "campus/campus.hpp"
+
+namespace mobiwlan::campus_test {
+
+inline std::uint64_t bits(double x) {
+  std::uint64_t b;
+  std::memcpy(&b, &x, sizeof b);
+  return b;
+}
+
+/// Every shard-invariant observable a run produces. Transport counters
+/// (handovers, deferrals, mailbox depth) are partition-dependent and live
+/// outside the summary on purpose.
+struct RunSummary {
+  std::uint64_t arrived = 0;
+  std::uint64_t departed = 0;
+  std::uint64_t active = 0;
+  std::uint64_t sessions = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t mac_steps = 0;
+  std::uint64_t mpdus_sent = 0;
+  std::uint64_t mpdus_failed = 0;
+  std::uint64_t ap_handovers = 0;
+  std::uint64_t mode_steps[campus::kModeCount] = {};
+  std::uint64_t sum_rssi_bits = 0;
+  std::uint64_t sum_similarity_bits = 0;
+  std::uint64_t sum_goodput_bits = 0;
+  std::uint64_t sum_dwell_bits = 0;
+  std::uint64_t digest_xor = 0;
+  std::uint64_t digest_sum = 0;
+  std::uint64_t rssi_p50_bits = 0;
+  std::uint64_t rssi_p90_bits = 0;
+  std::uint64_t dwell_p50_bits = 0;
+  std::uint64_t similarity_p50_bits = 0;
+};
+
+inline RunSummary summarize(const campus::CampusSim& sim) {
+  const campus::CampusAggregate& a = sim.aggregate();
+  RunSummary s;
+  s.arrived = sim.arrived();
+  s.departed = sim.departed();
+  s.active = sim.active();
+  s.sessions = a.sessions;
+  s.steps = a.steps;
+  s.mac_steps = a.mac_steps;
+  s.mpdus_sent = a.mpdus_sent;
+  s.mpdus_failed = a.mpdus_failed;
+  s.ap_handovers = a.ap_handovers;
+  for (std::size_t m = 0; m < campus::kModeCount; ++m)
+    s.mode_steps[m] = a.mode_steps[m];
+  s.sum_rssi_bits = bits(a.sum_mean_rssi_dbm);
+  s.sum_similarity_bits = bits(a.sum_mean_similarity);
+  s.sum_goodput_bits = bits(a.sum_mean_goodput_mbps);
+  s.sum_dwell_bits = bits(a.sum_dwell_epochs);
+  s.digest_xor = a.digest_xor;
+  s.digest_sum = a.digest_sum;
+  s.rssi_p50_bits = bits(a.rssi_hist.quantile(0.5));
+  s.rssi_p90_bits = bits(a.rssi_hist.quantile(0.9));
+  s.dwell_p50_bits = bits(a.dwell_hist.quantile(0.5));
+  s.similarity_p50_bits = bits(a.similarity_hist.quantile(0.5));
+  return s;
+}
+
+inline void expect_summaries_equal(const RunSummary& a, const RunSummary& b,
+                                   const char* label) {
+  EXPECT_EQ(a.arrived, b.arrived) << label;
+  EXPECT_EQ(a.departed, b.departed) << label;
+  EXPECT_EQ(a.active, b.active) << label;
+  EXPECT_EQ(a.sessions, b.sessions) << label;
+  EXPECT_EQ(a.steps, b.steps) << label;
+  EXPECT_EQ(a.mac_steps, b.mac_steps) << label;
+  EXPECT_EQ(a.mpdus_sent, b.mpdus_sent) << label;
+  EXPECT_EQ(a.mpdus_failed, b.mpdus_failed) << label;
+  EXPECT_EQ(a.ap_handovers, b.ap_handovers) << label;
+  for (std::size_t m = 0; m < campus::kModeCount; ++m)
+    EXPECT_EQ(a.mode_steps[m], b.mode_steps[m]) << label << " mode " << m;
+  EXPECT_EQ(a.sum_rssi_bits, b.sum_rssi_bits) << label;
+  EXPECT_EQ(a.sum_similarity_bits, b.sum_similarity_bits) << label;
+  EXPECT_EQ(a.sum_goodput_bits, b.sum_goodput_bits) << label;
+  EXPECT_EQ(a.sum_dwell_bits, b.sum_dwell_bits) << label;
+  EXPECT_EQ(a.digest_xor, b.digest_xor) << label;
+  EXPECT_EQ(a.digest_sum, b.digest_sum) << label;
+  EXPECT_EQ(a.rssi_p50_bits, b.rssi_p50_bits) << label;
+  EXPECT_EQ(a.rssi_p90_bits, b.rssi_p90_bits) << label;
+  EXPECT_EQ(a.dwell_p50_bits, b.dwell_p50_bits) << label;
+  EXPECT_EQ(a.similarity_p50_bits, b.similarity_p50_bits) << label;
+}
+
+}  // namespace mobiwlan::campus_test
