@@ -39,6 +39,10 @@
 //                                         baseline (ci/campus_baseline.json)
 //   mobiwlan-bench --campus-check-only F  re-check an existing
 //                                         BENCH_campus.json, no re-run
+//   mobiwlan-bench --campus-sessions N    large-campus mode: one 4-shard run
+//                                         at N sessions (conservation + RSS
+//                                         evidence; optionally bounded by
+//                                         --campus-rss-budget-mb MB)
 //
 // Determinism contract: for a fixed --seed, the printed tables and every
 // non-"timing" byte of the JSON are identical for --jobs 1 and --jobs N.
@@ -95,7 +99,9 @@ void print_usage() {
       "                      [--trace-baseline PATH]\n"
       "                      [--campus] [--campus-check]\n"
       "                      [--campus-check-only PATH] [--campus-out PATH]\n"
-      "                      [--campus-baseline PATH]\n");
+      "                      [--campus-baseline PATH]\n"
+      "                      [--campus-sessions N]\n"
+      "                      [--campus-rss-budget-mb MB]\n");
 }
 
 struct Options {
@@ -130,6 +136,8 @@ struct Options {
   std::string campus_check_only;  // path to an existing BENCH_campus.json
   std::string campus_out = "BENCH_campus.json";
   std::string campus_baseline = "ci/campus_baseline.json";
+  std::uint64_t campus_sessions = 0;   // nonzero: large-campus single run
+  double campus_rss_budget_mb = 0.0;   // large mode: peak-RSS bound (0 = off)
   double perf_min_time = 1.0;
   std::size_t jobs = 0;  // 0 = one worker per hardware thread
   std::uint64_t seed = runtime::kMasterSeed;
@@ -234,6 +242,15 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = value("--campus-baseline");
       if (!v) return false;
       opt.campus_baseline = v;
+    } else if (arg == "--campus-sessions") {
+      const char* v = value("--campus-sessions");
+      if (!v) return false;
+      opt.campus = true;
+      opt.campus_sessions = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--campus-rss-budget-mb") {
+      const char* v = value("--campus-rss-budget-mb");
+      if (!v) return false;
+      opt.campus_rss_budget_mb = std::strtod(v, nullptr);
     } else if (arg == "--fault-baseline") {
       const char* v = value("--fault-baseline");
       if (!v) return false;
@@ -546,6 +563,8 @@ int main(int argc, char** argv) {
     co.check_only = opt.campus_check_only;
     co.out = opt.campus_out;
     co.baseline = opt.campus_baseline;
+    co.sessions = opt.campus_sessions;
+    co.rss_budget_mb = opt.campus_rss_budget_mb;
     return mobiwlan::benchsuite::run_campus_bench(co);
   }
 

@@ -24,12 +24,17 @@
 // byte diff in ci/campus_gate.sh. Keys matching `"timing` carry wall-clock
 // rates and are quarantined by the usual convention.
 //
-// CSI synthesis is pinned to the scalar fp64 tier for the whole matrix
-// (campus.simd_tier records the pin): the committed digests are then
-// host-portable — an AVX-512 host and a scalar host write the same bytes.
+// Precision is pinned to fp64 for the whole matrix; the SIMD *tier* is not:
+// the anchored classifier pass and the elementwise batched kernels make the
+// campus digests bitwise tier-invariant (gated by the campus tier-invariance
+// test), so the committed baseline is host-portable while the throughput
+// numbers reflect the host's real tier — which is what the campus
+// throughput gate in ci/perf_gate.sh measures.
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -60,14 +65,32 @@ struct CampusRun {
   std::uint64_t handovers = 0;
   std::uint64_t deferred = 0;
   std::uint64_t mailbox_depth = 0;
+  std::uint64_t pool_sessions = 0;  ///< peak resident (slab-constructed)
+  std::uint64_t hot_allocs = 0;
   double wall_s = 0.0;
 };
 
-CampusRun run_one(std::size_t shards, std::size_t jobs, std::uint64_t seed) {
+/// Process peak resident set (VmHWM) in MiB, or 0 where /proc is absent.
+/// RSS is inherently nondeterministic (allocator, page reuse across the
+/// matrix), so everything derived from it reports under `timing.` keys —
+/// quarantined from both the baseline gate and the jobs byte-diff.
+double peak_rss_mb() {
+  std::ifstream st("/proc/self/status");
+  std::string line;
+  while (std::getline(st, line)) {
+    if (line.rfind("VmHWM:", 0) == 0)
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;  // kB -> MiB
+  }
+  return 0.0;
+}
+
+CampusRun run_one(std::size_t shards, std::size_t jobs, std::uint64_t seed,
+                  std::uint64_t n_sessions_override = 0) {
   campus::CampusConfig cfg = campus::campus_default_config();
   cfg.shards = shards;
   cfg.jobs = jobs;
   cfg.master_seed = seed;
+  if (n_sessions_override) cfg.n_sessions = n_sessions_override;
   const auto start = std::chrono::steady_clock::now();
   campus::CampusSim sim(cfg);
   sim.run();
@@ -81,6 +104,8 @@ CampusRun run_one(std::size_t shards, std::size_t jobs, std::uint64_t seed) {
   r.handovers = sim.handovers_sent();
   r.deferred = sim.deferred_handovers();
   r.mailbox_depth = sim.mailbox_max_depth();
+  r.pool_sessions = sim.pool_sessions();
+  r.hot_allocs = sim.hot_phase_allocs();
   r.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -123,6 +148,9 @@ int invariance_mismatches(const CampusRun& a, const CampusRun& b) {
   m += count_if_differs(a.arrived != b.arrived);
   m += count_if_differs(a.departed != b.departed);
   m += count_if_differs(a.active_end != b.active_end);
+  // Peak resident sessions drives slab growth; arrivals and dwell times are
+  // id-determined, so the peak must not depend on the partitioning either.
+  m += count_if_differs(a.pool_sessions != b.pool_sessions);
   return m;
 }
 
@@ -179,6 +207,80 @@ int run_campus_bench(const CampusOptions& opt) {
     jobs = hw ? hw : 1;
   }
 
+  if (opt.sessions) {
+    // Large-campus mode: one {4 shards, jobs} run at the requested session
+    // count. The streamed arrival schedule and the slab pool keep memory
+    // proportional to PEAK RESIDENT sessions, not total sessions, so a
+    // million-session day fits a fixed budget; this mode produces the
+    // evidence (and the opt-in 250k ctest smoke gets its assertions).
+    const campus::CampusConfig defaults = campus::campus_default_config();
+    std::printf("campus-large: %zux%zu APs, %llu sessions over %llu epochs "
+                "(4 shards, seed %llu, %zu workers)\n",
+                defaults.cols, defaults.rows,
+                static_cast<unsigned long long>(opt.sessions),
+                static_cast<unsigned long long>(defaults.horizon_epochs),
+                static_cast<unsigned long long>(opt.seed), jobs);
+    const CampusRun r = run_one(4, jobs, opt.seed, opt.sessions);
+    const double rss_mb = peak_rss_mb();
+    const double bytes_per =
+        r.pool_sessions ? rss_mb * 1024.0 * 1024.0 /
+                              static_cast<double>(r.pool_sessions)
+                        : 0.0;
+    std::printf("  arrived %llu, departed %llu, active %llu — peak resident "
+                "%llu (%.1f%% of total)\n",
+                static_cast<unsigned long long>(r.arrived),
+                static_cast<unsigned long long>(r.departed),
+                static_cast<unsigned long long>(r.active_end),
+                static_cast<unsigned long long>(r.pool_sessions),
+                100.0 * static_cast<double>(r.pool_sessions) /
+                    static_cast<double>(opt.sessions));
+    std::printf("  wall %.2fs (%.0f session-steps/s), peak RSS %.1f MiB "
+                "(%.0f bytes/resident session), hot-phase allocs %llu\n",
+                r.wall_s,
+                r.wall_s > 0.0 ? static_cast<double>(r.agg.steps) / r.wall_s
+                               : 0.0,
+                rss_mb, bytes_per,
+                static_cast<unsigned long long>(r.hot_allocs));
+    int rc = 0;
+    if (r.arrived != opt.sessions ||
+        r.arrived != r.departed + r.active_end ||
+        r.agg.sessions != r.departed) {
+      std::fprintf(stderr, "mobiwlan-bench: campus-large conservation "
+                           "FAILED (arrived/departed/active inconsistent)\n");
+      rc = 1;
+    }
+    if (opt.rss_budget_mb > 0.0 && rss_mb > opt.rss_budget_mb) {
+      std::fprintf(stderr,
+                   "mobiwlan-bench: campus-large peak RSS %.1f MiB exceeds "
+                   "budget %.1f MiB\n",
+                   rss_mb, opt.rss_budget_mb);
+      rc = 1;
+    }
+    FidelityReport rep;
+    rep.add("campus_large.sessions", static_cast<double>(opt.sessions));
+    rep.add("campus_large.peak_resident",
+            static_cast<double>(r.pool_sessions));
+    rep.add("campus_large.steps", static_cast<double>(r.agg.steps));
+    rep.add("campus_large.handovers", static_cast<double>(r.handovers));
+    rep.add("timing.wall_s", r.wall_s);
+    if (r.wall_s > 0.0)
+      rep.add("timing.session_steps_per_s",
+              static_cast<double>(r.agg.steps) / r.wall_s);
+    rep.add("timing.peak_rss_mb", rss_mb);
+    rep.add("timing.bytes_per_session", bytes_per);
+    std::ofstream out(opt.out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "mobiwlan-bench: cannot write %s\n",
+                   opt.out.c_str());
+      return 1;
+    }
+    out << rep.to_json(opt.seed, r.wall_s, nullptr);
+    out.close();
+    std::printf("wrote %s (%zu metrics)\n", opt.out.c_str(),
+                rep.metrics().size());
+    return rc;
+  }
+
   const campus::CampusConfig defaults = campus::campus_default_config();
   std::printf("campus: %zux%zu APs, %llu sessions over %llu epochs — shard "
               "matrix 1/4/16 (seed %llu, %zu workers)\n",
@@ -187,9 +289,8 @@ int run_campus_bench(const CampusOptions& opt) {
               static_cast<unsigned long long>(defaults.horizon_epochs),
               static_cast<unsigned long long>(opt.seed), jobs);
 
-  // Pin CSI synthesis to the scalar fp64 tier for the whole matrix, so the
-  // digests in the committed baseline are host-portable.
-  simd::set_forced_tier(0);
+  // Pin the precision tier (fp32 CSI would change bits); the SIMD tier
+  // runs at the host's native width — the digests are tier-invariant.
   simd::set_forced_precision(0);
 
   const struct {
@@ -211,7 +312,6 @@ int run_campus_bench(const CampusOptions& opt) {
                 runs[i].wall_s);
   }
   simd::set_forced_precision(-1);
-  simd::set_forced_tier(-1);
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -268,7 +368,13 @@ int run_campus_bench(const CampusOptions& opt) {
     rep.add(p + ".deferred", static_cast<double>(runs[i].deferred));
     rep.add(p + ".mailbox_depth", static_cast<double>(runs[i].mailbox_depth));
   }
-  rep.add("campus.simd_tier", 0.0);
+  // Peak resident sessions (slab high-water) is deterministic and
+  // shard-invariant, so it is exact-gated; the 16x1 run is always serial,
+  // so its fused-phase allocation meter is live — steady-state churn must
+  // stay pool-only (0 allocations) regardless of worker availability.
+  rep.add("campus.pool_sessions",
+          static_cast<double>(runs[0].pool_sessions));
+  rep.add("campus.hot_allocs", static_cast<double>(runs[3].hot_allocs));
   if (wall_s > 0.0) {
     double total_steps = 0.0;
     for (const CampusRun& r : runs) total_steps += static_cast<double>(r.agg.steps);
@@ -276,6 +382,21 @@ int run_campus_bench(const CampusOptions& opt) {
   }
   for (int i = 0; i < 4; ++i)
     rep.add("timing.run" + std::to_string(i) + "_wall_s", runs[i].wall_s);
+  {
+    // Median run wall: the noise-robust basis for the throughput gate in
+    // ci/perf_gate.sh (each run executes the same campus.steps workload).
+    double w[4];
+    for (int i = 0; i < 4; ++i) w[i] = runs[i].wall_s;
+    std::sort(w, w + 4);
+    rep.add("timing.median_wall_s", (w[1] + w[2]) / 2.0);
+  }
+  const double rss_mb = peak_rss_mb();
+  if (rss_mb > 0.0 && runs[0].pool_sessions > 0) {
+    rep.add("timing.peak_rss_mb", rss_mb);
+    rep.add("timing.bytes_per_session",
+            rss_mb * 1024.0 * 1024.0 /
+                static_cast<double>(runs[0].pool_sessions));
+  }
 
   for (const auto& [key, v] : rep.metrics())
     std::printf("  %-44s %.6g\n", key.c_str(), v);

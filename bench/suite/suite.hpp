@@ -142,6 +142,13 @@ struct CampusOptions {
   std::string check_only;     ///< re-check this BENCH_campus.json, no re-run
   std::string out = "BENCH_campus.json";
   std::string baseline = "ci/campus_baseline.json";
+  /// Nonzero switches to large-campus mode: ONE {4 shards, jobs} run at
+  /// this session count (no invariance matrix, no baseline gate) reporting
+  /// conservation, peak RSS and throughput — the 250k ctest smoke and the
+  /// 10^6-session memory-budget evidence in EXPERIMENTS.md.
+  std::uint64_t sessions = 0;
+  /// In large-campus mode, fail if peak RSS exceeds this many MiB (0 = off).
+  double rss_budget_mb = 0.0;
 };
 
 /// The campus shard-invariance bench: one 1024-AP / 100k-session churn

@@ -76,3 +76,35 @@ else
     exit 1
   fi
 fi
+
+# ---- campus throughput section --------------------------------------------
+# One full --campus matrix (four runs of the identical 100k-session
+# workload). The throughput gate divides the fixed per-run step count
+# (campus_steps_per_run) by timing.median_wall_s — the median of the four
+# run walls — so a single descheduled run cannot flip the verdict. The
+# floor gate_campus_session_steps_per_s is the 3x mark over the
+# pre-streaming engine (168,480 steps/s); 15% grace separates host noise
+# (observed ~505-580k) from the nearest real regression plateau (~312k
+# with the fused pass alone, ~265k without the slab pool). The hot loop's
+# allocs-per-op contract is gated separately by the --perf campus_step
+# case above and exactly (campus.hot_allocs) by ci/campus_gate.sh.
+CAMPUS_PERF_OUT="${CAMPUS_PERF_OUT:-/tmp/mobiwlan_campus_perf.json}"
+"${BENCH}" --campus --campus-out "${CAMPUS_PERF_OUT}" >/dev/null
+
+MEDIAN_WALL="$(flat_key "${CAMPUS_PERF_OUT}" timing.median_wall_s)"
+STEPS_PER_RUN="$(flat_key ci/perf_baseline.json campus_steps_per_run)"
+STEPS_FLOOR="$(flat_key ci/perf_baseline.json gate_campus_session_steps_per_s)"
+if [[ -z "${MEDIAN_WALL}" || -z "${STEPS_PER_RUN}" || -z "${STEPS_FLOOR}" ]]; then
+  echo "FAIL: campus throughput keys missing (campus json ${CAMPUS_PERF_OUT})" >&2
+  exit 1
+fi
+if awk -v w="${MEDIAN_WALL}" -v n="${STEPS_PER_RUN}" -v f="${STEPS_FLOOR}" \
+     'BEGIN { exit !(w > 0 && n / w >= 0.85 * f) }'; then
+  THR="$(awk -v w="${MEDIAN_WALL}" -v n="${STEPS_PER_RUN}" 'BEGIN { printf "%.0f", n / w }')"
+  echo "campus-check: ${THR} session-steps/s (median wall ${MEDIAN_WALL}s) >= 0.85 * ${STEPS_FLOOR} floor"
+else
+  THR="$(awk -v w="${MEDIAN_WALL}" -v n="${STEPS_PER_RUN}" 'BEGIN { printf "%.0f", n / w }')"
+  echo "FAIL: campus throughput ${THR} session-steps/s below 0.85 *" \
+       "${STEPS_FLOOR} (ci/perf_baseline.json gate_campus_session_steps_per_s)" >&2
+  exit 1
+fi

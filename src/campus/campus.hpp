@@ -8,6 +8,16 @@
 // materialized. Cross-shard handover travels through the bounded lock-free
 // HandoverMailbox (mailbox.hpp).
 //
+// Scale mechanics (DESIGN.md §8): sessions live in a slab pool
+// (session_pool.hpp) and are recycled across arrivals without touching the
+// global allocator; arrivals are streamed from their counter-based RNG
+// substreams instead of a materialized schedule (O(not-yet-arrived) ids, a
+// single 8-byte word each, instead of a sorted 24-byte-per-session vector);
+// and shard batch membership is incremental — a session occupies one batch
+// slot from admission to departure, and only churned links touch the SoA
+// planes. Same-shard roams re-draw the channel realization in place at a
+// stable address, so they touch no batch state at all.
+//
 // Determinism contract (the property the shard-invariance suite gates):
 // every per-session observable — and therefore the campus aggregate — is
 // bitwise identical for any shard count and any worker count. Three
@@ -16,12 +26,16 @@
 //   1. Session state is a pure function of (master seed, session id, time):
 //      all randomness comes from counter-derived Rng substreams keyed by
 //      the session id, never by the hosting shard or worker (session.hpp).
-//   2. Epochs are barriered: the parallel phases (prepare / hot step /
-//      handover post) each end at a ThreadPool::parallel_for barrier, and
-//      everything order-sensitive (mailbox drain, arrivals, departure
-//      folding) runs serially between barriers in fixed (shard id, session
-//      id) order. Worker count can change who executes a shard, never what
-//      the shard computes.
+//      Batch slot order is therefore irrelevant to the bits a session
+//      computes — slots only decide which out[] element receives them.
+//   2. Epochs are barriered: the fused parallel phase (stage departures,
+//      batched sample + step, roam + handover send) runs one shard per
+//      worker with no cross-shard communication except SPSC mailbox lanes
+//      written by their owning source shard, and ends at a
+//      ThreadPool::parallel_for barrier. Everything order-sensitive
+//      (mailbox drain, arrivals, departure folding) runs serially after the
+//      barrier in fixed (shard id, session id) order. Worker count can
+//      change who executes a shard, never what the shard computes.
 //   3. Handover moves the Session object wholesale — classifier
 //      hold-then-decay state, rate-adaptation state, channel RNG and all —
 //      so hosting is invisible. A handover deferred by mailbox back-pressure
@@ -36,6 +50,7 @@
 
 #include "campus/mailbox.hpp"
 #include "campus/session.hpp"
+#include "campus/session_pool.hpp"
 #include "campus/stats_stream.hpp"
 #include "chan/channel_batch.hpp"
 #include "runtime/thread_pool.hpp"
@@ -81,9 +96,10 @@ class CampusSim {
  public:
   explicit CampusSim(const CampusConfig& config);
 
-  /// Advances one epoch: barriered parallel phases over shards (stage
-  /// departures + rebuild batches; batched sample + step; roam + handover
-  /// send), then the serial tail (mailbox drain, arrivals, departure fold).
+  /// Advances one epoch: one barriered parallel phase over shards — a
+  /// single fused pass per shard (per slot: batched sample, classifier
+  /// observe, MAC, roam/handover send, end-of-dwell staging) — then the
+  /// serial tail (mailbox drain, streamed arrivals, departure fold).
   void step_epoch();
 
   /// Runs step_epoch() up to config.horizon_epochs.
@@ -101,57 +117,76 @@ class CampusSim {
   std::uint64_t departed() const { return departed_; }
   std::uint64_t active() const;            ///< sessions currently hosted
   std::uint64_t handovers_sent() const { return handovers_sent_; }
-  std::uint64_t deferred_handovers() const { return deferred_handovers_; }
+  std::uint64_t deferred_handovers() const;
   std::size_t mailbox_max_depth() const { return mailbox_.max_depth(); }
 
-  /// Heap allocations observed inside the hot phase (batched sample + step)
-  /// since construction. Only meters when jobs == 1 (the serial soak
-  /// configuration): with a pool, the phase-dispatch std::function itself
-  /// allocates on the calling thread. Counts only advance when the
-  /// mobiwlan_alloc_hook override is linked.
-  std::uint64_t hot_phase_allocs() const { return hot_phase_allocs_; }
+  /// Heap allocations observed inside the fused parallel phase since
+  /// construction. Only meters when
+  /// jobs == 1 (the serial soak configuration); counts only advance when
+  /// the mobiwlan_alloc_hook override is linked. Slot-stable batches plus
+  /// pooled sessions make this zero in steady state.
+  std::uint64_t hot_phase_allocs() const;
 
-  /// Per-shard session count (tests assert the partition actually spreads).
+  /// Sessions a shard currently hosts (tests assert the partition spreads).
   std::size_t shard_session_count(std::size_t shard) const {
-    return shards_[shard].sessions.size();
+    return shards_[shard].occupied;
   }
+
+  /// Sessions the pool has constructed (peak concurrency high-water mark);
+  /// the memory actually held is this count regardless of total arrivals.
+  std::size_t pool_sessions() const { return session_pool_.constructed(); }
 
  private:
   struct Shard {
-    std::vector<std::unique_ptr<Session>> sessions;  ///< ascending id
-    std::vector<std::unique_ptr<Session>> departing;  ///< staged this epoch
+    // Slot-aligned with `batch`: sessions[i] owns the session whose channel
+    // sits in batch slot i; a departed or handed-over slot leaves a nullptr
+    // hole, and ChannelBatch's LIFO free list hands the same slot to the
+    // next admission. One ChannelSample serves the whole shard: the fused
+    // pass consumes each sample before taking the next, so nothing per-slot
+    // is retained — at campus scale that removes megabytes of sample planes
+    // from the per-epoch working set.
+    std::vector<SessionPtr> sessions;
+    std::vector<SessionPtr> departing;  ///< staged this epoch, folded serially
     ChannelBatch batch;
-    std::vector<ChannelSample> samples;
+    ChannelSample sample;           ///< reused slot to slot (memory-bound!)
     ChannelBatch::Scratch scratch;  ///< one worker per shard per phase
-  };
-
-  struct Arrival {
-    std::uint64_t epoch;
-    std::uint64_t id;
-    std::uint64_t dwell;
+    std::size_t occupied = 0;       ///< non-hole slots
+    std::uint64_t deferred = 0;     ///< back-pressure deferrals (this shard)
+    std::uint64_t hot_allocs = 0;   ///< metered only when jobs == 1
   };
 
   template <typename Fn>
   void for_each_shard(Fn&& body);  ///< parallel when a pool exists; barrier
 
-  void phase_prepare(std::size_t s);   // departures out, batch rebuilt
-  void phase_hot(std::size_t s);       // batched sample + step (zero-alloc)
-  void phase_post(std::size_t s);      // roam, handover send or defer
+  void phase_shard(std::size_t s);     // fused parallel phase for one shard
   void drain_mailbox();                // serial, fixed (dst, src) order
-  void admit_arrivals();               // serial, ascending (epoch, id)
+  void admit_arrivals();               // serial, ascending id within epoch
   void fold_departures();              // serial, ascending session id
+  void place(std::size_t dst, SessionPtr sp);  // slot insert (serial phases)
 
   CampusConfig config_;
   CampusMap map_;
+  // The pool outlives shards_ and mailbox_ (declared first, destroyed
+  // last): their SessionPtrs release into it on teardown.
+  SessionPool session_pool_;
   std::vector<Shard> shards_;
-  HandoverMailbox<std::unique_ptr<Session>> mailbox_;
+  HandoverMailbox<SessionPtr> mailbox_;
   std::unique_ptr<runtime::ThreadPool> pool_;  ///< null when jobs == 1
 
-  std::vector<Arrival> schedule_;  ///< sorted by (epoch, id)
-  std::size_t next_arrival_ = 0;
+  // Streamed arrivals: one construction-time pass re-derives every id's
+  // counter-based arrival draw (a pure function of (master seed, id), so
+  // re-deriving is free of draw-order coupling) and buckets the ids by
+  // arrival epoch, ascending within each bucket — the old sorted-schedule
+  // admission order, at 8 bytes per not-yet-arrived id. Each epoch admits
+  // its bucket and releases it; the dwell draw happens at admission,
+  // continuing the id's substream exactly where schedule construction
+  // would have.
+  std::vector<std::vector<std::uint64_t>> arrival_buckets_;
+  Rng arrivals_root_;
+  int arrival_window_ = 1;
 
   // Serial-phase scratch, reused across epochs.
-  WirelessChannel::PathScratch prime_scratch_;
+  ChannelBatch::Scratch prime_scratch_;
   ChannelSample prime_sample_;
   std::vector<SessionStats> departed_stats_;
 
@@ -160,8 +195,6 @@ class CampusSim {
   std::uint64_t arrived_ = 0;
   std::uint64_t departed_ = 0;
   std::uint64_t handovers_sent_ = 0;
-  std::uint64_t deferred_handovers_ = 0;
-  std::uint64_t hot_phase_allocs_ = 0;
 };
 
 }  // namespace mobiwlan::campus

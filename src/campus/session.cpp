@@ -20,8 +20,17 @@ std::size_t CampusMap::nearest_ap(Vec2 p) const {
 
 CampusWalk::CampusWalk(Vec2 home, Vec2 bounds_min, Vec2 bounds_max, double t0,
                        double leg_s, double wander_m, std::size_t n_legs,
-                       std::uint64_t seed)
-    : t0_(t0), leg_s_(leg_s) {
+                       std::uint64_t seed) {
+  rebuild(home, bounds_min, bounds_max, t0, leg_s, wander_m, n_legs, seed);
+}
+
+void CampusWalk::rebuild(Vec2 home, Vec2 bounds_min, Vec2 bounds_max,
+                         double t0, double leg_s, double wander_m,
+                         std::size_t n_legs, std::uint64_t seed) {
+  t0_ = t0;
+  leg_s_ = leg_s;
+  memo_t_ = std::numeric_limits<double>::quiet_NaN();
+  waypoints_.clear();
   waypoints_.reserve(n_legs + 1);
   waypoints_.push_back(home);
   const Rng root(seed);
@@ -39,15 +48,26 @@ CampusWalk::CampusWalk(Vec2 home, Vec2 bounds_min, Vec2 bounds_max, double t0,
 }
 
 Vec2 CampusWalk::position(double t) const {
+  if (t == memo_t_) return memo_pos_;
   const double tau = t - t0_;
-  if (tau <= 0.0) return waypoints_.front();
-  const double legf = tau / leg_s_;
-  const auto k = static_cast<std::size_t>(legf);
-  if (k + 1 >= waypoints_.size()) return waypoints_.back();
-  const double f = legf - static_cast<double>(k);
-  const Vec2 a = waypoints_[k];
-  const Vec2 b = waypoints_[k + 1];
-  return {a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f};
+  Vec2 pos;
+  if (tau <= 0.0) {
+    pos = waypoints_.front();
+  } else {
+    const double legf = tau / leg_s_;
+    const auto k = static_cast<std::size_t>(legf);
+    if (k + 1 >= waypoints_.size()) {
+      pos = waypoints_.back();
+    } else {
+      const double f = legf - static_cast<double>(k);
+      const Vec2 a = waypoints_[k];
+      const Vec2 b = waypoints_[k + 1];
+      pos = {a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f};
+    }
+  }
+  memo_t_ = t;
+  memo_pos_ = pos;
+  return pos;
 }
 
 Session::Session(std::uint64_t id, std::uint64_t master_seed,
@@ -55,50 +75,70 @@ Session::Session(std::uint64_t id, std::uint64_t master_seed,
                  std::uint64_t arrival_epoch, std::uint64_t dwell_epochs)
     : map_(map),
       params_(params),
-      base_(Rng(master_seed).stream(kSessionSalt).stream(id)),
-      mac_rng_(base_.stream(kMacSalt)),
+      master_seed_(master_seed),
+      // Non-owning alias of the in-object walk (empty owner: no control
+      // block, never deletes). &walk_ is stable — sessions are pool slots.
+      walk_ref_(std::shared_ptr<const CampusWalk>(), &walk_),
       classifier_(params.classifier),
       ra_(make_mobility_aware_atheros_ra()) {
+  reinit(id, arrival_epoch, dwell_epochs);
+}
+
+void Session::reinit(std::uint64_t id, std::uint64_t arrival_epoch,
+                     std::uint64_t dwell_epochs) {
+  base_ = Rng(master_seed_).stream(kSessionSalt).stream(id);
+  mac_rng_ = base_.stream(kMacSalt);
+  classifier_.reset();
+  ra_.reset();
+  stats_ = SessionStats{};
   stats_.id = id;
   stats_.arrival_epoch = arrival_epoch;
   stats_.depart_epoch = arrival_epoch + dwell_epochs;
 
   Rng home_rng = base_.stream(kHomeSalt);
-  const Vec2 lo = map.bounds_min();
-  const Vec2 hi = map.bounds_max();
+  const Vec2 lo = map_.bounds_min();
+  const Vec2 hi = map_.bounds_max();
   const Vec2 home{home_rng.uniform(lo.x, hi.x), home_rng.uniform(lo.y, hi.y)};
-  const double t0 = static_cast<double>(arrival_epoch) * params.tick_s;
-  const double dwell_s = static_cast<double>(dwell_epochs) * params.tick_s;
+  const double t0 = static_cast<double>(arrival_epoch) * params_.tick_s;
+  const double dwell_s = static_cast<double>(dwell_epochs) * params_.tick_s;
   const auto n_legs =
-      static_cast<std::size_t>(dwell_s / params.walk_leg_s) + 2;
-  walk_ = std::make_shared<CampusWalk>(home, lo, hi, t0, params.walk_leg_s,
-                                       params.walk_wander_m, n_legs,
-                                       base_.stream(kWalkSalt).seed());
-  associate(map.nearest_ap(home));
+      static_cast<std::size_t>(dwell_s / params_.walk_leg_s) + 2;
+  walk_.rebuild(home, lo, hi, t0, params_.walk_leg_s, params_.walk_wander_m,
+                n_legs, base_.stream(kWalkSalt).seed());
+  associate(map_.nearest_ap(home));
 }
 
 void Session::associate(std::size_t ap) {
   serving_ap_ = ap;
   // The channel realization is keyed by (session, AP): revisiting an AP
   // replays the same scatterer field — deterministic, and independent of
-  // when or from which shard the association happens.
-  channel_ = std::make_unique<WirelessChannel>(
-      params_.channel, map_.ap_position(ap), walk_,
-      base_.stream(kChannelSalt).stream(static_cast<std::uint64_t>(ap)));
+  // when or from which shard the association happens. The channel object is
+  // built once per pool slot and re-drawn in place afterwards, so its
+  // address — and the ChannelBatch slot holding it — survives both roams
+  // and session recycling.
+  const Rng ch_rng =
+      base_.stream(kChannelSalt).stream(static_cast<std::uint64_t>(ap));
+  if (channel_) {
+    channel_->reinit(map_.ap_position(ap), ch_rng);
+  } else {
+    channel_ = std::make_unique<WirelessChannel>(
+        params_.channel, map_.ap_position(ap), walk_ref_, ch_rng);
+  }
 }
 
-void Session::prime(WirelessChannel::PathScratch& scratch,
-                    ChannelSample& sample) {
+void Session::prime(ChannelBatch::Scratch& scratch, ChannelSample& sample) {
   const double t0 =
       static_cast<double>(stats_.arrival_epoch) * params_.tick_s;
   // Two consecutive samples one tick apart: the association burst that
   // anchors the classifier's similarity stream (and takes its one-time
   // last_csi_/scratch allocations) before the batched hot loop sees the
-  // session. The per-link path is used here in EVERY partitioning, so the
-  // digest never mixes per-link and batched bits for the same step.
-  channel_->sample_into(t0 - params_.tick_s, sample, scratch);
+  // session. The batched kernels are used here in EVERY partitioning, so
+  // the digest never mixes per-link and batched bits for the same step —
+  // and, since those kernels are bitwise tier-invariant, the digest is the
+  // same on every SIMD tier.
+  ChannelBatch::sample_link(*channel_, t0 - params_.tick_s, sample, scratch);
   observe(t0 - params_.tick_s, stats_.arrival_epoch, sample);
-  channel_->sample_into(t0, sample, scratch);
+  ChannelBatch::sample_link(*channel_, t0, sample, scratch);
   observe(t0, stats_.arrival_epoch, sample);
 }
 
@@ -129,8 +169,16 @@ void Session::observe(double t, std::uint64_t epoch,
 }
 
 void Session::step(std::uint64_t epoch, const ChannelSample& sample) {
+  observe_step(epoch, sample);
+  mac_step(epoch, sample);
+}
+
+void Session::observe_step(std::uint64_t epoch, const ChannelSample& sample) {
+  observe(static_cast<double>(epoch) * params_.tick_s, epoch, sample);
+}
+
+void Session::mac_step(std::uint64_t epoch, const ChannelSample& sample) {
   const double t = static_cast<double>(epoch) * params_.tick_s;
-  observe(t, epoch, sample);
 
   // One rate-adaptation exchange per tick: the mobility-aware Atheros RA
   // (§4.2) keyed by the classifier's hold-then-decay decision, per-MPDU
@@ -171,7 +219,7 @@ void Session::step(std::uint64_t epoch, const ChannelSample& sample) {
 }
 
 bool Session::maybe_roam(double t) {
-  const Vec2 p = walk_->position(t);
+  const Vec2 p = walk_.position(t);
   const std::size_t cand = map_.nearest_ap(p);
   if (cand == serving_ap_) return false;
   const double d_cand = distance(p, map_.ap_position(cand));

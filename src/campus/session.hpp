@@ -14,15 +14,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "chan/channel.hpp"
+#include "chan/channel_batch.hpp"
 #include "chan/geometry.hpp"
 #include "chan/trajectory.hpp"
 #include "campus/stats_stream.hpp"
 #include "core/mobility_classifier.hpp"
 #include "mac/atheros_ra.hpp"
+#include "util/prefetch.hpp"
 #include "util/rng.hpp"
 
 namespace mobiwlan::campus {
@@ -98,6 +101,21 @@ class CampusWalk final : public Trajectory {
              double leg_s, double wander_m, std::size_t n_legs,
              std::uint64_t seed);
 
+  /// An empty walk waiting for rebuild() — the pooled-session recycle path.
+  /// position() must not be called before the first rebuild().
+  CampusWalk() = default;
+
+  /// Re-draws the walk in place: bitwise the state the equivalent
+  /// constructor call would produce, reusing the waypoint storage.
+  void rebuild(Vec2 home, Vec2 bounds_min, Vec2 bounds_max, double t0,
+               double leg_s, double wander_m, std::size_t n_legs,
+               std::uint64_t seed);
+
+  /// Memoized on (t): the campus step evaluates the walk twice per epoch at
+  /// the same instant (channel geometry, then the roam decision), so the
+  /// second call returns the cached point. Pure function of (seed, t)
+  /// either way — the memo is invisible. Single-caller like the rest of the
+  /// session: the hosting worker is the only thread touching this walk.
   Vec2 position(double t) const override;
   MobilityClass mobility_class() const override {
     return MobilityClass::kMacro;
@@ -105,10 +123,19 @@ class CampusWalk final : public Trajectory {
 
   Vec2 home() const { return waypoints_.front(); }
 
+  /// Cache-hint: streams the waypoint table in ahead of position().
+  void prefetch() const {
+    prefetch_lines(waypoints_.data(), waypoints_.size() * sizeof(Vec2));
+  }
+
  private:
-  double t0_;
-  double leg_s_;
-  std::vector<Vec2> waypoints_;  // n_legs + 1 points, fixed at construction
+  double t0_ = 0.0;
+  double leg_s_ = 1.0;
+  std::vector<Vec2> waypoints_;  // n_legs + 1 points, fixed per rebuild
+  // position(t) memo; rebuild() invalidates. NaN never equals t, so the
+  // sentinel can't alias a real query.
+  mutable double memo_t_ = std::numeric_limits<double>::quiet_NaN();
+  mutable Vec2 memo_pos_{};
 };
 
 /// Per-campus knobs a session needs at construction and while stepping.
@@ -139,17 +166,52 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// The two-sample association burst at arrival: per-link samples at
+  /// Recycles this object for a new arrival: bitwise the state a freshly
+  /// constructed Session{id, master_seed, map, params, arrival_epoch,
+  /// dwell_epochs} would hold, but reusing every internal buffer — walk
+  /// waypoints, channel scatterers, classifier anchors, RA ladder — so a
+  /// pooled steady state performs no allocation. The channel object's
+  /// address is stable across reinit *and* across maybe_roam(), which is
+  /// what lets CampusSim keep batch slots alive for the whole pool slot.
+  void reinit(std::uint64_t id, std::uint64_t arrival_epoch,
+              std::uint64_t dwell_epochs);
+
+  /// The two-sample association burst at arrival: samples at
   /// t_arrive - tick and t_arrive establish the classifier's similarity
   /// anchor (and take its one-time allocations) before the session enters
-  /// any shard's batched hot loop. Uses the caller's scratch.
-  void prime(WirelessChannel::PathScratch& scratch, ChannelSample& sample);
+  /// any shard's batched hot loop. Uses the caller's scratch. Samples go
+  /// through ChannelBatch::sample_link — the *batched* kernels — so the
+  /// digest never mixes per-link and batched kernel bits, on any SIMD tier.
+  void prime(ChannelBatch::Scratch& scratch, ChannelSample& sample);
 
   /// One batched-epoch step from an already-taken channel sample: feeds the
   /// classifier, runs the rate-adaptation exchange, updates stats and the
   /// observable digest. Allocation-free. `epoch` is the campus epoch the
-  /// sample belongs to.
+  /// sample belongs to. Equivalent to observe_step() then mac_step().
   void step(std::uint64_t epoch, const ChannelSample& sample);
+
+  /// Classifier half of step(): the anchored Eq.-1 similarity update over
+  /// the sampled CSI plane (the batched classifier pass — the anchor's
+  /// magnitude plane is precomputed once and shared across the window, so
+  /// the per-epoch cost is one SoA magnitude kernel per session). Split
+  /// from mac_step so the fused shard pass can keep per-session operation
+  /// order — observe before MAC — explicit; the split is digest-neutral.
+  void observe_step(std::uint64_t epoch, const ChannelSample& sample);
+
+  /// MAC half of step(): rate adaptation plus the per-tick A-MPDU exchange
+  /// at the sample's true SNR.
+  void mac_step(std::uint64_t epoch, const ChannelSample& sample);
+
+  /// Cache-hint for the whole per-step working set on the session side
+  /// (the object, walk waypoints, classifier planes, RA tables — the
+  /// channel is hinted separately via ChannelBatch::prefetch_slot). The
+  /// fused campus pass issues it one slot ahead; no observable effect.
+  void prefetch() const {
+    prefetch_lines(this, sizeof(Session), /*for_write=*/true);
+    walk_.prefetch();
+    classifier_.prefetch();
+    ra_.prefetch();
+  }
 
   /// End-of-epoch roam decision: re-associate to the nearest AP if it beats
   /// the serving AP by the hysteresis margin. Returns true on handover
@@ -170,9 +232,15 @@ class Session {
 
   const CampusMap& map_;
   const SessionParams& params_;
+  std::uint64_t master_seed_;
   Rng base_;                 ///< Rng(master).stream(kSessionSalt).stream(id)
   Rng mac_rng_;              ///< per-MPDU loss draws (fixed draws per step)
-  std::shared_ptr<const CampusWalk> walk_;
+  // The walk lives inside the Session (rebuilt in place on reinit); the
+  // channel sees it through a non-owning aliasing shared_ptr built once at
+  // construction. Sessions live in pool slabs, so &walk_ is stable for the
+  // object's whole lifetime and the alias never dangles.
+  CampusWalk walk_;
+  std::shared_ptr<const CampusWalk> walk_ref_;
   std::size_t serving_ap_ = 0;
   std::unique_ptr<WirelessChannel> channel_;
   MobilityClassifier classifier_;

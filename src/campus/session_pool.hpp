@@ -1,0 +1,120 @@
+// session_pool.hpp — slab-pooled Session storage for the campus simulator.
+//
+// Arrival/departure churn at campus scale (~1% of sessions per epoch) made
+// the global allocator the hot path: every arrival built a Session, a
+// CampusWalk control block, a WirelessChannel and the classifier's buffers,
+// and every departure tore them down. The pool keeps released Sessions
+// CONSTRUCTED on a free list; a recycled arrival calls Session::reinit,
+// which re-draws the state in place and reuses every internal buffer's
+// capacity (walk waypoints, scatterers, CSI anchors, RA ladder). Steady-
+// state churn then performs no allocation at all.
+//
+// Ownership vs. residence: a session's *memory* always lives in the slab of
+// the pool that created it, but its *ownership* travels — a cross-shard
+// handover moves the SessionPtr through the mailbox, and the deleter
+// releases the object back to its origin pool whenever the session departs,
+// from whichever shard it happens to be on. All acquire/release calls occur
+// in the simulator's serial phases (admit/drain/fold), so the pool needs no
+// locking; the parallel hot phase only ever dereferences stable pointers.
+//
+// Slab addresses never move (slabs are allocated once and kept), so &walk_
+// aliases and ChannelBatch slot pointers taken from pooled sessions stay
+// valid for the pool's lifetime.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "campus/session.hpp"
+
+namespace mobiwlan::campus {
+
+class SessionPool;
+
+/// unique_ptr deleter that returns the (still-constructed) Session to its
+/// origin pool instead of destroying it.
+struct PoolDeleter {
+  SessionPool* pool = nullptr;
+  void operator()(Session* s) const;
+};
+
+/// Owning handle to a pooled session. Moves like unique_ptr; dropping it
+/// recycles the object (never frees memory).
+using SessionPtr = std::unique_ptr<Session, PoolDeleter>;
+
+class SessionPool {
+ public:
+  explicit SessionPool(std::size_t slab_sessions = 1024)
+      : slab_sessions_(slab_sessions ? slab_sessions : 1) {}
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  ~SessionPool() {
+    for (Slab& slab : slabs_) {
+      for (std::size_t i = slab.constructed; i-- > 0;) slab.data[i].~Session();
+      ::operator delete(static_cast<void*>(slab.data),
+                        std::align_val_t{alignof(Session)});
+    }
+  }
+
+  /// Hands out a session initialized exactly as Session{id, master_seed,
+  /// map, params, arrival_epoch, dwell_epochs}: a recycled slot reaches that
+  /// state via reinit (allocation-free), a fresh slot via placement-new.
+  /// master_seed/map/params must be the same on every call (one campus).
+  SessionPtr acquire(std::uint64_t id, std::uint64_t master_seed,
+                     const CampusMap& map, const SessionParams& params,
+                     std::uint64_t arrival_epoch, std::uint64_t dwell_epochs) {
+    if (!free_.empty()) {
+      Session* s = free_.back();
+      free_.pop_back();
+      s->reinit(id, arrival_epoch, dwell_epochs);
+      return SessionPtr{s, PoolDeleter{this}};
+    }
+    if (slabs_.empty() || slabs_.back().constructed == slab_sessions_) {
+      Slab slab;
+      slab.data = static_cast<Session*>(
+          ::operator new(sizeof(Session) * slab_sessions_,
+                         std::align_val_t{alignof(Session)}));
+      slabs_.push_back(slab);
+    }
+    Slab& slab = slabs_.back();
+    Session* s = new (slab.data + slab.constructed)
+        Session(id, master_seed, map, params, arrival_epoch, dwell_epochs);
+    ++slab.constructed;
+    return SessionPtr{s, PoolDeleter{this}};
+  }
+
+  /// Returns a session to the free list. The object stays constructed; its
+  /// buffers keep their capacity for the next acquire.
+  void release(Session* s) { free_.push_back(s); }
+
+  /// Sessions currently constructed (free or handed out).
+  std::size_t constructed() const {
+    std::size_t n = 0;
+    for (const Slab& slab : slabs_) n += slab.constructed;
+    return n;
+  }
+
+  /// Sessions on the free list awaiting reuse.
+  std::size_t free_count() const { return free_.size(); }
+
+ private:
+  struct Slab {
+    Session* data = nullptr;
+    std::size_t constructed = 0;  ///< prefix [0, constructed) holds objects
+  };
+
+  std::size_t slab_sessions_;
+  std::vector<Slab> slabs_;
+  std::vector<Session*> free_;
+};
+
+inline void PoolDeleter::operator()(Session* s) const {
+  if (s != nullptr && pool != nullptr) pool->release(s);
+}
+
+}  // namespace mobiwlan::campus

@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "util/fastmath.hpp"
+#include "util/prefetch.hpp"
 #include "util/simd.hpp"
 #include "util/units.hpp"
 
@@ -95,6 +96,29 @@ WirelessChannel::WirelessChannel(const ChannelConfig& config, Vec2 ap_pos,
                                  Rng rng)
     : config_(config), ap_pos_(ap_pos), trajectory_(std::move(trajectory)),
       rng_(rng) {
+  build_realization();
+}
+
+void WirelessChannel::reinit(Vec2 ap_pos, Rng rng) {
+  ap_pos_ = ap_pos;
+  rng_ = rng;
+  scatterers_.clear();
+  shadow_waves_.clear();
+  build_realization();
+}
+
+void WirelessChannel::prefetch() const {
+  // rng_ and the sampler's reads all live in the object + the two
+  // realization vectors. The data() loads depend on this-object lines that
+  // may themselves miss; out-of-order issue still starts them far ahead of
+  // the next sample's demand loads.
+  prefetch_lines(this, sizeof(WirelessChannel), /*for_write=*/true);
+  prefetch_lines(scatterers_.data(), scatterers_.size() * sizeof(Scatterer));
+  prefetch_lines(shadow_waves_.data(),
+                 shadow_waves_.size() * sizeof(ShadowWave));
+}
+
+void WirelessChannel::build_realization() {
   // Place scatterers around the midpoint of the initial AP-client segment —
   // walls, furniture and bystanders that contribute single-bounce paths.
   const Vec2 client0 = trajectory_->position(0.0);

@@ -152,6 +152,20 @@ class WirelessChannel {
   WirelessChannel(const ChannelConfig& config, Vec2 ap_pos,
                   std::shared_ptr<const Trajectory> trajectory, Rng rng);
 
+  /// Re-draws the channel realization in place for a new AP association:
+  /// bitwise the state a freshly constructed WirelessChannel{config(),
+  /// ap_pos, trajectory(), rng} would hold, but reusing the scatterer and
+  /// shadow-wave storage. The object's address — and therefore any
+  /// ChannelBatch slot pointing at it — stays valid, which is what lets a
+  /// pooled session roam between APs without touching its shard's batch.
+  void reinit(Vec2 ap_pos, Rng rng);
+
+  /// Prefetches the realization state the next sample will touch (the
+  /// object itself, scatterers, shadow waves). Purely a cache hint — no
+  /// observable effect; a batched caller issues it one link ahead so the
+  /// misses overlap the current link's synthesis.
+  void prefetch() const;
+
   /// Full observation (CSI + RSSI + SNR + ToF) at time t.
   ChannelSample sample(double t);
 
@@ -205,6 +219,10 @@ class WirelessChannel {
   // through the exact per-link draw sequence, so batched and per-link
   // sampling stay numerically equivalent (<= 1e-12) with identical RNG state.
   friend class ChannelBatch;
+
+  // Draws scatterers_ and shadow_waves_ from rng_ (shared by the
+  // constructor and reinit; clear()+refill keeps vector capacity).
+  void build_realization();
 
   struct Scatterer {
     Vec2 home;

@@ -9,6 +9,7 @@
 #include <numbers>
 
 #include "util/fastmath.hpp"
+#include "util/lane_math.hpp"
 #include "util/simd.hpp"
 #include "util/simd_math.hpp"
 #include "util/units.hpp"
@@ -72,27 +73,132 @@ PathChains seed_chains(cplx start, cplx step) {
   return pc;
 }
 
-void fill_base_scalar(const PathChains& pc, double* bre, double* bim,
-                      std::size_t n_sc) {
-  double br[4], bi[4];
-  for (int j = 0; j < 4; ++j) {
-    br[j] = pc.br[j];
-    bi[j] = pc.bi[j];
+// Scalar fp64 chain fill — bitwise mirror of fill_base_avx2 below: the same
+// four 4-lane block chains stepping by step^16, with every vector fmsub /
+// fmadd restated as an explicit std::fma. A non-AVX2 host therefore writes
+// the exact phasor bits an AVX2 host writes, which is what lets the campus
+// digests stay host-portable while the AVX2 kernels run where available.
+void fill_base_lane(const PathChains& pc, double* bre, double* bim,
+                    std::size_t n_sc) {
+  double cr[4][4], ci[4][4];
+  for (int l = 0; l < 4; ++l) {
+    cr[0][l] = pc.br[l];
+    ci[0][l] = pc.bi[l];
   }
-  std::size_t sc = 0;
-  for (; sc + 4 <= n_sc; sc += 4) {
-    for (int j = 0; j < 4; ++j) {
-      bre[sc + j] = br[j];
-      bim[sc + j] = bi[j];
-      const double nr = br[j] * pc.s4r - bi[j] * pc.s4i;
-      bi[j] = br[j] * pc.s4i + bi[j] * pc.s4r;
-      br[j] = nr;
+  for (int j = 1; j < 4; ++j) {
+    for (int l = 0; l < 4; ++l) {
+      // fmsub(a, s4r, b*s4i) / fmadd(a, s4i, b*s4r), lane-for-lane.
+      cr[j][l] = std::fma(cr[j - 1][l], pc.s4r, -(ci[j - 1][l] * pc.s4i));
+      ci[j][l] = std::fma(cr[j - 1][l], pc.s4i, ci[j - 1][l] * pc.s4r);
     }
   }
-  for (int j = 0; sc < n_sc; ++sc, ++j) {
-    bre[sc] = br[j];
-    bim[sc] = bi[j];
+  const double s8r = pc.s4r * pc.s4r - pc.s4i * pc.s4i;
+  const double s8i = 2.0 * pc.s4r * pc.s4i;
+  const double s16r = s8r * s8r - s8i * s8i;
+  const double s16i = 2.0 * s8r * s8i;
+
+  const std::size_t nbt = (n_sc + 3) / 4;  // blocks incl. a partial tail
+  std::size_t b = 0;
+  for (;;) {
+    const std::size_t m = std::min<std::size_t>(4, nbt - b);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::size_t sc = 4 * (b + j);
+      for (std::size_t l = 0; l < 4 && sc + l < n_sc; ++l) {
+        bre[sc + l] = cr[j][l];
+        bim[sc + l] = ci[j][l];
+      }
+    }
+    b += m;
+    if (b >= nbt) break;
+    for (int j = 0; j < 4; ++j) {
+      for (int l = 0; l < 4; ++l) {
+        const double nr = std::fma(cr[j][l], s16r, -(ci[j][l] * s16i));
+        ci[j][l] = std::fma(cr[j][l], s16i, ci[j][l] * s16r);
+        cr[j][l] = nr;
+      }
+    }
   }
+}
+
+// Scalar fp64 MAC — bitwise mirror of mac_block_avx2/fused_mac_avx2: same
+// 4-subcarrier slices, same register-block pair grouping (nb <= 6), the
+// accumulation restated as std::fma per lane, and the power reduced through
+// four positional partial sums folded in fixed lane order. The remainder
+// tail keeps the plain-multiply expressions the AVX2 kernel's own scalar
+// tail uses.
+void mac_block_lane(const double* base, const double* steer,
+                    std::size_t n_paths, std::size_t n_pairs,
+                    std::size_t pair0, std::size_t nb, std::size_t n_sc,
+                    cplx* raw, double& power) {
+  double pow_l[4] = {0.0, 0.0, 0.0, 0.0};
+  double acc_re[6][4], acc_im[6][4];
+  std::size_t sc = 0;
+  for (; sc + 4 <= n_sc; sc += 4) {
+    for (std::size_t k = 0; k < nb; ++k) {
+      for (int l = 0; l < 4; ++l) {
+        acc_re[k][l] = 0.0;
+        acc_im[k][l] = 0.0;
+      }
+    }
+    for (std::size_t p = 0; p < n_paths; ++p) {
+      const double* bplane = base + p * 2 * n_sc;
+      const double* st = steer + (p * n_pairs + pair0) * 2;
+      for (std::size_t k = 0; k < nb; ++k) {
+        const double sr = st[2 * k];
+        const double si = st[2 * k + 1];
+        for (int l = 0; l < 4; ++l) {
+          // fmadd(sr, b_re, fnmadd(si, b_im, acc)) lane-for-lane.
+          acc_re[k][l] = std::fma(
+              sr, bplane[sc + l], std::fma(-si, bplane[n_sc + sc + l],
+                                           acc_re[k][l]));
+          acc_im[k][l] = std::fma(
+              sr, bplane[n_sc + sc + l],
+              std::fma(si, bplane[sc + l], acc_im[k][l]));
+        }
+      }
+    }
+    for (std::size_t k = 0; k < nb; ++k) {
+      for (int l = 0; l < 4; ++l) {
+        raw[(pair0 + k) * n_sc + sc + l] = cplx{acc_re[k][l], acc_im[k][l]};
+        pow_l[l] = std::fma(acc_re[k][l], acc_re[k][l],
+                            std::fma(acc_im[k][l], acc_im[k][l], pow_l[l]));
+      }
+    }
+  }
+  power += pow_l[0] + pow_l[1] + pow_l[2] + pow_l[3];
+  for (; sc < n_sc; ++sc) {
+    for (std::size_t k = 0; k < nb; ++k) {
+      double are = 0.0, aim = 0.0;
+      for (std::size_t p = 0; p < n_paths; ++p) {
+        const double* bplane = base + p * 2 * n_sc;
+        const double sr = steer[(p * n_pairs + pair0 + k) * 2];
+        const double si = steer[(p * n_pairs + pair0 + k) * 2 + 1];
+        are += sr * bplane[sc] - si * bplane[n_sc + sc];
+        aim += sr * bplane[n_sc + sc] + si * bplane[sc];
+      }
+      raw[(pair0 + k) * n_sc + sc] = cplx{are, aim};
+      power += are * are + aim * aim;
+    }
+  }
+}
+
+void fused_mac_lane(const double* base, const double* steer,
+                    std::size_t n_paths, std::size_t n_pairs, std::size_t n_sc,
+                    cplx* raw, double& power) {
+  power = 0.0;
+  for (std::size_t pair0 = 0; pair0 < n_pairs; pair0 += 6)
+    mac_block_lane(base, steer, n_paths, n_pairs, pair0,
+                   std::min<std::size_t>(6, n_pairs - pair0), n_sc, raw,
+                   power);
+}
+
+// amp_lane — one lane of vamp_n: the log-distance amplitude pipeline with
+// the lane-exact log/exp2 mirrors and the vector's exact expression order.
+double amp_lane(double len, double extra, double base_db, double coef) {
+  const double l = std::max(len, 1.0);
+  const double lg = lanemath::log_pos(l) * kInvLn10;
+  const double db = (base_db - extra) - coef * lg;
+  return lanemath::exp2(db * kLog2Ten_Over20);
 }
 
 #if defined(__x86_64__)
@@ -102,7 +208,7 @@ void fill_base_scalar(const PathChains& pc, double* bre, double* bim,
 // split four ways, so the chain multiplies pipeline. Association differs
 // from the scalar chain by a handful of rounding steps (~1e-15 relative),
 // inside the batch's 1e-12 equivalence budget.
-__attribute__((target("avx2,fma"))) void fill_base_avx2(const PathChains& pc,
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void fill_base_avx2(const PathChains& pc,
                                                         double* bre,
                                                         double* bim,
                                                         std::size_t n_sc) {
@@ -163,7 +269,7 @@ __attribute__((target("avx2,fma"))) void fill_base_avx2(const PathChains& pc,
 // bitwise. The wideband power accumulates during the store (order differs
 // from CsiMatrix::mean_power; it only feeds the noise variance).
 template <int NB>
-__attribute__((target("avx2,fma"))) void mac_block_avx2(
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void mac_block_avx2(
     const double* base, const double* steer, std::size_t n_paths,
     std::size_t n_pairs, std::size_t pair0, std::size_t n_sc, cplx* raw,
     double& power) {
@@ -225,7 +331,7 @@ __attribute__((target("avx2,fma"))) void mac_block_avx2(
   }
 }
 
-__attribute__((target("avx2,fma"))) void fused_mac_avx2(
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void fused_mac_avx2(
     const double* base, const double* steer, std::size_t n_paths,
     std::size_t n_pairs, std::size_t n_sc, cplx* raw, double& power) {
   power = 0.0;
@@ -260,7 +366,7 @@ __attribute__((target("avx2,fma"))) void fused_mac_avx2(
 }
 
 // Staged 4-lane helpers over lane-padded arrays (n a multiple of 4).
-__attribute__((target("avx2,fma"))) void vsincos_n(const double* x,
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void vsincos_n(const double* x,
                                                    std::size_t n, double* s,
                                                    double* c) {
   for (std::size_t i = 0; i < n; i += 4) {
@@ -271,7 +377,7 @@ __attribute__((target("avx2,fma"))) void vsincos_n(const double* x,
   }
 }
 
-__attribute__((target("avx2,fma"))) void vsqrt_n(double* x, std::size_t n) {
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void vsqrt_n(double* x, std::size_t n) {
   for (std::size_t i = 0; i < n; i += 4)
     _mm256_storeu_pd(x + i, _mm256_sqrt_pd(_mm256_loadu_pd(x + i)));
 }
@@ -279,7 +385,7 @@ __attribute__((target("avx2,fma"))) void vsqrt_n(double* x, std::size_t n) {
 // amp[i] = 10^((base_db - extra[i] - coef*log10(max(len[i], 1))) / 20) — the
 // whole log-distance amplitude pipeline in one pass (port of
 // WirelessChannel::path_amplitude via log_pos + exp2).
-__attribute__((target("avx2,fma"))) void vamp_n(const double* len,
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void vamp_n(const double* len,
                                                 const double* extra,
                                                 std::size_t n, double base_db,
                                                 double coef, double* amp) {
@@ -333,7 +439,7 @@ float reduce_phase_f32(double x) {
   return static_cast<float>(x);
 }
 
-// Scalar fp32 chain fill: the float port of fill_base_scalar, seeded from
+// Scalar fp32 chain fill: the float port of the fp64 chain fill, seeded from
 // the double chain seeds (so the scalar and vector fp32 tiers differ only
 // in recurrence association, a few ulp_f32).
 struct PathChainsF32 {
@@ -385,7 +491,7 @@ void fill_base_scalar_f32(const PathChainsF32& pc, float* bre, float* bim,
 // complex multiply by step^4, one block chain stepping step^8. At most
 // ceil(n_sc/8) - 1 fp32 chain steps, so rounding growth stays at a few
 // ulp_f32.
-__attribute__((target("avx2,fma"))) void seed_lanes8_f32(cplx start, cplx step,
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void seed_lanes8_f32(cplx start, cplx step,
                                                          __m256& c_re,
                                                          __m256& c_im) {
   alignas(16) float sr[4], si[4];
@@ -407,7 +513,7 @@ __attribute__((target("avx2,fma"))) void seed_lanes8_f32(cplx start, cplx step,
   c_im = _mm256_set_m128(b_im, a_im);
 }
 
-__attribute__((target("avx2,fma"))) void fill_base_avx2_f32(
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void fill_base_avx2_f32(
     cplx start, cplx step, float* bre, float* bim, std::size_t n_sc) {
   __m256 c_re, c_im;
   seed_lanes8_f32(start, step, c_re, c_im);
@@ -439,7 +545,7 @@ __attribute__((target("avx2,fma"))) void fill_base_avx2_f32(
 
 // 16-lane fp32 recurrence (AVX-512): seeds start*step^j (j = 0..15) in
 // double, one block chain stepping step^16.
-__attribute__((target("avx2,fma,avx512f,avx512dq,avx512vl"))) void
+__attribute__((target("avx2,fma,avx512f,avx512dq,avx512vl"), optimize("fp-contract=off"))) void
 fill_base_avx512_f32(cplx start, cplx step, float* bre, float* bim,
                      std::size_t n_sc) {
   // Lanes 0..7 seeded like the AVX2 kernel (4 serial double multiplies plus
@@ -488,7 +594,7 @@ fill_base_avx512_f32(cplx start, cplx step, float* bre, float* bim,
 // consumers see the same cplx layout on every tier. Per-lane power partials
 // stay fp32, the horizontal reduction is double.
 template <int NB>
-__attribute__((target("avx2,fma"))) void mac_block_avx2_f32(
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void mac_block_avx2_f32(
     const float* base, const float* steer, std::size_t n_paths,
     std::size_t n_pairs, std::size_t pair0, std::size_t n_sc, cplx* raw,
     double& power) {
@@ -564,7 +670,7 @@ __attribute__((target("avx2,fma"))) void mac_block_avx2_f32(
   }
 }
 
-__attribute__((target("avx2,fma"))) void fused_mac_avx2_f32(
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void fused_mac_avx2_f32(
     const float* base, const float* steer, std::size_t n_paths,
     std::size_t n_pairs, std::size_t n_sc, cplx* raw, double& power) {
   power = 0.0;
@@ -601,7 +707,7 @@ __attribute__((target("avx2,fma"))) void fused_mac_avx2_f32(
 // fp32 MAC, 16 subcarriers per slice (AVX-512). The interleaved double
 // store uses permutex2var on the widened halves.
 template <int NB>
-__attribute__((target("avx512f,avx512dq,avx512vl"))) void mac_block_avx512_f32(
+__attribute__((target("avx512f,avx512dq,avx512vl"), optimize("fp-contract=off"))) void mac_block_avx512_f32(
     const float* base, const float* steer, std::size_t n_paths,
     std::size_t n_pairs, std::size_t pair0, std::size_t n_sc, cplx* raw,
     double& power) {
@@ -680,7 +786,7 @@ __attribute__((target("avx512f,avx512dq,avx512vl"))) void mac_block_avx512_f32(
   }
 }
 
-__attribute__((target("avx512f,avx512dq,avx512vl"))) void fused_mac_avx512_f32(
+__attribute__((target("avx512f,avx512dq,avx512vl"), optimize("fp-contract=off"))) void fused_mac_avx512_f32(
     const float* base, const float* steer, std::size_t n_paths,
     std::size_t n_pairs, std::size_t n_sc, cplx* raw, double& power) {
   power = 0.0;
@@ -715,7 +821,7 @@ __attribute__((target("avx512f,avx512dq,avx512vl"))) void fused_mac_avx512_f32(
 }
 
 // Staged fp32 sincos passes over lane-padded arrays.
-__attribute__((target("avx2,fma"))) void vsincos_n_f8(const float* x,
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void vsincos_n_f8(const float* x,
                                                       std::size_t n, float* s,
                                                       float* c) {
   for (std::size_t i = 0; i < n; i += 8) {
@@ -726,7 +832,7 @@ __attribute__((target("avx2,fma"))) void vsincos_n_f8(const float* x,
   }
 }
 
-__attribute__((target("avx512f,avx512dq,avx512vl"))) void vsincos_n_f16(
+__attribute__((target("avx512f,avx512dq,avx512vl"), optimize("fp-contract=off"))) void vsincos_n_f16(
     const float* x, std::size_t n, float* s, float* c) {
   for (std::size_t i = 0; i < n; i += 16) {
     __m512 vs, vc;
@@ -755,13 +861,15 @@ struct ChannelBatch::SynthSpec {
   }
 };
 
-// Scalar geometry pass (MOBIWLAN_FORCE_SCALAR / non-AVX2 hosts, and the
-// bail-out for oscillator arguments beyond the fastmath range). Mirrors
+// Wide-argument geometry pass: the shared bail-out when any oscillator
+// argument exceeds the fastmath range (huge t or client coordinates). Both
+// tiers funnel here on exactly the same inputs (same max-|arg| check), so
+// the libm fallback stays tier-invariant by construction. Mirrors
 // WirelessChannel::path_geometries_into with the extended-range fastmath
 // kernels in place of libm (sin, hypot, log10, pow): every value agrees to
 // well under 1e-12 relative with the per-link pass.
-void ChannelBatch::geometries_scalar(const WirelessChannel& ch, double t,
-                                     Scratch& scratch) const {
+void ChannelBatch::geometries_wide(const WirelessChannel& ch, double t,
+                                   Scratch& scratch) {
   const ChannelConfig& cfg = ch.config_;
   std::vector<WirelessChannel::PathGeometry>& paths = scratch.geom.paths;
   paths.clear();
@@ -834,8 +942,125 @@ void ChannelBatch::geometries_scalar(const WirelessChannel& ch, double t,
   }
 }
 
+// Scalar geometry pass — bitwise mirror of the staged AVX2 pass below. The
+// staging order, the lane kernels (lanemath::sincos / log_pos / exp2 == one
+// lane of vsincos / vlog_pos / vexp2), the shadow-sum order and the
+// range-check that routes to geometries_wide are all identical, so a
+// non-AVX2 host produces the same geometry bits as an AVX2 host.
+void ChannelBatch::geometries_scalar(const WirelessChannel& ch, double t,
+                                     Scratch& s) {
+  const ChannelConfig& cfg = ch.config_;
+  const std::size_t n_scat = ch.scatterers_.size();
+  const std::size_t n_waves =
+      (cfg.shadow_sigma_db != 0.0) ? ch.shadow_waves_.size() : 0;
+  const Vec2 client = ch.trajectory_->position(t);
+
+  // Stage 1: oscillator arguments + the same wide-argument bail as AVX2.
+  const std::size_t n_osc = n_waves + n_scat;
+  s.arg.resize(n_osc);
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < n_waves; ++i) {
+    s.arg[i] = ch.shadow_waves_[i].k.dot(client) + ch.shadow_waves_[i].phase;
+    max_abs = std::max(max_abs, std::abs(s.arg[i]));
+  }
+  for (std::size_t j = 0; j < n_scat; ++j) {
+    const auto& sc = ch.scatterers_[j];
+    s.arg[n_waves + j] = 2.0 * kPi * sc.motion_freq_hz * t + sc.motion_phase;
+    max_abs = std::max(max_abs, std::abs(s.arg[n_waves + j]));
+  }
+  if (max_abs > fastmath::kSincosWideMaxArg) [[unlikely]] {
+    geometries_wide(ch, t, s);
+    return;
+  }
+  s.sinv.resize(n_osc);
+  for (std::size_t i = 0; i < n_osc; ++i) {
+    double c_unused;
+    lanemath::sincos(s.arg[i], s.sinv[i], c_unused);
+  }
+  const double* mover_sin = s.sinv.data() + n_waves;
+
+  double shadow = 0.0;
+  if (n_waves != 0) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n_waves; ++i) sum += s.sinv[i];
+    shadow = cfg.shadow_sigma_db * sum /
+             std::sqrt(static_cast<double>(n_waves) / 2.0);
+  }
+  double blockage = 0.0;
+  for (std::size_t j = 0; j < n_scat; ++j) {
+    const double depth = ch.scatterers_[j].blockage_depth_db;
+    if (depth == 0.0) continue;
+    const double pulse = std::max(0.0, mover_sin[j]);
+    blockage += depth * pulse * pulse * pulse * pulse;
+  }
+
+  // Stage 2: leg squared lengths, then sqrt (correctly rounded on both
+  // tiers, so a plain std::sqrt matches _mm256_sqrt_pd exactly).
+  const std::size_t n_legs = 1 + 2 * n_scat;
+  s.len.resize(n_legs);
+  s.dxs.resize(n_legs);
+  {
+    const double dx = client.x - ch.ap_pos_.x;
+    const double dy = client.y - ch.ap_pos_.y;
+    s.len[0] = dx * dx + dy * dy;
+    s.dxs[0] = dx;
+  }
+  for (std::size_t j = 0; j < n_scat; ++j) {
+    const auto& sc = ch.scatterers_[j];
+    Vec2 sp = sc.home;
+    if (sc.motion_amplitude_m != 0.0) {
+      const double sway = sc.motion_amplitude_m * mover_sin[j];
+      sp = sc.home + sc.motion_dir * sway;
+    }
+    const double ox = sp.x - ch.ap_pos_.x;
+    const double oy = sp.y - ch.ap_pos_.y;
+    const double ix = sp.x - client.x;
+    const double iy = sp.y - client.y;
+    s.len[1 + 2 * j] = ox * ox + oy * oy;
+    s.dxs[1 + 2 * j] = ox;
+    s.len[2 + 2 * j] = ix * ix + iy * iy;
+    s.dxs[2 + 2 * j] = ix;
+  }
+  for (std::size_t i = 0; i < n_legs; ++i) s.len[i] = std::sqrt(s.len[i]);
+
+  // Stage 3: per-path lengths / extra losses and the amplitude pipeline
+  // (one lane of vamp_n per path).
+  const std::size_t n_paths = n_scat + 1;
+  const double base_db = cfg.tx_power_dbm - cfg.ref_loss_db;
+  const double coef = 10.0 * cfg.path_loss_exponent;
+  const double los_len = s.len[0];
+  std::vector<WirelessChannel::PathGeometry>& paths = s.geom.paths;
+  paths.clear();
+  paths.reserve(n_paths);
+  {
+    WirelessChannel::PathGeometry los;
+    los.length_m = los_len;
+    const double extra =
+        shadow + cfg.los_obstruction_db_per_m * std::max(0.0, los_len - 5.0) +
+        blockage;
+    los.amplitude = amp_lane(los_len, extra, base_db, coef);
+    los.phase0 = 0.0;
+    los.cos_aod = los_len > 0.0 ? s.dxs[0] / los_len : 1.0;
+    los.cos_aoa = los_len > 0.0 ? -s.dxs[0] / los_len : 1.0;
+    paths.push_back(los);
+  }
+  for (std::size_t j = 0; j < n_scat; ++j) {
+    WirelessChannel::PathGeometry p;
+    const double out_len = s.len[1 + 2 * j];
+    const double in_len = s.len[2 + 2 * j];
+    p.length_m = out_len + in_len;
+    p.amplitude = amp_lane(
+        p.length_m, ch.scatterers_[j].reflection_loss_db + shadow, base_db,
+        coef);
+    p.phase0 = ch.scatterers_[j].reflection_phase;
+    p.cos_aod = out_len > 0.0 ? s.dxs[1 + 2 * j] / out_len : 1.0;
+    p.cos_aoa = in_len > 0.0 ? s.dxs[2 + 2 * j] / in_len : 1.0;
+    paths.push_back(p);
+  }
+}
+
 void ChannelBatch::geometries(const WirelessChannel& ch, double t,
-                              const SynthSpec& spec, Scratch& s) const {
+                              const SynthSpec& spec, Scratch& s) {
 #if defined(__x86_64__)
   if (!spec.avx2) {
     geometries_scalar(ch, t, s);
@@ -853,21 +1078,30 @@ void ChannelBatch::geometries(const WirelessChannel& ch, double t,
       (cfg.shadow_sigma_db != 0.0) ? ch.shadow_waves_.size() : 0;
   const Vec2 client = ch.trajectory_->position(t);
 
+  // A realization with no moving/blocking scatterer (every campus channel:
+  // structural reflectors only) consumes no pacing sine at all — its
+  // oscillator args were exactly 0.0 and read by nobody, so dropping the
+  // lanes changes neither the wide-fallback decision (zeros never set
+  // max_abs) nor any consumed bit.
+  bool movers = false;
+  for (const auto& sc : ch.scatterers_)
+    movers |= (sc.motion_amplitude_m != 0.0 || sc.blockage_depth_db != 0.0);
+
   // Stage 1: shadow-field and pacing oscillator arguments.
-  const std::size_t n_osc = n_waves + n_scat;
+  const std::size_t n_osc = n_waves + (movers ? n_scat : 0);
   s.arg.resize(pad4(n_osc));
   double max_abs = 0.0;
   for (std::size_t i = 0; i < n_waves; ++i) {
     s.arg[i] = ch.shadow_waves_[i].k.dot(client) + ch.shadow_waves_[i].phase;
     max_abs = std::max(max_abs, std::abs(s.arg[i]));
   }
-  for (std::size_t j = 0; j < n_scat; ++j) {
+  for (std::size_t j = 0; movers && j < n_scat; ++j) {
     const auto& sc = ch.scatterers_[j];
     s.arg[n_waves + j] = 2.0 * kPi * sc.motion_freq_hz * t + sc.motion_phase;
     max_abs = std::max(max_abs, std::abs(s.arg[n_waves + j]));
   }
   if (max_abs > fastmath::kSincosWideMaxArg) [[unlikely]] {
-    geometries_scalar(ch, t, s);
+    geometries_wide(ch, t, s);
     return;
   }
   for (std::size_t i = n_osc; i < s.arg.size(); ++i) s.arg[i] = 0.0;
@@ -979,7 +1213,7 @@ void ChannelBatch::geometries(const WirelessChannel& ch, double t,
 
 void ChannelBatch::synthesize(const WirelessChannel& ch, const SynthSpec& spec,
                               Scratch& scratch, CsiMatrix& out,
-                              double& power_mw) const {
+                              double& power_mw) {
   if (spec.fp32) {
     synthesize_f32(ch, spec, scratch, out, power_mw);
     return;
@@ -1022,13 +1256,21 @@ void ChannelBatch::synthesize(const WirelessChannel& ch, const SynthSpec& spec,
   const bool vec = false;
 #endif
   if (!vec) {
-    for (std::size_t i = 0; i < 4 * n_paths; ++i) {
-      const double x = scratch.arg[i];
-      if (std::abs(x) > fastmath::kSincosWideMaxArg) [[unlikely]] {
-        scratch.sinv[i] = std::sin(x);
-        scratch.cosv[i] = std::cos(x);
-      } else {
-        fastmath::sincos_wide(x, scratch.sinv[i], scratch.cosv[i]);
+    if (wide_ok) {
+      // Bitwise mirror of the vsincos staging pass above.
+      for (std::size_t i = 0; i < 4 * n_paths; ++i)
+        lanemath::sincos(scratch.arg[i], scratch.sinv[i], scratch.cosv[i]);
+    } else {
+      // Out-of-range start phase: both tiers take this libm-backed loop
+      // (the AVX2 tier also has vec == false here), so it stays invariant.
+      for (std::size_t i = 0; i < 4 * n_paths; ++i) {
+        const double x = scratch.arg[i];
+        if (std::abs(x) > fastmath::kSincosWideMaxArg) [[unlikely]] {
+          scratch.sinv[i] = std::sin(x);
+          scratch.cosv[i] = std::cos(x);
+        } else {
+          fastmath::sincos_wide(x, scratch.sinv[i], scratch.cosv[i]);
+        }
       }
     }
   }
@@ -1044,9 +1286,9 @@ void ChannelBatch::synthesize(const WirelessChannel& ch, const SynthSpec& spec,
     if (spec.avx2)
       fill_base_avx2(pc, bplane, bplane + n_sc, n_sc);
     else
-      fill_base_scalar(pc, bplane, bplane + n_sc, n_sc);
+      fill_base_lane(pc, bplane, bplane + n_sc, n_sc);
 #else
-    fill_base_scalar(pc, bplane, bplane + n_sc, n_sc);
+    fill_base_lane(pc, bplane, bplane + n_sc, n_sc);
 #endif
 
     // ULA steering phasor power chains, one row of the steering table per
@@ -1075,22 +1317,11 @@ void ChannelBatch::synthesize(const WirelessChannel& ch, const SynthSpec& spec,
     return;
   }
 #endif
-  // Scalar fused MAC: per element the accumulation over paths uses the
-  // exact expressions of the per-link mac_pair_scalar kernel, in path order.
-  for (std::size_t pair = 0; pair < n_pairs; ++pair) {
-    for (std::size_t sc = 0; sc < n_sc; ++sc) {
-      double are = 0.0, aim = 0.0;
-      for (std::size_t p = 0; p < n_paths; ++p) {
-        const double* bplane = scratch.base.data() + p * 2 * n_sc;
-        const double sr = scratch.steer[(p * n_pairs + pair) * 2];
-        const double si = scratch.steer[(p * n_pairs + pair) * 2 + 1];
-        are += sr * bplane[sc] - si * bplane[n_sc + sc];
-        aim += sr * bplane[n_sc + sc] + si * bplane[sc];
-      }
-      out.raw()[pair * n_sc + sc] = cplx{are, aim};
-      power_sum += are * are + aim * aim;
-    }
-  }
+  // Scalar fused MAC — bitwise mirror of fused_mac_avx2 (same slice /
+  // register-block structure, std::fma accumulation, fixed-order power
+  // reduction).
+  fused_mac_lane(scratch.base.data(), scratch.steer.data(), n_paths, n_pairs,
+                 n_sc, out.raw().data(), power_sum);
   power_mw = power_sum;
 }
 
@@ -1105,7 +1336,7 @@ void ChannelBatch::synthesize(const WirelessChannel& ch, const SynthSpec& spec,
 // feeding the noise variance reduces in double.
 void ChannelBatch::synthesize_f32(const WirelessChannel& ch,
                                   const SynthSpec& spec, Scratch& scratch,
-                                  CsiMatrix& out, double& power_mw) const {
+                                  CsiMatrix& out, double& power_mw) {
   const ChannelConfig& cfg = ch.config_;
   const std::size_t n_sc = cfg.n_subcarriers;
   const std::size_t n_pairs = cfg.n_tx * cfg.n_rx;
@@ -1267,7 +1498,19 @@ void ChannelBatch::sample_range(double t, std::size_t begin, std::size_t end,
                                 ChannelSample* out, Scratch& scratch) {
   const SynthSpec spec = SynthSpec::resolve();
   for (std::size_t i = begin; i < end; ++i)
-    sample_one(*links_[i], spec, t, out[i], scratch);
+    if (links_[i] != nullptr) sample_one(*links_[i], spec, t, out[i], scratch);
+}
+
+void ChannelBatch::sample_slot(double t, std::size_t slot, ChannelSample& out,
+                               Scratch& scratch) {
+  const SynthSpec spec = SynthSpec::resolve();
+  sample_one(*links_[slot], spec, t, out, scratch);
+}
+
+void ChannelBatch::sample_link(WirelessChannel& ch, double t,
+                               ChannelSample& out, Scratch& scratch) {
+  const SynthSpec spec = SynthSpec::resolve();
+  sample_one(ch, spec, t, out, scratch);
 }
 
 void ChannelBatch::csi_into(std::size_t i, double t, CsiMatrix& out,
@@ -1302,6 +1545,10 @@ void ChannelBatch::rssi_all(double t, Scratch& scratch) {
   const SynthSpec spec = SynthSpec::resolve();
   scratch.rssi.resize(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i] == nullptr) {
+      scratch.rssi[i] = -1e9;  // holes never win strongest_link
+      continue;
+    }
     WirelessChannel& ch = *links_[i];
     geometries(ch, t, spec, scratch);
     const double raw =
@@ -1314,7 +1561,7 @@ void ChannelBatch::rssi_all(double t, Scratch& scratch) {
 
 void ChannelBatch::tof_all(double t, double* out) {
   for (std::size_t i = 0; i < links_.size(); ++i)
-    out[i] = links_[i]->tof_cycles(t);
+    if (links_[i] != nullptr) out[i] = links_[i]->tof_cycles(t);
 }
 
 std::size_t ChannelBatch::strongest_link(double t, Scratch& scratch) {

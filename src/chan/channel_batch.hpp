@@ -76,24 +76,77 @@ class ChannelBatch {
 
   ChannelBatch() = default;
 
-  /// Registers a link. The channel must outlive the batch; construction
-  /// order fixes the link index used by the range calls.
-  void add_link(WirelessChannel* channel) { links_.push_back(channel); }
+  /// Registers a link and returns its slot. Slots are *stable*: a link
+  /// keeps its slot until remove_link, and new links fill the most
+  /// recently freed hole first (LIFO), else append. The channel must
+  /// outlive its membership. Per-link sampling is independent, so slot
+  /// order never affects any link's output — only which out[] element it
+  /// lands in.
+  std::size_t add_link(WirelessChannel* channel) {
+    if (!free_slots_.empty()) {
+      const std::size_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      links_[slot] = channel;
+      return slot;
+    }
+    links_.push_back(channel);
+    // Every slot can become a hole, so growing the hole list alongside the
+    // slot vector (amortized by capacity, O(log n) reallocations) makes
+    // remove_link allocation-free — callers punch holes from hot loops.
+    if (free_slots_.capacity() < links_.capacity())
+      free_slots_.reserve(links_.capacity());
+    return links_.size() - 1;
+  }
 
-  /// Forgets every link, keeping the registration buffer — callers that
-  /// rebuild the batch each epoch (the campus shards) re-add links without
-  /// re-allocating.
-  void clear() { links_.clear(); }
+  /// Frees a slot, leaving a hole the range calls skip. The slot is
+  /// recycled by a later add_link.
+  void remove_link(std::size_t slot) {
+    links_[slot] = nullptr;
+    free_slots_.push_back(slot);
+  }
 
+  /// Forgets every link and hole, keeping the registration buffers.
+  void clear() {
+    links_.clear();
+    free_slots_.clear();
+  }
+
+  /// Slot count, holes included (the bound for the range calls).
   std::size_t size() const { return links_.size(); }
+  /// Links registered (slots minus holes).
+  std::size_t occupied() const { return links_.size() - free_slots_.size(); }
+  bool is_hole(std::size_t i) const { return links_[i] == nullptr; }
   WirelessChannel& link(std::size_t i) { return *links_[i]; }
   const WirelessChannel& link(std::size_t i) const { return *links_[i]; }
 
   /// Full observations (CSI + RSSI + SNR + ToF) for links [begin, end) at
-  /// time t, into out[begin..end). Draw order per link matches
+  /// time t, into out[begin..end). Holes are skipped (their out element is
+  /// left untouched). Draw order per link matches
   /// WirelessChannel::sample_into. Allocation-free in steady state.
   void sample_range(double t, std::size_t begin, std::size_t end,
                     ChannelSample* out, Scratch& scratch);
+
+  /// One slot's full observation — the same kernels and bits sample_range
+  /// applies to that slot. Lets a memory-bound caller interleave sampling
+  /// with per-link consumption in one pass, so each link's working set is
+  /// touched exactly once per epoch. `slot` must not be a hole.
+  void sample_slot(double t, std::size_t slot, ChannelSample& out,
+                   Scratch& scratch);
+
+  /// Cache-hint for the link in `slot` (hole-safe no-op): issue it one slot
+  /// ahead of sample_slot so the link's realization lines stream in under
+  /// the current slot's synthesis.
+  void prefetch_slot(std::size_t slot) const {
+    if (const WirelessChannel* ch = links_[slot]) ch->prefetch();
+  }
+
+  /// One full observation of a link that is not (or not yet) registered
+  /// with any batch, through the *batched* kernels — same bits as a
+  /// sample_range call would produce for it. The campus uses this for the
+  /// association burst that precedes a session's first batched epoch, so
+  /// its digests never mix per-link and batched kernel bits.
+  static void sample_link(WirelessChannel& ch, double t, ChannelSample& out,
+                          Scratch& scratch);
 
   /// Measured (noisy) CSI for one link — the classifier cadence entry point.
   void csi_into(std::size_t i, double t, CsiMatrix& out, Scratch& scratch);
@@ -118,19 +171,24 @@ class ChannelBatch {
  private:
   struct SynthSpec;  // resolved kernel + layout for one range call
 
-  void geometries(const WirelessChannel& ch, double t, const SynthSpec& spec,
-                  Scratch& scratch) const;
-  void geometries_scalar(const WirelessChannel& ch, double t,
-                         Scratch& scratch) const;
-  void synthesize(const WirelessChannel& ch, const SynthSpec& spec,
-                  Scratch& scratch, CsiMatrix& out, double& power_mw) const;
-  void synthesize_f32(const WirelessChannel& ch, const SynthSpec& spec,
-                      Scratch& scratch, CsiMatrix& out,
-                      double& power_mw) const;
-  void sample_one(WirelessChannel& ch, const SynthSpec& spec, double t,
-                  ChannelSample& out, Scratch& scratch);
+  // The kernels are static: they touch only the passed link and scratch,
+  // which is what lets sample_link serve unregistered links.
+  static void geometries(const WirelessChannel& ch, double t,
+                         const SynthSpec& spec, Scratch& scratch);
+  static void geometries_wide(const WirelessChannel& ch, double t,
+                              Scratch& scratch);
+  static void geometries_scalar(const WirelessChannel& ch, double t,
+                                Scratch& scratch);
+  static void synthesize(const WirelessChannel& ch, const SynthSpec& spec,
+                         Scratch& scratch, CsiMatrix& out, double& power_mw);
+  static void synthesize_f32(const WirelessChannel& ch, const SynthSpec& spec,
+                             Scratch& scratch, CsiMatrix& out,
+                             double& power_mw);
+  static void sample_one(WirelessChannel& ch, const SynthSpec& spec, double t,
+                         ChannelSample& out, Scratch& scratch);
 
   std::vector<WirelessChannel*> links_;
+  std::vector<std::size_t> free_slots_;  // LIFO recycled holes
 };
 
 }  // namespace mobiwlan

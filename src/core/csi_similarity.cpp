@@ -44,71 +44,56 @@ namespace {
 // Fixed-order horizontal sum: lane0 + lane1 + lane2 + lane3. The order is
 // part of the kernel's numerical contract (both Pearson arguments reduce
 // identically, keeping the similarity exactly argument-symmetric).
-__attribute__((target("avx2,fma"))) double hsum(__m256d v) {
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) double hsum(__m256d v) {
   alignas(32) double lanes[4];
   _mm256_store_pd(lanes, v);
   return lanes[0] + lanes[1] + lanes[2] + lanes[3];
 }
 
-// Eq. (1) for one antenna pair, fused: magnitudes and the two Pearson
-// passes run 4 subcarriers at a time, with the magnitude planes staged in
-// the caller's scratch buffers. Numerics: magnitudes use sqrt(re^2 + im^2)
-// (vs std::abs's overflow-safe hypot — equal to ~1 ulp at CSI magnitudes),
-// and the sums accumulate 4 partial lanes reduced in fixed lane order, so
-// the result matches the scalar path to ~1e-14 relative rather than
-// bitwise. Swapping the arguments performs the identical arithmetic
-// (products commute, reductions are positionally fixed): exact symmetry,
-// the same contract the scalar path has.
-__attribute__((target("avx2,fma"))) double pair_similarity_avx2(
-    const cplx* pa, const cplx* pb, std::size_t n_sc, double* mag_a,
-    double* mag_b) {
-  const double n = static_cast<double>(n_sc);
-
-  // Pass 1: magnitudes + sums.
-  __m256d sum_a = _mm256_setzero_pd();
-  __m256d sum_b = _mm256_setzero_pd();
+// Magnitude pass of Eq. (1) for one antenna-pair plane, 4 subcarriers at a
+// time: writes |H_i| into mag[0..n_sc) and returns the mean. Numerics:
+// magnitudes use sqrt(re^2 + im^2) (vs std::abs's overflow-safe hypot —
+// equal to ~1 ulp at CSI magnitudes), and the sum accumulates 4 positional
+// partial lanes reduced in fixed lane order plus a plain-arithmetic sub-4
+// tail.
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) double
+magnitude_pass_avx2(const cplx* p, std::size_t n_sc, double* mag) {
+  __m256d sum = _mm256_setzero_pd();
   std::size_t sc = 0;
   for (; sc + 4 <= n_sc; sc += 4) {
-    const double* qa = reinterpret_cast<const double*>(pa + sc);
-    const double* qb = reinterpret_cast<const double*>(pb + sc);
+    const double* q = reinterpret_cast<const double*>(p + sc);
     // Deinterleave [re0 im0 re1 im1 | re2 im2 re3 im3] into re/im planes
     // in subcarrier order.
-    const __m256d a0 = _mm256_loadu_pd(qa);
-    const __m256d a1 = _mm256_loadu_pd(qa + 4);
-    const __m256d are = _mm256_permute4x64_pd(_mm256_unpacklo_pd(a0, a1), 0xd8);
-    const __m256d aim = _mm256_permute4x64_pd(_mm256_unpackhi_pd(a0, a1), 0xd8);
-    const __m256d ma = _mm256_sqrt_pd(
-        _mm256_fmadd_pd(are, are, _mm256_mul_pd(aim, aim)));
-    const __m256d b0 = _mm256_loadu_pd(qb);
-    const __m256d b1 = _mm256_loadu_pd(qb + 4);
-    const __m256d bre = _mm256_permute4x64_pd(_mm256_unpacklo_pd(b0, b1), 0xd8);
-    const __m256d bim = _mm256_permute4x64_pd(_mm256_unpackhi_pd(b0, b1), 0xd8);
-    const __m256d mb = _mm256_sqrt_pd(
-        _mm256_fmadd_pd(bre, bre, _mm256_mul_pd(bim, bim)));
-    _mm256_storeu_pd(mag_a + sc, ma);
-    _mm256_storeu_pd(mag_b + sc, mb);
-    sum_a = _mm256_add_pd(sum_a, ma);
-    sum_b = _mm256_add_pd(sum_b, mb);
+    const __m256d v0 = _mm256_loadu_pd(q);
+    const __m256d v1 = _mm256_loadu_pd(q + 4);
+    const __m256d re = _mm256_permute4x64_pd(_mm256_unpacklo_pd(v0, v1), 0xd8);
+    const __m256d im = _mm256_permute4x64_pd(_mm256_unpackhi_pd(v0, v1), 0xd8);
+    const __m256d m =
+        _mm256_sqrt_pd(_mm256_fmadd_pd(re, re, _mm256_mul_pd(im, im)));
+    _mm256_storeu_pd(mag + sc, m);
+    sum = _mm256_add_pd(sum, m);
   }
-  double tail_a = 0.0, tail_b = 0.0;
+  double tail = 0.0;
   for (; sc < n_sc; ++sc) {
-    const double ra = pa[sc].real(), ia = pa[sc].imag();
-    const double rb = pb[sc].real(), ib = pb[sc].imag();
-    mag_a[sc] = std::sqrt(ra * ra + ia * ia);
-    mag_b[sc] = std::sqrt(rb * rb + ib * ib);
-    tail_a += mag_a[sc];
-    tail_b += mag_b[sc];
+    const double re = p[sc].real(), im = p[sc].imag();
+    mag[sc] = std::sqrt(re * re + im * im);
+    tail += mag[sc];
   }
-  const double mean_a = (hsum(sum_a) + tail_a) / n;
-  const double mean_b = (hsum(sum_b) + tail_b) / n;
+  return (hsum(sum) + tail) / static_cast<double>(n_sc);
+}
 
-  // Pass 2: covariance and variances about the means.
+// Correlation pass of Eq. (1): Pearson of two magnitude planes about their
+// precomputed means. The reductions are positionally fixed, so swapping the
+// arguments performs identical arithmetic — exact symmetry.
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) double
+correlation_pass_avx2(const double* mag_a, double mean_a, const double* mag_b,
+                      double mean_b, std::size_t n_sc) {
   const __m256d va_mean = _mm256_set1_pd(mean_a);
   const __m256d vb_mean = _mm256_set1_pd(mean_b);
   __m256d cov4 = _mm256_setzero_pd();
   __m256d var_a4 = _mm256_setzero_pd();
   __m256d var_b4 = _mm256_setzero_pd();
-  sc = 0;
+  std::size_t sc = 0;
   for (; sc + 4 <= n_sc; sc += 4) {
     const __m256d da = _mm256_sub_pd(_mm256_loadu_pd(mag_a + sc), va_mean);
     const __m256d db = _mm256_sub_pd(_mm256_loadu_pd(mag_b + sc), vb_mean);
@@ -132,22 +117,126 @@ __attribute__((target("avx2,fma"))) double pair_similarity_avx2(
 
 #endif  // __x86_64__
 
+// Scalar magnitude pass — bitwise mirror of magnitude_pass_avx2: the same
+// sqrt(fma(re, re, im*im)) magnitudes and four positional partial sums
+// folded in fixed lane order plus the plain-arithmetic sub-4 tail. A
+// non-AVX2 host therefore produces the exact bits an AVX2 host produces.
+double magnitude_pass_lane(const cplx* p, std::size_t n_sc, double* mag) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t sc = 0;
+  for (; sc + 4 <= n_sc; sc += 4) {
+    for (int l = 0; l < 4; ++l) {
+      const double re = p[sc + l].real(), im = p[sc + l].imag();
+      const double m = std::sqrt(std::fma(re, re, im * im));
+      mag[sc + l] = m;
+      s[l] += m;
+    }
+  }
+  double tail = 0.0;
+  for (; sc < n_sc; ++sc) {
+    const double re = p[sc].real(), im = p[sc].imag();
+    mag[sc] = std::sqrt(re * re + im * im);
+    tail += mag[sc];
+  }
+  return ((s[0] + s[1] + s[2] + s[3]) + tail) / static_cast<double>(n_sc);
+}
+
+// Scalar correlation pass — bitwise mirror of correlation_pass_avx2 (fma
+// accumulation into four positional lanes, fixed-order fold, plain tail).
+double correlation_pass_lane(const double* mag_a, double mean_a,
+                             const double* mag_b, double mean_b,
+                             std::size_t n_sc) {
+  double cov_l[4] = {0.0, 0.0, 0.0, 0.0};
+  double va_l[4] = {0.0, 0.0, 0.0, 0.0};
+  double vb_l[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t sc = 0;
+  for (; sc + 4 <= n_sc; sc += 4) {
+    for (int l = 0; l < 4; ++l) {
+      const double da = mag_a[sc + l] - mean_a;
+      const double db = mag_b[sc + l] - mean_b;
+      cov_l[l] = std::fma(da, db, cov_l[l]);
+      va_l[l] = std::fma(da, da, va_l[l]);
+      vb_l[l] = std::fma(db, db, vb_l[l]);
+    }
+  }
+  double cov = cov_l[0] + cov_l[1] + cov_l[2] + cov_l[3];
+  double var_a = va_l[0] + va_l[1] + va_l[2] + va_l[3];
+  double var_b = vb_l[0] + vb_l[1] + vb_l[2] + vb_l[3];
+  for (; sc < n_sc; ++sc) {
+    const double da = mag_a[sc] - mean_a;
+    const double db = mag_b[sc] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 1e-30 || var_b <= 1e-30) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double magnitude_pass(const cplx* p, std::size_t n_sc, double* mag) {
+#if defined(__x86_64__)
+  if (simd::use_avx2fma()) return magnitude_pass_avx2(p, n_sc, mag);
+#endif
+  return magnitude_pass_lane(p, n_sc, mag);
+}
+
+double correlation_pass(const double* mag_a, double mean_a,
+                        const double* mag_b, double mean_b, std::size_t n_sc) {
+#if defined(__x86_64__)
+  if (simd::use_avx2fma())
+    return correlation_pass_avx2(mag_a, mean_a, mag_b, mean_b, n_sc);
+#endif
+  return correlation_pass_lane(mag_a, mean_a, mag_b, mean_b, n_sc);
+}
+
 }  // namespace
 
 double csi_similarity(const CsiMatrix& a, const CsiMatrix& b, std::size_t tx,
                       std::size_t rx, CsiSimilarityScratch& scratch) {
-#if defined(__x86_64__)
   const std::size_t n_sc = a.n_subcarriers();
-  if (simd::use_avx2fma() && n_sc != 0) {  // empty keeps the scalar throw
+  if (n_sc != 0) {  // empty keeps the scalar throw below
     scratch.mag_a.resize(n_sc);
     scratch.mag_b.resize(n_sc);
-    return pair_similarity_avx2(&a.at(tx, rx, 0), &b.at(tx, rx, 0), n_sc,
-                                scratch.mag_a.data(), scratch.mag_b.data());
+    const double mean_a =
+        magnitude_pass(&a.at(tx, rx, 0), n_sc, scratch.mag_a.data());
+    const double mean_b =
+        magnitude_pass(&b.at(tx, rx, 0), n_sc, scratch.mag_b.data());
+    return correlation_pass(scratch.mag_a.data(), mean_a,
+                            scratch.mag_b.data(), mean_b, n_sc);
   }
-#endif
   a.magnitudes_into(tx, rx, scratch.mag_a);
   b.magnitudes_into(tx, rx, scratch.mag_b);
   return pearson_correlation(scratch.mag_a, scratch.mag_b);
+}
+
+void csi_anchor_set(const CsiMatrix& m, CsiAnchor& anchor) {
+  const std::size_t n_sc = m.n_subcarriers();
+  anchor.n_pairs = m.n_tx() * m.n_rx();
+  anchor.n_sc = n_sc;
+  anchor.mag.resize(anchor.n_pairs * n_sc);
+  anchor.mean.resize(anchor.n_pairs);
+  std::size_t pair = 0;
+  for (std::size_t tx = 0; tx < m.n_tx(); ++tx)
+    for (std::size_t rx = 0; rx < m.n_rx(); ++rx, ++pair)
+      anchor.mean[pair] =
+          magnitude_pass(&m.at(tx, rx, 0), n_sc, &anchor.mag[pair * n_sc]);
+}
+
+double csi_similarity_anchored(const CsiAnchor& anchor, const CsiMatrix& b,
+                               CsiAnchor& next) {
+  const std::size_t n_sc = b.n_subcarriers();
+  if (b.n_tx() * b.n_rx() != anchor.n_pairs || n_sc != anchor.n_sc ||
+      n_sc == 0)
+    throw std::invalid_argument("csi_similarity_anchored: dimension mismatch");
+  // The magnitude pass for b doubles as `next`'s anchor state; the pair loop
+  // mirrors the tx-major accumulation of csi_similarity(a, b), so the result
+  // is bitwise what the unanchored call computes.
+  csi_anchor_set(b, next);
+  double sum = 0.0;
+  for (std::size_t pair = 0; pair < anchor.n_pairs; ++pair)
+    sum += correlation_pass(&anchor.mag[pair * n_sc], anchor.mean[pair],
+                            &next.mag[pair * n_sc], next.mean[pair], n_sc);
+  return sum / static_cast<double>(anchor.n_pairs);
 }
 
 double csi_similarity(const CsiMatrix& a, const CsiMatrix& b, std::size_t tx,

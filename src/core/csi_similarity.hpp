@@ -6,7 +6,10 @@
 // environmental mobility sits in between because only a few components move.
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "phy/csi.hpp"
 
@@ -36,5 +39,36 @@ double csi_similarity(const CsiMatrix& a, const CsiMatrix& b, std::size_t tx,
 double csi_similarity(const CsiMatrix& a, const CsiMatrix& b);
 double csi_similarity(const CsiMatrix& a, const CsiMatrix& b,
                       CsiSimilarityScratch& scratch);
+
+/// Cached magnitude pass of Eq. (1) for one CSI matrix: per-subcarrier gain
+/// magnitudes (pair-major planes) and their per-pair means. A consumer that
+/// compares a *stream* of consecutive samples — where each sample becomes
+/// the next comparison's anchor — computes every magnitude exactly once
+/// instead of twice, and never needs to retain the anchor's complex CSI.
+struct CsiAnchor {
+  std::size_t n_pairs = 0;
+  std::size_t n_sc = 0;
+  std::vector<double> mag;   ///< [pair][sc], pair index = tx * n_rx + rx
+  std::vector<double> mean;  ///< per-pair magnitude mean
+
+  void swap(CsiAnchor& other) noexcept {
+    std::swap(n_pairs, other.n_pairs);
+    std::swap(n_sc, other.n_sc);
+    mag.swap(other.mag);
+    mean.swap(other.mean);
+  }
+};
+
+/// Fills `anchor` with the magnitude pass for `m` — bit-for-bit the values
+/// csi_similarity computes internally for either argument. Allocation-free
+/// once `anchor` has reached the matrix dimensions.
+void csi_anchor_set(const CsiMatrix& m, CsiAnchor& anchor);
+
+/// Eq. (1) of `b` against a cached anchor, averaged over antenna pairs:
+/// bitwise identical to csi_similarity(a, b) when `anchor` was set from a.
+/// Also fills `next` with b's magnitude pass, so the caller can
+/// `next.swap(anchor)` to advance the stream at zero recomputation.
+double csi_similarity_anchored(const CsiAnchor& anchor, const CsiMatrix& b,
+                               CsiAnchor& next);
 
 }  // namespace mobiwlan

@@ -5,6 +5,7 @@
 #include "chan/channel.hpp"
 #include "core/csi_similarity.hpp"
 #include "phy/aoa.hpp"
+#include "util/prefetch.hpp"
 #include "util/stats.hpp"
 
 namespace mobiwlan {
@@ -15,8 +16,9 @@ MobilityClassifier::MobilityClassifier(Config config)
       tof_tracker_(config.tof) {}
 
 void MobilityClassifier::on_csi(double t, const CsiMatrix& csi) {
-  if (!last_csi_) {
-    last_csi_ = csi;
+  if (!have_anchor_) {
+    csi_anchor_set(csi, anchor_);
+    have_anchor_ = true;
     last_csi_t_ = t;
     return;
   }
@@ -27,17 +29,20 @@ void MobilityClassifier::on_csi(double t, const CsiMatrix& csi) {
   // is too old for Eq. (1)'s consecutive-sample similarity, so re-anchor on
   // this sample and rebuild the average from genuinely adjacent pairs.
   if (t - last_csi_t_ > config_.csi_gap_reanchor_factor * config_.csi_period_s) {
-    last_csi_ = csi;
+    csi_anchor_set(csi, anchor_);
     last_csi_t_ = t;
     similarity_avg_.reset();
     have_similarity_ = false;
     return;
   }
 
-  const double s = csi_similarity(*last_csi_, csi, sim_scratch_);
+  // Anchored Eq. (1): bitwise the same value csi_similarity(last, csi)
+  // produced, but only this sample's magnitude pass runs; its pass becomes
+  // the next anchor via the swap.
+  const double s = csi_similarity_anchored(anchor_, csi, next_anchor_);
+  next_anchor_.swap(anchor_);
   similarity_avg_.add(s);
   have_similarity_ = true;
-  last_csi_ = csi;
   last_csi_t_ = t;
   if (config_.use_aoa && tof_active_) {
     const AoaEstimate est = estimate_aoa(csi);
@@ -46,6 +51,30 @@ void MobilityClassifier::on_csi(double t, const CsiMatrix& csi) {
     if (aoa_values_.size() > config_.aoa_trend_window) aoa_values_.pop_front();
   }
   update_mode(t);
+}
+
+void MobilityClassifier::reset() {
+  similarity_avg_.reset();
+  have_anchor_ = false;
+  last_csi_t_ = 0.0;
+  have_similarity_ = false;
+  tof_tracker_.reset();
+  tof_active_ = false;
+  aoa_values_.clear();
+  last_aoa_.reset();
+  mode_ = MobilityMode::kStatic;
+  macro_until_ = -1.0;
+  macro_direction_ = MobilityMode::kMacroAway;
+}
+
+void MobilityClassifier::prefetch() const {
+  // The anchor's magnitude plane is read by every on_csi; next_anchor_'s is
+  // overwritten by the incoming sample's pass, and the similarity ring
+  // absorbs the result.
+  prefetch_lines(anchor_.mag.data(), anchor_.mag.size() * sizeof(double));
+  prefetch_lines(next_anchor_.mag.data(),
+                 next_anchor_.mag.size() * sizeof(double), /*for_write=*/true);
+  similarity_avg_.prefetch();
 }
 
 void MobilityClassifier::on_tof(double t, double tof_cycles) {

@@ -77,6 +77,15 @@ class MobilityClassifier {
   /// callers may feed every received packet.
   void on_csi(double t, const CsiMatrix& csi);
 
+  /// Restores the just-constructed state while keeping every internal
+  /// buffer's capacity — the session-pool recycle path: a reused classifier
+  /// behaves bitwise like a freshly constructed one, without reallocating.
+  void reset();
+
+  /// Cache-hint: streams the anchored-similarity planes in ahead of the
+  /// next on_csi. No observable effect.
+  void prefetch() const;
+
   /// Feed one raw ToF reading (round-trip clock cycles). Ignored unless the
   /// classifier has started ToF measurement (i.e. CSI says device mobility).
   void on_tof(double t, double tof_cycles);
@@ -110,13 +119,17 @@ class MobilityClassifier {
 
   Config config_;
   MovingAverage similarity_avg_;
-  std::optional<CsiMatrix> last_csi_;
+  // Anchored Eq.-1 state: instead of retaining the anchor's complex CSI and
+  // recomputing both magnitude planes per comparison, the classifier caches
+  // the anchor's magnitude pass (CsiAnchor) and computes only the incoming
+  // sample's — bitwise the same similarity at half the arithmetic and
+  // roughly half the per-classifier memory. next_anchor_ is the swap buffer
+  // that receives the incoming sample's pass and becomes the new anchor.
+  CsiAnchor anchor_;
+  CsiAnchor next_anchor_;
+  bool have_anchor_ = false;
   double last_csi_t_ = 0.0;
   bool have_similarity_ = false;
-  // Reused magnitude buffers: the per-packet similarity computation performs
-  // no heap allocation in steady state (last_csi_ assignment reuses its
-  // storage too, since dimensions never change mid-stream).
-  CsiSimilarityScratch sim_scratch_;
 
   TofTracker tof_tracker_;
   bool tof_active_ = false;

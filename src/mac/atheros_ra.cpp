@@ -5,6 +5,7 @@
 
 #include "core/policy.hpp"
 #include "phy/mcs.hpp"
+#include "util/prefetch.hpp"
 
 namespace mobiwlan {
 
@@ -19,6 +20,25 @@ AtherosRa::AtherosRa(Config config, ParamProvider params, std::string name)
       ladder_(atheros_rate_ladder(config.max_streams)),
       per_(ladder_.size(), 0.0),
       current_(ladder_.size() - 1) {}  // §4.1: starts with the highest bit-rate
+
+void AtherosRa::reset() {
+  std::fill(per_.begin(), per_.end(), 0.0);
+  current_ = ladder_.size() - 1;  // §4.1: starts with the highest bit-rate
+  last_rate_change_t_ = 0.0;
+  last_probe_t_ = 0.0;
+  consecutive_full_losses_ = 0;
+  epoch_start_t_ = 0.0;
+  epoch_mpdus_ = 0;
+  epoch_failed_ = 0;
+  probing_ = false;
+  probe_return_ = 0;
+}
+
+void AtherosRa::prefetch() const {
+  prefetch_lines(ladder_.data(), ladder_.size() * sizeof(int));
+  prefetch_lines(per_.data(), per_.size() * sizeof(double),
+                 /*for_write=*/true);
+}
 
 std::size_t AtherosRa::ladder_pos(int mcs_index) const {
   const auto it = std::find(ladder_.begin(), ladder_.end(), mcs_index);

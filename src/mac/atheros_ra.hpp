@@ -57,6 +57,17 @@ class AtherosRa final : public RateAdapter {
 
   int select_mcs(const TxContext& ctx) override;
   void on_result(const FrameResult& result, const TxContext& ctx) override;
+
+  /// Restores the just-constructed adaptation state (filtered PERs, ladder
+  /// position, probe/epoch bookkeeping) without touching config_/params_/
+  /// ladder_ — the session-pool recycle path. A reset adapter behaves
+  /// bitwise like a freshly constructed one and performs no allocation.
+  void reset();
+
+  /// Cache-hint: streams the ladder and filtered-PER tables in ahead of the
+  /// next select_mcs/on_result pair. No observable effect.
+  void prefetch() const;
+
   bool probing() const override { return probing_; }
   std::string_view name() const override { return name_; }
 

@@ -58,8 +58,15 @@ std::string json_escape(const std::string& s) {
 
 std::string json_double(double v) {
   if (!std::isfinite(v)) return "null";
-  // Shortest %g form that round-trips: equal doubles -> identical bytes.
   char buf[40];
+  // Integral values print as plain integers: %g would render counters like
+  // 100000 as "1e+05", which round-trips but reads as (and diffs like) a
+  // lossy float. Every exactly-representable integer stays below 2^53.
+  if (v == std::floor(v) && std::abs(v) <= 9007199254740992.0) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  // Shortest %g form that round-trips: equal doubles -> identical bytes.
   for (int precision = 1; precision <= 17; ++precision) {
     std::snprintf(buf, sizeof buf, "%.*g", precision, v);
     if (std::strtod(buf, nullptr) == v) break;

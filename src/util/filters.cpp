@@ -10,12 +10,17 @@ MovingAverage::MovingAverage(std::size_t window)
 void MovingAverage::add(double x) {
   sum_ += x;
   if (count_ < window_) {
-    ring_[(head_ + count_) % window_] = x;
+    // head_ < window_ and count_ <= window_, so one conditional subtract
+    // replaces the modulo (a hardware divide on the hot path).
+    std::size_t idx = head_ + count_;
+    if (idx >= window_) idx -= window_;
+    ring_[idx] = x;
     ++count_;
   } else {
     sum_ -= ring_[head_];
     ring_[head_] = x;
-    head_ = (head_ + 1) % window_;
+    ++head_;
+    if (head_ == window_) head_ = 0;
   }
 }
 

@@ -11,6 +11,8 @@
 #include <optional>
 #include <vector>
 
+#include "util/prefetch.hpp"
+
 namespace mobiwlan {
 
 /// Exponentially-weighted moving average: v <- alpha*x + (1-alpha)*v.
@@ -61,6 +63,12 @@ class MovingAverage {
   std::size_t count() const { return count_; }
   bool full() const { return count_ == window_; }
   void reset();
+
+  /// Cache-hint: streams the ring buffer in ahead of the next add().
+  void prefetch() const {
+    prefetch_lines(ring_.data(), ring_.size() * sizeof(double),
+                   /*for_write=*/true);
+  }
 
  private:
   std::size_t window_;

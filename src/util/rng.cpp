@@ -8,6 +8,7 @@
 #include <numbers>
 
 #include "util/fastmath.hpp"
+#include "util/lane_math.hpp"
 #include "util/simd.hpp"
 #include "util/simd_math.hpp"
 
@@ -23,8 +24,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 #if defined(__x86_64__)
 
 // The elementwise log/sincos vector kernels live in util/simd_math.hpp
@@ -32,7 +31,7 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 // and sequential, so the uniform stream is identical to the scalar path.
 
 // Four Box-Muller transforms: comp[0..7] += per * r_j * {cos, sin}(theta_j).
-__attribute__((target("avx2,fma"))) void box_muller4(const double* u1,
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) void box_muller4(const double* u1,
                                                      const double* u2,
                                                      double per, double* comp) {
   const __m256d r = _mm256_sqrt_pd(_mm256_mul_pd(
@@ -62,30 +61,6 @@ Rng::Rng(std::uint64_t seed) : seed_(seed) {
   for (auto& word : s_) word = splitmix64(sm);
   // A state of all zeros is the one invalid xoshiro state; splitmix64 cannot
   // produce four zero words from any seed, so no further check is needed.
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high bits -> double in [0,1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
-int Rng::uniform_int(int lo, int hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<int>(next_u64() % span);
 }
 
 double Rng::gaussian() {
@@ -131,6 +106,13 @@ void Rng::add_complex_gaussian(std::complex<double>* dst, std::size_t n,
     has_cached_gaussian_ = false;
     comp[k++] += per * cached_gaussian_;
   }
+  // The component range splits at the same boundary on every tier: the
+  // 8-aligned prefix is what the AVX2 kernel covers on vector hosts, so a
+  // non-vector host must reproduce it bitwise through the lane-exact
+  // mirrors; the sub-8 remainder runs the same scalar code on every tier
+  // and keeps the original fastmath kernels (those bits are frozen by the
+  // per-link golden fixtures).
+  const std::size_t vec_end = k + 8 * ((total - k) / 8);
 #if defined(__x86_64__)
   // Four transforms per iteration on AVX2+FMA hosts (checked per call so
   // MOBIWLAN_FORCE_SCALAR and the simd test hook reach this path). The
@@ -139,7 +121,7 @@ void Rng::add_complex_gaussian(std::complex<double>* dst, std::size_t n,
   // path exactly.
   if (simd::use_avx2fma()) {
     double u1[4], u2[4];
-    while (total - k >= 8) {
+    while (k < vec_end) {
       for (int j = 0; j < 4; ++j) {
         u1[j] = 1.0 - uniform();
         u2[j] = uniform();
@@ -149,6 +131,21 @@ void Rng::add_complex_gaussian(std::complex<double>* dst, std::size_t n,
     }
   }
 #endif
+  // Lane-exact mirror of box_muller4: same log / sincos bit patterns
+  // (lanemath == one lane of the vector kernels), same product order
+  // (amp = per * r, then amp * {c, s}).
+  while (k < vec_end) {
+    const double u1 = 1.0 - uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * lanemath::log_pos(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    double s, c;
+    lanemath::sincos(theta, s, c);
+    const double amp = per * r;
+    comp[k] += amp * c;
+    comp[k + 1] += amp * s;
+    k += 2;
+  }
   // theta = 2*pi*u2 < 2*pi, well inside fastmath::kSincosMaxArg; the inline
   // kernel matches libm to ~2 ulp, orders of magnitude below the 1e-12
   // equivalence budget on noise components (~1e-5 in magnitude).
@@ -184,8 +181,6 @@ std::complex<double> Rng::rician(double k_factor) {
 }
 
 double Rng::phase() { return uniform(0.0, 2.0 * std::numbers::pi); }
-
-bool Rng::chance(double p) { return uniform() < p; }
 
 Rng Rng::split() { return Rng(next_u64()); }
 

@@ -21,17 +21,33 @@ class Rng {
   /// Seeds the four words of state from a single 64-bit seed via splitmix64.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-  /// Next raw 64-bit output.
-  std::uint64_t next_u64();
+  /// Next raw 64-bit output. Inline: the campus MAC loop draws ~20 of these
+  /// per session-step, so the call overhead is measurable at scale.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl_(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl_(s_[3], 45);
+    return result;
+  }
 
-  /// Uniform double in [0, 1).
-  double uniform();
+  /// Uniform double in [0, 1): 53 high bits of next_u64.
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  int uniform_int(int lo, int hi);
+  int uniform_int(int lo, int hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+  }
 
   /// Standard normal via Box-Muller (caches the second deviate).
   double gaussian();
@@ -67,7 +83,7 @@ class Rng {
   double phase();
 
   /// True with probability p (clamped to [0,1]).
-  bool chance(double p);
+  bool chance(double p) { return uniform() < p; }
 
   /// Forks an independently-seeded generator from this stream.
   Rng split();
@@ -86,6 +102,10 @@ class Rng {
   std::uint64_t seed() const { return seed_; }
 
  private:
+  static std::uint64_t rotl_(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t seed_;
   std::uint64_t s_[4];
   double cached_gaussian_ = 0.0;

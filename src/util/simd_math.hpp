@@ -33,21 +33,21 @@ namespace detail {
 #if !defined(NDEBUG)
 #define MOBIWLAN_SIMD_MATH_CHECKS 1
 
-__attribute__((target("avx2,fma"))) inline void assert_range_pd(
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) inline void assert_range_pd(
     __m256d v, double lo, double hi) {
   alignas(32) double lanes[4];
   _mm256_store_pd(lanes, v);
   for (double lane : lanes) assert(lane >= lo && lane <= hi);
 }
 
-__attribute__((target("avx2,fma"))) inline void assert_range_ps(
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) inline void assert_range_ps(
     __m256 v, float lo, float hi) {
   alignas(32) float lanes[8];
   _mm256_store_ps(lanes, v);
   for (float lane : lanes) assert(lane >= lo && lane <= hi);
 }
 
-__attribute__((target("avx512f,avx512dq,avx512vl"))) inline void
+__attribute__((target("avx512f,avx512dq,avx512vl"), optimize("fp-contract=off"))) inline void
 assert_range_ps16(__m512 v, float lo, float hi) {
   alignas(64) float lanes[16];
   _mm512_store_ps(lanes, v);
@@ -69,7 +69,7 @@ assert_range_ps16(__m512 v, float lo, float hi) {
 }  // namespace detail
 
 /// log(x) for 4 finite normal positive lanes (port of fastmath::log_pos).
-__attribute__((target("avx2,fma"))) inline __m256d vlog_pos(__m256d x) {
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) inline __m256d vlog_pos(__m256d x) {
   namespace fm = fastmath::detail;
   MOBIWLAN_ASSERT_LANES_PD(x, DBL_MIN, DBL_MAX);  // positive, normal, finite
   const __m256i bits = _mm256_castpd_si256(x);
@@ -123,7 +123,7 @@ __attribute__((target("avx2,fma"))) inline __m256d vlog_pos(__m256d x) {
 /// sin and cos of 4 lanes. Valid over the extended sincos_wide range
 /// (|x| <= fastmath::kSincosWideMaxArg): k*pio2_hi stays exact, and the
 /// int32 quadrant conversion holds to |k| < 2^31.
-__attribute__((target("avx2,fma"))) inline void vsincos(__m256d x,
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) inline void vsincos(__m256d x,
                                                         __m256d& s_out,
                                                         __m256d& c_out) {
   namespace fm = fastmath::detail;
@@ -173,7 +173,7 @@ __attribute__((target("avx2,fma"))) inline void vsincos(__m256d x,
 /// |f| <= 1/2 is exact; 2^f = exp(f ln2) by a degree-12 Taylor Horner chain
 /// (truncation < 2e-16 at |f ln2| <= 0.347); the 2^k scale is an exact
 /// exponent-field multiply. Agrees with std::exp2 to ~2 ulp.
-__attribute__((target("avx2,fma"))) inline __m256d vexp2(__m256d x) {
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) inline __m256d vexp2(__m256d x) {
   MOBIWLAN_ASSERT_LANES_PD(x, -256.0, 256.0);
   const __m256d kd = _mm256_round_pd(
       x, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
@@ -210,7 +210,7 @@ __attribute__((target("avx2,fma"))) inline __m256d vexp2(__m256d x) {
 
 /// sin and cos of 8 float lanes, |x| <= fastmath::kSincosF32MaxArg,
 /// ~2 ulp_f32 (see sincos_f32).
-__attribute__((target("avx2,fma"))) inline void vsincos_f8(__m256 x,
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) inline void vsincos_f8(__m256 x,
                                                            __m256& s_out,
                                                            __m256& c_out) {
   namespace fm = fastmath::detail;
@@ -251,7 +251,7 @@ __attribute__((target("avx2,fma"))) inline void vsincos_f8(__m256 x,
 
 /// log(x) for 8 finite normal positive float lanes, ~1 ulp_f32
 /// (see log_pos_f32).
-__attribute__((target("avx2,fma"))) inline __m256 vlog_pos_f8(__m256 x) {
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) inline __m256 vlog_pos_f8(__m256 x) {
   namespace fm = fastmath::detail;
   MOBIWLAN_ASSERT_LANES_PS(x, FLT_MIN, FLT_MAX);  // positive, normal, finite
   const __m256i bits = _mm256_castps_si256(x);
@@ -290,7 +290,7 @@ __attribute__((target("avx2,fma"))) inline __m256 vlog_pos_f8(__m256 x) {
 
 /// 2^x for 8 float lanes, |x| <= fastmath::kExp2F32MaxArg, ~2 ulp_f32
 /// (see exp2_f32).
-__attribute__((target("avx2,fma"))) inline __m256 vexp2_f8(__m256 x) {
+__attribute__((target("avx2,fma"), optimize("fp-contract=off"))) inline __m256 vexp2_f8(__m256 x) {
   MOBIWLAN_ASSERT_LANES_PS(x, -fastmath::kExp2F32MaxArg,
                            fastmath::kExp2F32MaxArg);
   const __m256 kd = _mm256_round_ps(
@@ -312,7 +312,7 @@ __attribute__((target("avx2,fma"))) inline __m256 vexp2_f8(__m256 x) {
 }
 
 /// sin and cos of 16 float lanes (AVX-512 port of vsincos_f8).
-__attribute__((target("avx512f,avx512dq,avx512vl"))) inline void vsincos_f16(
+__attribute__((target("avx512f,avx512dq,avx512vl"), optimize("fp-contract=off"))) inline void vsincos_f16(
     __m512 x, __m512& s_out, __m512& c_out) {
   namespace fm = fastmath::detail;
   MOBIWLAN_ASSERT_LANES_PS16(x, -fastmath::kSincosF32MaxArg,
@@ -351,7 +351,7 @@ __attribute__((target("avx512f,avx512dq,avx512vl"))) inline void vsincos_f16(
 
 /// log(x) for 16 finite normal positive float lanes (AVX-512 port of
 /// vlog_pos_f8).
-__attribute__((target("avx512f,avx512dq,avx512vl"))) inline __m512
+__attribute__((target("avx512f,avx512dq,avx512vl"), optimize("fp-contract=off"))) inline __m512
 vlog_pos_f16(__m512 x) {
   namespace fm = fastmath::detail;
   MOBIWLAN_ASSERT_LANES_PS16(x, FLT_MIN, FLT_MAX);
@@ -389,7 +389,7 @@ vlog_pos_f16(__m512 x) {
 }
 
 /// 2^x for 16 float lanes (AVX-512 port of vexp2_f8).
-__attribute__((target("avx512f,avx512dq,avx512vl"))) inline __m512 vexp2_f16(
+__attribute__((target("avx512f,avx512dq,avx512vl"), optimize("fp-contract=off"))) inline __m512 vexp2_f16(
     __m512 x) {
   MOBIWLAN_ASSERT_LANES_PS16(x, -fastmath::kExp2F32MaxArg,
                              fastmath::kExp2F32MaxArg);

@@ -1,0 +1,132 @@
+// batch_membership_prop_test — incremental membership vs. from-scratch
+// rebuild on ChannelBatch.
+//
+// The campus hot loop maintains one long-lived ChannelBatch per shard and
+// mutates its membership incrementally: departures punch holes
+// (remove_link), arrivals and handovers fill them (add_link, LIFO). The
+// whole design rests on one property: a batch whose membership was reached
+// through ANY interleaving of add/remove/sample operations produces
+// bitwise-identical samples to a batch freshly built over the same live
+// links — holes, slot recycling and slot order must be pure bookkeeping
+// with zero numerical footprint.
+//
+// Each case drives a random operation sequence against mirrored channel
+// sets (identical construction, so their RNG streams stay in lockstep):
+// the incremental batch samples through sample_slot — the fused per-slot
+// entry point the campus uses — while the reference is rebuilt from
+// scratch before every observation and sampled through sample_range. Every
+// sample field (CSI element bits, RSSI, SNR, ToF, distance) must agree
+// exactly.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "../chan/channel_golden_cases.hpp"
+#include "chan/channel.hpp"
+#include "chan/channel_batch.hpp"
+#include "proptest.hpp"
+#include "util/rng.hpp"
+
+namespace mobiwlan {
+namespace {
+
+using goldencase::kNumCases;
+
+void expect_samples_identical(const ChannelSample& inc,
+                              const ChannelSample& ref, std::size_t link) {
+  EXPECT_EQ(inc.rssi_dbm, ref.rssi_dbm) << "link " << link;
+  EXPECT_EQ(inc.snr_db, ref.snr_db) << "link " << link;
+  EXPECT_EQ(inc.tof_cycles, ref.tof_cycles) << "link " << link;
+  EXPECT_EQ(inc.true_distance_m, ref.true_distance_m) << "link " << link;
+  ASSERT_EQ(inc.csi.n_tx(), ref.csi.n_tx());
+  ASSERT_EQ(inc.csi.n_rx(), ref.csi.n_rx());
+  ASSERT_EQ(inc.csi.n_subcarriers(), ref.csi.n_subcarriers());
+  for (std::size_t tx = 0; tx < inc.csi.n_tx(); ++tx)
+    for (std::size_t rx = 0; rx < inc.csi.n_rx(); ++rx)
+      for (std::size_t sc = 0; sc < inc.csi.n_subcarriers(); ++sc) {
+        const cplx a = inc.csi.at(tx, rx, sc);
+        const cplx b = ref.csi.at(tx, rx, sc);
+        ASSERT_EQ(a.real(), b.real())
+            << "link " << link << " csi[" << tx << "," << rx << "," << sc
+            << "].re";
+        ASSERT_EQ(a.imag(), b.imag())
+            << "link " << link << " csi[" << tx << "," << rx << "," << sc
+            << "].im";
+      }
+}
+
+TEST(BatchMembershipProp, IncrementalEqualsRebuiltFromScratch) {
+  proptest::run_cases(
+      "batch_membership_rebuild",
+      [](Rng& rng, int) {
+        // Mirrored channel sets: a[i] feeds the incremental batch, b[i] the
+        // per-observation rebuilds. Same construction, same draw sequence.
+        std::unique_ptr<WirelessChannel> a[kNumCases];
+        std::unique_ptr<WirelessChannel> b[kNumCases];
+        for (std::size_t i = 0; i < kNumCases; ++i) {
+          a[i] = goldencase::make_golden_channel(i);
+          b[i] = goldencase::make_golden_channel(i);
+        }
+
+        ChannelBatch inc;
+        ChannelBatch::Scratch inc_scratch, ref_scratch;
+        std::ptrdiff_t slot_of[kNumCases];
+        for (std::size_t i = 0; i < kNumCases; ++i) slot_of[i] = -1;
+        std::size_t live = 0;
+        double t = 0.0;
+
+        const int ops = 1 + rng.uniform_int(0, 39);
+        for (int op = 0; op < ops; ++op) {
+          const int kind = rng.uniform_int(0, 3);  // 2x churn : 2x sample
+          if (kind == 0 && live < kNumCases) {
+            std::size_t i = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<int>(kNumCases) - 1));
+            while (slot_of[i] >= 0) i = (i + 1) % kNumCases;
+            slot_of[i] = static_cast<std::ptrdiff_t>(inc.add_link(a[i].get()));
+            ++live;
+          } else if (kind == 1 && live > 0) {
+            std::size_t i = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<int>(kNumCases) - 1));
+            while (slot_of[i] < 0) i = (i + 1) % kNumCases;
+            inc.remove_link(static_cast<std::size_t>(slot_of[i]));
+            slot_of[i] = -1;
+            --live;
+          } else if (live > 0) {
+            t += 0.02;
+            // Reference: a batch built from nothing over the live set.
+            ChannelBatch rebuilt;
+            std::ptrdiff_t ref_slot[kNumCases];
+            for (std::size_t i = 0; i < kNumCases; ++i)
+              ref_slot[i] = slot_of[i] >= 0
+                                ? static_cast<std::ptrdiff_t>(
+                                      rebuilt.add_link(b[i].get()))
+                                : -1;
+            std::vector<ChannelSample> ref_out(rebuilt.size());
+            rebuilt.sample_range(t, 0, rebuilt.size(), ref_out.data(),
+                                 ref_scratch);
+            ChannelSample inc_out;
+            for (std::size_t i = 0; i < kNumCases; ++i) {
+              if (slot_of[i] < 0) continue;
+              inc.sample_slot(t, static_cast<std::size_t>(slot_of[i]),
+                              inc_out, inc_scratch);
+              expect_samples_identical(
+                  inc_out, ref_out[static_cast<std::size_t>(ref_slot[i])], i);
+            }
+          }
+          ASSERT_EQ(inc.occupied(), live);
+          ASSERT_EQ(inc.size() - inc.occupied(),
+                    static_cast<std::size_t>([&] {
+                      std::size_t holes = 0;
+                      for (std::size_t s = 0; s < inc.size(); ++s)
+                        holes += inc.is_hole(s) ? 1u : 0u;
+                      return holes;
+                    }()));
+        }
+      },
+      64);
+}
+
+}  // namespace
+}  // namespace mobiwlan

@@ -1,0 +1,237 @@
+// lane_exact_test — the scalar mirrors in util/lane_math.hpp must be
+// *bitwise* equal to one lane of the AVX2 kernels in util/simd_math.hpp,
+// and the dispatch sites built on them (the batched channel engine, the
+// Box-Muller noise fill, the Eq.-1 similarity kernel) must produce
+// bit-identical outputs whether the scalar or the AVX2 tier runs. This is
+// the foundation of the campus determinism contract across hosts: a
+// non-AVX2 machine reproduces an AVX2 machine's digests exactly.
+//
+// Every test skips on hosts without AVX2+FMA (there is no vector kernel to
+// compare against; the mirrors are then simply the only implementation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "chan/channel.hpp"
+#include "chan/channel_batch.hpp"
+#include "core/csi_similarity.hpp"
+#include "util/lane_math.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "../chan/channel_golden_cases.hpp"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+
+#include "util/simd_math.hpp"
+#endif
+
+namespace mobiwlan {
+namespace {
+
+bool host_has_avx2() { return simd::avx2fma_supported(); }
+
+#if defined(__x86_64__)
+
+// Broadcast-one-lane wrappers: everything touching __m256d needs the
+// target attribute, so the comparisons live here.
+__attribute__((target("avx2,fma"))) void vsincos1(double x, double& s,
+                                                  double& c) {
+  __m256d vs, vc;
+  simdmath::vsincos(_mm256_set1_pd(x), vs, vc);
+  alignas(32) double ls[4], lc[4];
+  _mm256_store_pd(ls, vs);
+  _mm256_store_pd(lc, vc);
+  s = ls[0];
+  c = lc[0];
+}
+
+__attribute__((target("avx2,fma"))) double vlog_pos1(double x) {
+  alignas(32) double l[4];
+  _mm256_store_pd(l, simdmath::vlog_pos(_mm256_set1_pd(x)));
+  return l[0];
+}
+
+__attribute__((target("avx2,fma"))) double vexp21(double x) {
+  alignas(32) double l[4];
+  _mm256_store_pd(l, simdmath::vexp2(_mm256_set1_pd(x)));
+  return l[0];
+}
+
+#endif  // __x86_64__
+
+std::uint64_t dbits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof u);
+  return u;
+}
+
+TEST(LaneExact, SincosMirrorsVsincosBitwise) {
+#if defined(__x86_64__)
+  if (!host_has_avx2()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  Rng rng(0xabcdef12345ULL);
+  for (int i = 0; i < 200000; ++i) {
+    // Sweep the full wide-argument domain plus a dense small-angle band.
+    const double x = (i % 2 == 0)
+                         ? rng.uniform(-fastmath::kSincosWideMaxArg,
+                                       fastmath::kSincosWideMaxArg)
+                         : rng.uniform(-8.0, 8.0);
+    double s_lane, c_lane, s_vec, c_vec;
+    lanemath::sincos(x, s_lane, c_lane);
+    vsincos1(x, s_vec, c_vec);
+    ASSERT_EQ(dbits(s_lane), dbits(s_vec)) << "sin(" << x << ")";
+    ASSERT_EQ(dbits(c_lane), dbits(c_vec)) << "cos(" << x << ")";
+  }
+#else
+  GTEST_SKIP() << "x86-64 only";
+#endif
+}
+
+TEST(LaneExact, LogPosMirrorsVlogPosBitwise) {
+#if defined(__x86_64__)
+  if (!host_has_avx2()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  Rng rng(0x5151515151ULL);
+  for (int i = 0; i < 200000; ++i) {
+    // Positive normals across a wide exponent range, including the
+    // Box-Muller domain (0, 1].
+    const double mant = rng.uniform(0.5, 2.0);
+    const int expo = rng.uniform_int(-60, 60);
+    const double x = (i % 2 == 0) ? std::ldexp(mant, expo)
+                                  : 1.0 - rng.uniform();
+    ASSERT_EQ(dbits(lanemath::log_pos(x)), dbits(vlog_pos1(x)))
+        << "log(" << x << ")";
+  }
+#else
+  GTEST_SKIP() << "x86-64 only";
+#endif
+}
+
+TEST(LaneExact, Exp2MirrorsVexp2Bitwise) {
+#if defined(__x86_64__)
+  if (!host_has_avx2()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  Rng rng(0x77aa77aa77ULL);
+  for (int i = 0; i < 200000; ++i) {
+    const double x = rng.uniform(-250.0, 250.0);
+    ASSERT_EQ(dbits(lanemath::exp2(x)), dbits(vexp21(x)))
+        << "exp2(" << x << ")";
+  }
+#else
+  GTEST_SKIP() << "x86-64 only";
+#endif
+}
+
+/// Pins the SIMD tier for the duration of a scope.
+struct TierGuard {
+  explicit TierGuard(int tier) { simd::set_forced_tier(tier); }
+  ~TierGuard() { simd::set_forced_tier(-1); }
+};
+
+void expect_sample_bits_equal(const ChannelSample& a, const ChannelSample& b,
+                              std::size_t link) {
+  ASSERT_EQ(a.csi.raw().size(), b.csi.raw().size());
+  for (std::size_t k = 0; k < a.csi.raw().size(); ++k) {
+    ASSERT_EQ(dbits(a.csi.raw()[k].real()), dbits(b.csi.raw()[k].real()))
+        << "link " << link << " re[" << k << "]";
+    ASSERT_EQ(dbits(a.csi.raw()[k].imag()), dbits(b.csi.raw()[k].imag()))
+        << "link " << link << " im[" << k << "]";
+  }
+  EXPECT_EQ(dbits(a.rssi_dbm), dbits(b.rssi_dbm)) << "link " << link;
+  EXPECT_EQ(dbits(a.tof_cycles), dbits(b.tof_cycles)) << "link " << link;
+  EXPECT_EQ(dbits(a.snr_db), dbits(b.snr_db)) << "link " << link;
+}
+
+TEST(TierBitwise, BatchSamplesIdenticalAcrossTiers) {
+  if (!host_has_avx2()) GTEST_SKIP() << "no AVX2+FMA on this host";
+
+  // Two independent realizations of the golden links, one batch per tier.
+  std::vector<std::unique_ptr<WirelessChannel>> links_s, links_v;
+  ChannelBatch batch_s, batch_v;
+  for (std::size_t idx = 0; idx < goldencase::kNumCases; ++idx) {
+    links_s.push_back(goldencase::make_golden_channel(idx));
+    links_v.push_back(goldencase::make_golden_channel(idx));
+    batch_s.add_link(links_s.back().get());
+    batch_v.add_link(links_v.back().get());
+  }
+  ChannelBatch::Scratch scratch;
+  std::vector<ChannelSample> out_s(goldencase::kNumCases);
+  std::vector<ChannelSample> out_v(goldencase::kNumCases);
+
+  for (const double t : {0.0, 0.25, 1.0, 2.5, 4.0}) {
+    {
+      TierGuard g(0);
+      batch_s.sample_range(t, 0, goldencase::kNumCases, out_s.data(),
+                           scratch);
+    }
+    {
+      TierGuard g(1);
+      batch_v.sample_range(t, 0, goldencase::kNumCases, out_v.data(),
+                           scratch);
+    }
+    for (std::size_t i = 0; i < goldencase::kNumCases; ++i) {
+      SCOPED_TRACE(::testing::Message()
+                   << goldencase::case_name(i) << " at t=" << t);
+      expect_sample_bits_equal(out_s[i], out_v[i], i);
+    }
+  }
+}
+
+TEST(TierBitwise, SimilarityIdenticalAcrossTiers) {
+  if (!host_has_avx2()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  std::vector<CsiMatrix> snaps;
+  for (std::size_t idx = 0; idx < goldencase::kNumCases; ++idx) {
+    auto ch = goldencase::make_golden_channel(idx);
+    snaps.push_back(ch->csi_at(0.0));
+    snaps.push_back(ch->csi_at(0.5));
+  }
+  CsiSimilarityScratch scratch;
+  for (std::size_t i = 0; i + 1 < snaps.size(); ++i) {
+    double sim_s, sim_v;
+    {
+      TierGuard g(0);
+      sim_s = csi_similarity(snaps[i], snaps[i + 1], scratch);
+    }
+    {
+      TierGuard g(1);
+      sim_v = csi_similarity(snaps[i], snaps[i + 1], scratch);
+    }
+    EXPECT_EQ(dbits(sim_s), dbits(sim_v)) << "pair " << i;
+  }
+}
+
+TEST(TierBitwise, NoiseFillIdenticalAcrossTiers) {
+  if (!host_has_avx2()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  // Odd/even lengths and a pending cached deviate all hit the vector /
+  // mirror / shared-remainder splits differently; every combination must
+  // stay bitwise tier-invariant.
+  for (const std::size_t n : {1u, 3u, 4u, 7u, 8u, 28u, 56u, 57u}) {
+    for (const bool prime_cached : {false, true}) {
+      std::vector<cplx> buf_s(n, cplx{0.0, 0.0});
+      std::vector<cplx> buf_v(n, cplx{0.0, 0.0});
+      {
+        TierGuard g(0);
+        Rng rng(0x1234u + n);
+        if (prime_cached) (void)rng.gaussian();  // leaves a cached deviate
+        rng.add_complex_gaussian(buf_s.data(), n, 2.0);
+      }
+      {
+        TierGuard g(1);
+        Rng rng(0x1234u + n);
+        if (prime_cached) (void)rng.gaussian();
+        rng.add_complex_gaussian(buf_v.data(), n, 2.0);
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        ASSERT_EQ(dbits(buf_s[k].real()), dbits(buf_v[k].real()))
+            << "n=" << n << " cached=" << prime_cached << " re[" << k << "]";
+        ASSERT_EQ(dbits(buf_s[k].imag()), dbits(buf_v[k].imag()))
+            << "n=" << n << " cached=" << prime_cached << " im[" << k << "]";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mobiwlan
