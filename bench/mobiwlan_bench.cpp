@@ -43,6 +43,13 @@
 //                                         at N sessions (conservation + RSS
 //                                         evidence; optionally bounded by
 //                                         --campus-rss-budget-mb MB)
+//   mobiwlan-bench --loc                  run the CSI-fingerprint
+//                                         localization bench and write
+//                                         BENCH_loc.json
+//   mobiwlan-bench --loc-check            also gate against the committed
+//                                         baseline (ci/loc_baseline.json)
+//   mobiwlan-bench --loc-check-only F     re-check an existing
+//                                         BENCH_loc.json, no re-run
 //
 // Determinism contract: for a fixed --seed, the printed tables and every
 // non-"timing" byte of the JSON are identical for --jobs 1 and --jobs N.
@@ -101,7 +108,10 @@ void print_usage() {
       "                      [--campus-check-only PATH] [--campus-out PATH]\n"
       "                      [--campus-baseline PATH]\n"
       "                      [--campus-sessions N]\n"
-      "                      [--campus-rss-budget-mb MB]\n");
+      "                      [--campus-rss-budget-mb MB]\n"
+      "                      [--loc] [--loc-check]\n"
+      "                      [--loc-check-only PATH] [--loc-out PATH]\n"
+      "                      [--loc-baseline PATH]\n");
 }
 
 struct Options {
@@ -119,6 +129,8 @@ struct Options {
   bool trace_check = false;
   bool campus = false;
   bool campus_check = false;
+  bool loc = false;
+  bool loc_check = false;
   std::string filter;
   std::string json_path;
   std::string perf_out = "BENCH_channel.json";
@@ -138,6 +150,9 @@ struct Options {
   std::string campus_baseline = "ci/campus_baseline.json";
   std::uint64_t campus_sessions = 0;   // nonzero: large-campus single run
   double campus_rss_budget_mb = 0.0;   // large mode: peak-RSS bound (0 = off)
+  std::string loc_check_only;  // path to an existing BENCH_loc.json
+  std::string loc_out = "BENCH_loc.json";
+  std::string loc_baseline = "ci/loc_baseline.json";
   double perf_min_time = 1.0;
   std::size_t jobs = 0;  // 0 = one worker per hardware thread
   std::uint64_t seed = runtime::kMasterSeed;
@@ -251,6 +266,23 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = value("--campus-rss-budget-mb");
       if (!v) return false;
       opt.campus_rss_budget_mb = std::strtod(v, nullptr);
+    } else if (arg == "--loc") {
+      opt.loc = true;
+    } else if (arg == "--loc-check") {
+      opt.loc = true;
+      opt.loc_check = true;
+    } else if (arg == "--loc-check-only") {
+      const char* v = value("--loc-check-only");
+      if (!v) return false;
+      opt.loc_check_only = v;
+    } else if (arg == "--loc-out") {
+      const char* v = value("--loc-out");
+      if (!v) return false;
+      opt.loc_out = v;
+    } else if (arg == "--loc-baseline") {
+      const char* v = value("--loc-baseline");
+      if (!v) return false;
+      opt.loc_baseline = v;
     } else if (arg == "--fault-baseline") {
       const char* v = value("--fault-baseline");
       if (!v) return false;
@@ -554,6 +586,16 @@ int main(int argc, char** argv) {
     to.out = opt.trace_out;
     to.baseline = opt.trace_baseline;
     return mobiwlan::benchsuite::run_trace_bench(to);
+  }
+  if (opt.loc || !opt.loc_check_only.empty()) {
+    mobiwlan::benchsuite::LocOptions lo;
+    lo.jobs = opt.jobs;
+    lo.seed = opt.seed;
+    lo.check = opt.loc_check;
+    lo.check_only = opt.loc_check_only;
+    lo.out = opt.loc_out;
+    lo.baseline = opt.loc_baseline;
+    return mobiwlan::benchsuite::run_loc_bench(lo);
   }
   if (opt.campus || !opt.campus_check_only.empty()) {
     mobiwlan::benchsuite::CampusOptions co;

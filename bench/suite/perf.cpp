@@ -26,6 +26,7 @@
 #include "chan/trajectory.hpp"
 #include "core/csi_similarity.hpp"
 #include "core/mobility_classifier.hpp"
+#include "phy/aoa.hpp"
 #include "runtime/thread_pool.hpp"
 #include "suite/suite.hpp"
 #include "util/alloc_count.hpp"
@@ -139,6 +140,20 @@ PerfResult run_batch_synthesis_f32(double min_time_s) {
   return run_batch_synthesis_tier("batch_synthesis_f32", min_time_s, 1);
 }
 
+PerfResult run_aoa_sweep(double min_time_s) {
+  // One full 181-point beamscan over a fixed CSI snapshot — the estimator
+  // the localization fusion path calls per serving-AP observation. Holds
+  // the steering-vector hoist honest: the per-grid-point work must stay
+  // one complex multiply-accumulate per (tx, rx, subcarrier), not a
+  // std::polar in the inner loop.
+  auto ch = perf_channel();
+  const CsiMatrix csi = ch->csi_at(0.0);
+  return measure("aoa_sweep", min_time_s, [&] {
+    AoaEstimate est = estimate_aoa(csi);
+    asm volatile("" : : "r"(&est) : "memory");
+  });
+}
+
 PerfResult run_csi_similarity(double min_time_s) {
   auto ch = perf_channel();
   const CsiMatrix a = ch->csi_at(0.0);
@@ -233,6 +248,8 @@ const std::vector<PerfCaseDef>& perf_registry() {
       {"batch_synthesis_f32",
        "batched noiseless synthesis via ChannelBatch (fp32 tier)",
        run_batch_synthesis_f32},
+      {"aoa_sweep", "181-point beamscan AoA estimate on a fixed CSI snapshot",
+       run_aoa_sweep},
       {"csi_similarity", "4-pair Pearson CSI similarity with scratch buffers",
        run_csi_similarity},
       {"classifier_csi_step", "MobilityClassifier::on_csi steady-state step",

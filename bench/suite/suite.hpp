@@ -160,4 +160,23 @@ struct CampusOptions {
 /// `"timing` lines. Returns a process exit code.
 int run_campus_bench(const CampusOptions& opt);
 
+/// `mobiwlan-bench --loc` configuration (bench/suite/loc.cpp).
+struct LocOptions {
+  std::size_t jobs = 0;       ///< pool workers (0 = one per hardware thread)
+  std::uint64_t seed = 0;     ///< master seed (driver passes --seed)
+  bool check = false;         ///< gate against the committed baseline
+  std::string check_only;     ///< re-check this BENCH_loc.json, no re-run
+  std::string out = "BENCH_loc.json";
+  std::string baseline = "ci/loc_baseline.json";
+};
+
+/// The CSI-fingerprint localization bench: parallel survey of a 10^4-cell
+/// fingerprint database (bitwise digest + serial rebuild probe), held-out
+/// walk accuracy for kNN-only and AoA/ToF-fused estimates, the
+/// mobility-gated vs always-update refresh ablation on a recorded
+/// observation stream, and the single-thread lookup-rate section. For a
+/// fixed --seed, everything outside keys starting with "timing" is
+/// byte-identical at any --jobs. Returns a process exit code.
+int run_loc_bench(const LocOptions& opt);
+
 }  // namespace mobiwlan::benchsuite

@@ -20,6 +20,11 @@
 #      100k-session churn scenario under 1/4/16-shard partitionings and
 #      requires bitwise-identical per-session aggregates across the matrix
 #      and across --jobs 1 vs 8, plus a failing negative baseline;
+#   5d. localization gate: ci/loc_gate.sh surveys the fingerprint database,
+#      checks the kNN/fused accuracy and mobility-gated-refresh ablation
+#      against ci/loc_baseline.json (exact min == max pairs), diffs the
+#      --jobs 1 vs --jobs 8 reports, proves the negative baseline fails,
+#      and holds the single-thread lookup-rate floor;
 #   6. scale determinism: the AP-scale bench JSON at --jobs 1 vs --jobs 8
 #      must be byte-identical outside the timing_* lines;
 #   7. ThreadSanitizer build (-DMOBIWLAN_SANITIZE=thread) running the
@@ -62,6 +67,9 @@ echo "== trace gate: record/replay determinism =="
 
 echo "== campus gate: shard-invariance across 1/4/16 partitionings =="
 ./ci/campus_gate.sh
+
+echo "== loc gate: fingerprint localization + mobility-gated refresh =="
+./ci/loc_gate.sh
 
 echo "== scale determinism: --jobs 1 vs --jobs 8 =="
 ./build/bench/mobiwlan-bench --scale --jobs 8 --perf-min-time 0.05 \

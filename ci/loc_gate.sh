@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# ci/loc_gate.sh — CSI-fingerprint localization gate.
+#
+# Runs the localization suite (`mobiwlan-bench --loc`): the parallel
+# fingerprint-database survey (bitwise digest + serial rebuild probe), the
+# held-out-walk kNN/fused accuracy statistics, the mobility-gated vs
+# always-update refresh ablation (gating must hold accuracy with strictly
+# fewer DB writes), and the single-thread lookup-rate section. Every gated
+# key in ci/loc_baseline.json is an exact min == max pair, so a single bit
+# changed anywhere in the surveyed database or the lookup pipeline fails
+# the build. A second run at --jobs 1 must reproduce the --jobs 8 report
+# byte-for-byte outside `"timing` lines, and the timing-quarantined lookup
+# rate must clear 85% of the committed gate_loc_lookups_per_s floor (and
+# never the 1e5/s requirement itself).
+#
+# Refresh after an intentional behaviour change with:
+#   ./build/bench/mobiwlan-bench --loc
+# and copy the loc.* values into ci/loc_baseline.json as min/max pairs;
+# the negative baseline (ci/loc_baseline_negative.json, one digest bit
+# off) must keep failing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-./build/bench/mobiwlan-bench}"
+OUT="${LOC_OUT:-/tmp/mobiwlan_loc.json}"
+OUT_J1="${OUT%.json}_j1.json"
+
+if [[ ! -x "${BENCH}" ]]; then
+  echo "FAIL: ${BENCH} not built (run cmake --build build first)" >&2
+  exit 1
+fi
+
+flat_key() {  # flat_key FILE KEY -> numeric value
+  grep -o "\"$2\": *-\?[0-9.eE+-]*" "$1" | head -1 | awk '{print $NF}'
+}
+
+"${BENCH}" --loc-check --jobs 8 \
+  --loc-out "${OUT}" \
+  --loc-baseline ci/loc_baseline.json
+
+echo "-- loc determinism: --jobs 1 vs --jobs 8 --"
+"${BENCH}" --loc-check --jobs 1 \
+  --loc-out "${OUT_J1}" \
+  --loc-baseline ci/loc_baseline.json >/dev/null
+if ! diff <(grep -v '"timing' "${OUT}") \
+          <(grep -v '"timing' "${OUT_J1}"); then
+  echo "FAIL: loc report differs between --jobs 8 and --jobs 1" >&2
+  exit 1
+fi
+echo "ok: loc report byte-identical modulo timing"
+
+echo "-- loc gate negative control --"
+if "${BENCH}" --loc-check-only "${OUT}" \
+     --loc-baseline ci/loc_baseline_negative.json >/dev/null 2>&1; then
+  echo "FAIL: negative baseline passed — the gate cannot catch regressions" >&2
+  exit 1
+fi
+echo "ok: negative baseline fails as intended"
+
+echo "-- loc lookup-rate floor --"
+rate="$(flat_key "${OUT}" timing_loc_lookups_per_s)"
+floor="$(flat_key ci/loc_baseline.json gate_loc_lookups_per_s)"
+if ! awk -v r="${rate}" -v f="${floor}" \
+     'BEGIN { exit !(r != "" && r >= 100000 && r >= 0.85 * f) }'; then
+  echo "FAIL: lookup rate ${rate}/s below max(1e5, 0.85 * ${floor})/s" >&2
+  exit 1
+fi
+echo "ok: ${rate} lookups/s (floor ${floor}, 0.85 grace, 1e5 hard)"

@@ -93,16 +93,23 @@ class StreamHistogram {
   std::uint64_t total() const { return total_; }
 
   /// Lower edge of the bin where the cumulative count first reaches
-  /// q * total (q in [0, 1]); lo on an empty histogram.
+  /// q * total (q in [0, 1]) — except at q >= 1.0, which returns that bin's
+  /// *upper* edge: the maximum lives somewhere inside the last occupied
+  /// bin, so reporting its lower edge would under-state max-style stats by
+  /// up to one bin width. q <= 0 returns lo, an empty histogram returns lo,
+  /// and since add() clamps out-of-range samples into the edge bins, every
+  /// result lies in [lo, hi].
   double quantile(double q) const {
     if (total_ == 0) return lo_;
     const double target = q * static_cast<double>(total_);
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
       cum += counts_[i];
-      if (static_cast<double>(cum) >= target)
-        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+      if (static_cast<double>(cum) >= target) {
+        const std::size_t edge = q >= 1.0 ? i + 1 : i;
+        return lo_ + (hi_ - lo_) * static_cast<double>(edge) /
                          static_cast<double>(counts_.size());
+      }
     }
     return hi_;
   }

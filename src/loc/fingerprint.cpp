@@ -1,0 +1,35 @@
+#include "loc/fingerprint.hpp"
+
+#include <cmath>
+#include <complex>
+
+namespace mobiwlan::loc {
+
+void extract_features(const CsiMatrix& csi, double rssi_dbm, float* out) {
+  out[0] = static_cast<float>(rssi_dbm);
+  const std::size_t n_sc = csi.n_subcarriers();
+  const std::size_t n_tx = csi.n_tx();
+  const std::size_t n_rx = csi.n_rx();
+  for (std::size_t b = 0; b < kBands; ++b) {
+    // Integer band edges partition the subcarriers as evenly as possible
+    // regardless of whether kBands divides n_sc.
+    const std::size_t sc_lo = b * n_sc / kBands;
+    const std::size_t sc_hi = (b + 1) * n_sc / kBands;
+    double power = 0.0;
+    std::size_t n = 0;
+    for (std::size_t tx = 0; tx < n_tx; ++tx) {
+      for (std::size_t rx = 0; rx < n_rx; ++rx) {
+        for (std::size_t sc = sc_lo; sc < sc_hi; ++sc) {
+          power += std::norm(csi.at(tx, rx, sc));
+          ++n;
+        }
+      }
+    }
+    const double mean = n > 0 ? power / static_cast<double>(n) : 0.0;
+    double db = mean > 0.0 ? 10.0 * std::log10(mean) : kMagFloorDb;
+    if (db < kMagFloorDb) db = kMagFloorDb;
+    out[1 + b] = static_cast<float>(db);
+  }
+}
+
+}  // namespace mobiwlan::loc

@@ -1,0 +1,38 @@
+// fingerprint.hpp — CSI fingerprint features for indoor localization.
+//
+// A fingerprint compresses one AP's view of a client position into a small
+// fixed vector: the RSSI plus the per-band log-magnitude profile of the
+// CSI, averaged over antenna pairs. Magnitudes (not phases) survive the
+// firmware's unsynchronized sampling clocks — the same reason CRISLoc
+// (arXiv 1910.06895) fingerprints amplitudes — and folding the subcarriers
+// into a handful of bands smooths per-subcarrier measurement noise while
+// keeping the frequency ripple that distinguishes nearby cells.
+//
+// Features are float32 on purpose: the database stores one row per
+// (cell, AP) and the query kernel streams them contiguously, so halving
+// the footprint halves the cache traffic of every lookup. The quantization
+// is far below the measurement noise the features already carry.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/csi.hpp"
+
+namespace mobiwlan::loc {
+
+/// Sub-bands the subcarriers are folded into.
+inline constexpr std::size_t kBands = 7;
+
+/// Features per (cell, AP): [0] RSSI dBm, [1..kBands] per-band mean
+/// log-magnitude in dB across all antenna pairs.
+inline constexpr std::size_t kFeat = kBands + 1;
+
+/// Floor for the log-magnitude features; stands in for "no energy" so
+/// all-zero bands still produce finite features.
+inline constexpr double kMagFloorDb = -120.0;
+
+/// Extracts the kFeat fingerprint features of one observation into
+/// out[0..kFeat). Pure function of (csi, rssi_dbm); no allocation.
+void extract_features(const CsiMatrix& csi, double rssi_dbm, float* out);
+
+}  // namespace mobiwlan::loc

@@ -1,0 +1,108 @@
+// locator.hpp — outlier-resistant kNN matching over the fingerprint DB,
+// fused with the PHY AoA and ToF estimates.
+//
+// A lookup runs two stages over caller-owned scratch with zero steady-state
+// allocations:
+//   1. Coarse: scan the postings list of the query's strongest AP and score
+//      each candidate cell by squared RSSI-plane distance over the query's
+//      visible APs — one pass per query AP down that AP's contiguous
+//      transposed RSSI plane (a few hundred sequential floats from a
+//      cache-resident 4*n_cells-byte array, not a gather over [cell][ap]
+//      rows), keep the best `coarse_keep`.
+//   2. Fine: CRISLoc-style trimmed per-AP fingerprint distance (drop the
+//      `trim` worst per-AP distances, so one shadowed or refreshed-stale AP
+//      cannot veto a match) over the survivors, then an inverse-distance
+//      weighted centroid of the k nearest cells.
+// locate_fused() then blends in a position derived from the serving AP's
+// beamscan AoA (rejected below a peak-ratio confidence floor — which is why
+// the estimator's degenerate all-zero case must report ratio 0, not 1) and
+// the inverted ToF cycle count.
+//
+// Determinism: candidate cells are visited in ascending id (postings
+// order), APs in ascending bit order regardless of observe_ap() call
+// order, and every tie-break is first-seen/lowest-index, so a query's
+// result is a pure function of the observation set.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "chan/geometry.hpp"
+#include "loc/fingerprint_db.hpp"
+#include "phy/aoa.hpp"
+
+namespace mobiwlan::loc {
+
+struct LocatorConfig {
+  std::size_t k = 4;                ///< kNN neighborhood for the centroid
+  std::size_t coarse_keep = 16;     ///< fine-stage candidates kept by stage 1
+  std::size_t trim = 2;             ///< worst per-AP distances dropped (CRISLoc)
+  std::size_t min_kept_aps = 3;     ///< trim only if at least this many remain
+  double aoa_min_peak_ratio = 1.3;  ///< fusion rejects weaker beamscan peaks
+  double fusion_weight = 0.35;      ///< weight of the AoA/ToF point in the blend
+  double max_fused_range_m = 1e4;   ///< reject absurd inverted-ToF ranges
+  double tof_clock_hz = 88e6;       ///< must match the channel config
+  double tof_bias_ns = 15.0;        ///< must match the channel config
+};
+
+struct LocEstimate {
+  Vec2 position{};
+  std::uint32_t cell = 0;  ///< best-matching cell
+  double distance = 0.0;   ///< its trimmed fingerprint distance
+  bool valid = false;      ///< false when the query saw no audible AP
+};
+
+class Locator {
+ public:
+  /// Caller-owned per-query state. Buffers grow on first use and are
+  /// reused; begin_query/observe_ap/locate allocate nothing in steady
+  /// state (gated by the proptest alloc-hook suite and the bench).
+  struct Scratch {
+    std::vector<float> feat;  ///< query feature rows, [ap][kFeat]
+    std::vector<float> rssi;  ///< query coarse RSSI plane, [ap]
+    std::uint64_t mask = 0;
+    std::size_t strongest_ap = 0;
+    float strongest_rssi = 0.0f;
+    std::vector<std::uint32_t> cand;  ///< stage-1 survivors (ascending dist)
+    std::vector<double> cand_dist;
+    std::vector<double> ap_dist;      ///< per-AP distances of one candidate
+    std::vector<std::uint32_t> qaps;  ///< query mask unpacked, ascending
+    std::vector<double> coarse_acc;   ///< per-posting-entry coarse scores
+    /// (score, cell) pairs for the coarse top-k selection; lexicographic
+    /// order makes the kept set and its order independent of the
+    /// selection algorithm (ties fall to the lowest cell id).
+    std::vector<std::pair<double, std::uint32_t>> sel;
+  };
+
+  Locator(const FingerprintDb* db, const LocatorConfig& cfg);
+
+  const LocatorConfig& config() const { return cfg_; }
+
+  void begin_query(Scratch& s) const;
+
+  /// Folds one AP observation into the query. Observations below the DB's
+  /// RSSI floor are discarded (the survey could not have heard them
+  /// either), which keeps query and stored fingerprints comparable.
+  void observe_ap(Scratch& s, std::size_t ap, const CsiMatrix& csi,
+                  double rssi_dbm) const;
+
+  /// Loads a cell's stored row verbatim as the query (tests, calibration).
+  void seed_query_from_cell(Scratch& s, std::size_t cell) const;
+
+  /// Trimmed mean per-AP squared feature distance between the query and a
+  /// cell, over the APs visible on both sides; +inf when they share none.
+  /// trim_override < 0 uses cfg.trim. Exposed for the property suite.
+  double fingerprint_distance(Scratch& s, std::size_t cell,
+                              int trim_override = -1) const;
+
+  LocEstimate locate(Scratch& s) const;
+  LocEstimate locate_fused(Scratch& s, const AoaEstimate& aoa,
+                           std::size_t serving_ap, double tof_cycles) const;
+
+ private:
+  const FingerprintDb* db_;
+  LocatorConfig cfg_;
+};
+
+}  // namespace mobiwlan::loc

@@ -1,0 +1,90 @@
+// mobility_gate.hpp — routes localization clients by the mobility
+// classifier's decision.
+//
+// The mobility-aware twist over CRISLoc-style fingerprinting: a static
+// client produces survey-grade fingerprints, so its observations are worth
+// blending back into the database (crowdsourced upkeep against furniture
+// moves and seasonal drift); a device-mobile client produces motion-blurred
+// fingerprints at positions the estimator is itself uncertain about, and an
+// environmentally-noisy one measures bystanders rather than the room — both
+// only query. When the classifier withholds a decision (observable
+// starvation under the fault layer), the gate keeps acting on the held mode
+// for `decision_hold_s` — mirroring the classifier's own csi_stale_hold_s
+// degradation convention — then decays to query-only, the safe side: a
+// stale "static" must not keep writing after the evidence for it expires.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/mobility_mode.hpp"
+
+namespace mobiwlan::loc {
+
+enum class GateAction {
+  kRefresh,    ///< static: locate, then blend the observation into the DB
+  kQueryOnly,  ///< mobile / noisy / unknown: locate only, DB is read-only
+};
+
+struct MobilityGateConfig {
+  /// How long a missing decision keeps acting on the held mode before the
+  /// gate decays to query-only. Matches MobilityClassifier::Config::
+  /// csi_stale_hold_s so both layers degrade on the same clock.
+  double decision_hold_s = 2.0;
+  /// Minimum spacing between refreshes per client: one survey-grade sample
+  /// per second is plenty, and every write perturbs a cell other clients
+  /// are matching against.
+  double min_refresh_period_s = 1.0;
+};
+
+class MobilityGate {
+ public:
+  MobilityGate() = default;
+  explicit MobilityGate(const MobilityGateConfig& cfg) : cfg_(cfg) {}
+
+  /// Routes one observation epoch. `decision` is the classifier's output at
+  /// time t (nullopt when it has nothing fresh enough to say).
+  GateAction route(double t, std::optional<MobilityMode> decision) {
+    if (decision.has_value()) {
+      held_mode_ = *decision;
+      have_mode_ = true;
+      last_decision_t_ = t;
+    } else if (have_mode_) {
+      if (t - last_decision_t_ <= cfg_.decision_hold_s) {
+        ++held_;  // acting on a stale-but-in-window mode
+      } else {
+        have_mode_ = false;
+        ++decayed_;
+      }
+    }
+    if (have_mode_ && held_mode_ == MobilityMode::kStatic &&
+        t - last_refresh_t_ >= cfg_.min_refresh_period_s) {
+      last_refresh_t_ = t;
+      ++refreshes_;
+      return GateAction::kRefresh;
+    }
+    ++queries_;
+    return GateAction::kQueryOnly;
+  }
+
+  std::uint64_t refreshes() const { return refreshes_; }
+  std::uint64_t queries() const { return queries_; }
+  /// Epochs routed on a held (stale, in-window) decision.
+  std::uint64_t held() const { return held_; }
+  /// Hold-window expiries (transitions into the unknown/query-only state).
+  std::uint64_t decayed() const { return decayed_; }
+  const MobilityGateConfig& config() const { return cfg_; }
+
+ private:
+  MobilityGateConfig cfg_;
+  MobilityMode held_mode_ = MobilityMode::kStatic;
+  bool have_mode_ = false;
+  double last_decision_t_ = 0.0;
+  double last_refresh_t_ = -1e18;
+  std::uint64_t refreshes_ = 0;
+  std::uint64_t queries_ = 0;
+  std::uint64_t held_ = 0;
+  std::uint64_t decayed_ = 0;
+};
+
+}  // namespace mobiwlan::loc

@@ -1,6 +1,8 @@
 #include "phy/aoa.hpp"
 
+#include <array>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 namespace mobiwlan {
@@ -13,20 +15,36 @@ AoaEstimate estimate_aoa(const CsiMatrix& csi, int grid_points) {
   double best_power = -1.0;
   double power_sum = 0.0;
 
+  // The conjugated steering phasors depend only on (grid point, tx), so they
+  // are hoisted out of the per-(subcarrier, rx) accumulation; stack storage
+  // keeps the scan allocation-free. Arrays wider than the cap (no deployed
+  // config comes close) fall back to computing the phasor in the inner loop.
+  constexpr std::size_t kMaxHoistedTx = 16;
+  std::array<cplx, kMaxHoistedTx> steer_conj;
+  const bool hoisted = n_tx <= kMaxHoistedTx;
+
   for (int g = 0; g < grid_points; ++g) {
     const double theta =
         std::numbers::pi * static_cast<double>(g) / (grid_points - 1);
     // Steering vector matching the channel synthesis convention:
     // element m contributes a phase of -pi * m * cos(theta).
     const double phase_step = -std::numbers::pi * std::cos(theta);
+    if (hoisted)
+      for (std::size_t tx = 0; tx < n_tx; ++tx)
+        steer_conj[tx] =
+            std::conj(std::polar(1.0, phase_step * static_cast<double>(tx)));
 
     double power = 0.0;
     for (std::size_t sc = 0; sc < csi.n_subcarriers(); ++sc) {
       for (std::size_t rx = 0; rx < csi.n_rx(); ++rx) {
         cplx acc{};
-        for (std::size_t tx = 0; tx < n_tx; ++tx) {
-          const cplx steer = std::polar(1.0, phase_step * static_cast<double>(tx));
-          acc += csi.at(tx, rx, sc) * std::conj(steer);
+        if (hoisted) {
+          for (std::size_t tx = 0; tx < n_tx; ++tx)
+            acc += csi.at(tx, rx, sc) * steer_conj[tx];
+        } else {
+          for (std::size_t tx = 0; tx < n_tx; ++tx)
+            acc += csi.at(tx, rx, sc) *
+                   std::conj(std::polar(1.0, phase_step * static_cast<double>(tx)));
         }
         power += std::norm(acc);
       }
@@ -39,7 +57,16 @@ AoaEstimate estimate_aoa(const CsiMatrix& csi, int grid_points) {
   }
 
   const double mean_power = power_sum / grid_points;
-  best.peak_ratio = mean_power > 0.0 ? best_power / mean_power : 1.0;
+  if (mean_power > 0.0) {
+    best.peak_ratio = best_power / mean_power;
+  } else {
+    // All-zero CSI: the scan is flat at zero, so there is no angle to
+    // report. NaN angle + zero confidence make the estimate rejectable,
+    // where the old sentinel (theta = 0, ratio = 1.0) looked like a weak
+    // but genuine measurement.
+    best.angle_rad = std::numeric_limits<double>::quiet_NaN();
+    best.peak_ratio = 0.0;
+  }
   return best;
 }
 

@@ -14,8 +14,15 @@
 namespace mobiwlan {
 
 struct AoaEstimate {
-  double angle_rad = 0.0;  ///< dominant angle in [0, pi] (ULA cone ambiguity)
-  double peak_ratio = 1.0; ///< beamscan peak / mean — confidence proxy
+  /// Dominant angle in [0, pi] (ULA cone ambiguity). NaN when the CSI
+  /// carries no power at all: a flat zero spectrum has no argmax, and any
+  /// finite angle here would be an invented one.
+  double angle_rad = 0.0;
+  /// Beamscan peak / mean — confidence proxy. A real scan always yields
+  /// >= 1 (the peak cannot fall below the mean), so the degenerate cases
+  /// (empty CSI, too-coarse grid, all-zero CSI) report 0.0, letting fusion
+  /// stages reject no-signal estimates with a single threshold.
+  double peak_ratio = 0.0;
 };
 
 /// Beamscan AoA: evaluates P(theta) = sum_{sc,rx} |a(theta)^H h_{sc,rx}|^2

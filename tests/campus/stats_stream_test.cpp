@@ -1,0 +1,79 @@
+// Tests for the streamed statistics primitives (campus/stats_stream.hpp),
+// pinning the StreamHistogram quantile edge semantics. The load-bearing
+// case is q >= 1.0: it must report the *upper* edge of the last occupied
+// bin (the pre-fix code returned the lower edge like every other quantile,
+// understating max-style statistics by up to one bin width — and returning
+// a value strictly below every sample in that bin).
+#include "campus/stats_stream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mobiwlan::campus {
+namespace {
+
+TEST(StreamHistogramTest, EmptyHistogramReturnsLoForAnyQuantile) {
+  const StreamHistogram h(-5.0, 5.0, 10);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), -5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), -5.0);
+}
+
+TEST(StreamHistogramTest, QuantileZeroReturnsLo) {
+  StreamHistogram h(0.0, 10.0, 10);
+  h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(StreamHistogramTest, MedianReportsBinLowerEdge) {
+  StreamHistogram h(0.0, 10.0, 10);
+  h.add(2.5);  // lands in bin [2, 3)
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(StreamHistogramTest, FullQuantileReportsUpperEdgeOfLastOccupiedBin) {
+  StreamHistogram h(0.0, 10.0, 10);
+  h.add(2.5);  // only bin [2, 3) occupied: the max lives inside it
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+  h.add(9.1);  // last occupied bin is now [9, 10)
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(StreamHistogramTest, FullQuantileOnLastBinIsExactlyHi) {
+  // A sample at hi clamps into the last bin; its upper edge must come out
+  // as exactly hi (edge index == bin count cancels the division).
+  StreamHistogram h(-1.0, 1.0, 7);
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(StreamHistogramTest, OutOfRangeSamplesClampToEdgeBins) {
+  StreamHistogram h(0.0, 10.0, 10);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);   // low outlier in bin [0, 1)
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);  // high outlier in [9, 10)
+}
+
+TEST(StreamHistogramTest, ZeroBinConstructionDegradesToOneBin) {
+  StreamHistogram h(0.0, 4.0, 0);
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(StreamHistogramTest, QuantilesAreMonotoneInQ) {
+  StreamHistogram h(0.0, 100.0, 50);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  double prev = h.quantile(0.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q " << q;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+}  // namespace
+}  // namespace mobiwlan::campus

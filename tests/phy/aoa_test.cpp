@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numbers>
 
 #include "chan/scenario.hpp"
@@ -54,10 +55,98 @@ TEST(AoaTest, NoisyCsiStillNearTruth) {
 TEST(AoaTest, EmptyCsiSafe) {
   const AoaEstimate est = estimate_aoa(CsiMatrix{});
   EXPECT_DOUBLE_EQ(est.angle_rad, 0.0);
+  EXPECT_DOUBLE_EQ(est.peak_ratio, 0.0);
 }
 
 TEST(AoaTest, DegenerateGridSafe) {
   EXPECT_NO_THROW(estimate_aoa(single_path_csi(1.0), 1));
+  EXPECT_DOUBLE_EQ(estimate_aoa(single_path_csi(1.0), 1).peak_ratio, 0.0);
+}
+
+TEST(AoaTest, AllZeroCsiReportsNanAngleAndZeroRatio) {
+  // A flat zero spectrum has no argmax: the estimate must be rejectable
+  // (NaN angle, zero confidence). The pre-fix code reported theta = 0 with
+  // peak_ratio = 1.0 — indistinguishable from a weak genuine measurement,
+  // which the fusion stage would then blend in.
+  const AoaEstimate est = estimate_aoa(CsiMatrix(3, 2, 52));
+  EXPECT_TRUE(std::isnan(est.angle_rad));
+  EXPECT_DOUBLE_EQ(est.peak_ratio, 0.0);
+}
+
+TEST(AoaTest, TinyScaleCsiStillEstimates) {
+  // Near-zero but nonzero power must take the normal path: the degenerate
+  // branch is for exact zeros only, not a magnitude cliff.
+  CsiMatrix csi = single_path_csi(1.2);
+  for (auto& v : csi.raw()) v *= 1e-30;
+  const AoaEstimate est = estimate_aoa(csi);
+  EXPECT_NEAR(est.angle_rad, 1.2, 0.06);
+  EXPECT_GT(est.peak_ratio, 1.5);
+}
+
+/// The pre-hoist estimator, kept verbatim as a reference: the conjugated
+/// steering phasor is recomputed by std::polar inside the per-(subcarrier,
+/// rx) accumulation. The production hoist is pure loop-invariant code
+/// motion, so its output must be bitwise identical to this.
+AoaEstimate reference_estimate_aoa(const CsiMatrix& csi, int grid_points = 181) {
+  AoaEstimate best;
+  if (csi.empty() || grid_points < 2) return best;
+  double best_power = -1.0;
+  double power_sum = 0.0;
+  for (int g = 0; g < grid_points; ++g) {
+    const double theta =
+        std::numbers::pi * static_cast<double>(g) / (grid_points - 1);
+    const double phase_step = -std::numbers::pi * std::cos(theta);
+    double power = 0.0;
+    for (std::size_t sc = 0; sc < csi.n_subcarriers(); ++sc) {
+      for (std::size_t rx = 0; rx < csi.n_rx(); ++rx) {
+        cplx acc{};
+        for (std::size_t tx = 0; tx < csi.n_tx(); ++tx)
+          acc += csi.at(tx, rx, sc) *
+                 std::conj(std::polar(1.0, phase_step * static_cast<double>(tx)));
+        power += std::norm(acc);
+      }
+    }
+    power_sum += power;
+    if (power > best_power) {
+      best_power = power;
+      best.angle_rad = theta;
+    }
+  }
+  best.peak_ratio = best_power / (power_sum / grid_points);
+  return best;
+}
+
+TEST(AoaTest, HoistedSteeringBitwiseMatchesReference) {
+  // Fixed single-path CSI, then random CSI draws: angle and ratio must
+  // match the un-hoisted reference to the last bit.
+  for (double theta : {0.2, 1.0, 2.9}) {
+    const CsiMatrix csi = single_path_csi(theta);
+    const AoaEstimate fast = estimate_aoa(csi);
+    const AoaEstimate ref = reference_estimate_aoa(csi);
+    EXPECT_EQ(fast.angle_rad, ref.angle_rad) << "theta " << theta;
+    EXPECT_EQ(fast.peak_ratio, ref.peak_ratio) << "theta " << theta;
+  }
+  Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    CsiMatrix csi(3, 2, 52);
+    for (auto& v : csi.raw()) v = rng.complex_gaussian(1.0);
+    const AoaEstimate fast = estimate_aoa(csi);
+    const AoaEstimate ref = reference_estimate_aoa(csi);
+    EXPECT_EQ(fast.angle_rad, ref.angle_rad) << "trial " << trial;
+    EXPECT_EQ(fast.peak_ratio, ref.peak_ratio) << "trial " << trial;
+  }
+}
+
+TEST(AoaTest, WideArrayFallbackBitwiseMatchesReference) {
+  // Arrays wider than the hoist cap (16 tx) take the in-loop std::polar
+  // fallback, which must agree with the reference just the same.
+  Rng rng(13);
+  CsiMatrix csi(17, 1, 8);
+  for (auto& v : csi.raw()) v = rng.complex_gaussian(1.0);
+  const AoaEstimate fast = estimate_aoa(csi);
+  const AoaEstimate ref = reference_estimate_aoa(csi);
+  EXPECT_EQ(fast.angle_rad, ref.angle_rad);
+  EXPECT_EQ(fast.peak_ratio, ref.peak_ratio);
 }
 
 TEST(AoaTest, TracksLosDirectionOnSimulatedChannel) {
